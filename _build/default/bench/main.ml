@@ -1,0 +1,183 @@
+(* Benchmark harness: regenerates every paper claim's table (E1-E13)
+   and times the underlying kernels with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 -- all tables + micro benches
+     dune exec bench/main.exe -- --quick      -- smaller sweeps
+     dune exec bench/main.exe -- --only E9    -- a single experiment
+     dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
+     dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
+     dune exec bench/main.exe -- --jobs N     -- regenerate tables on N domains
+                                                 (experiments are pure, so this
+                                                 is safe; output order is kept) *)
+
+module Experiments = Countq.Experiments
+module Table = Countq.Table
+
+let parse_args () =
+  let quick = ref false in
+  let micro = ref true in
+  let only = ref None in
+  let csv_dir = ref None in
+  let jobs = ref 1 in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--no-micro" :: rest ->
+        micro := false;
+        go rest
+    | "--only" :: id :: rest ->
+        only := Some id;
+        go rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        go rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | _ ->
+            prerr_endline "--jobs expects a positive integer";
+            exit 2);
+        go rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\n" arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!quick, !micro, !only, !csv_dir, !jobs)
+
+let selected only =
+  match only with
+  | None -> Experiments.all
+  | Some id -> (
+      match Experiments.find id with
+      | Some s -> [ s ]
+      | None ->
+          Printf.eprintf "unknown experiment %S\n" id;
+          exit 2)
+
+let run_tables ~quick ~csv_dir ~jobs specs =
+  (* Experiments are pure functions of their seeds: regenerate them on
+     [jobs] domains, then print in id order. *)
+  let tables =
+    Countq_util.Parallel.map ~jobs
+      (fun (s : Experiments.spec) ->
+        let t0 = Unix.gettimeofday () in
+        let table = s.run ~quick () in
+        (s.id, table, Unix.gettimeofday () -. t0))
+      specs
+  in
+  List.iter
+    (fun (id, table, dt) ->
+      Table.print table;
+      Printf.printf "[%s regenerated in %.2fs]\n\n%!" id dt;
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (String.lowercase_ascii id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Table.to_csv table);
+          close_out oc)
+    tables
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro benchmarks: one Test.make per experiment (its quick
+   kernel), plus the hot inner kernels each experiment leans on.       *)
+
+open Bechamel
+open Toolkit
+
+let experiment_tests specs =
+  List.map
+    (fun (s : Experiments.spec) ->
+      Test.make ~name:s.id (Staged.stage (fun () -> ignore (s.run ~quick:true ()))))
+    specs
+
+let kernel_tests () =
+  let module Gen = Countq_topology.Gen in
+  let module Tree = Countq_topology.Tree in
+  let module Spanning = Countq_topology.Spanning in
+  let module Rng = Countq_util.Rng in
+  let mesh = Gen.square_mesh 16 in
+  let mesh_tree = Spanning.best_for_arrow mesh in
+  let all_256 = List.init 256 (fun i -> i) in
+  let rng = Rng.create 99L in
+  let half = Rng.sample rng ~k:128 ~n:256 in
+  [
+    Test.make ~name:"kernel:graph-mesh-16x16"
+      (Staged.stage (fun () -> ignore (Gen.square_mesh 16)));
+    Test.make ~name:"kernel:spanning-best-for-arrow"
+      (Staged.stage (fun () -> ignore (Spanning.best_for_arrow mesh)));
+    Test.make ~name:"kernel:arrow-one-shot-256"
+      (Staged.stage (fun () ->
+           ignore
+             (Countq_arrow.Protocol.run_one_shot ~tree:mesh_tree
+                ~requests:all_256 ())));
+    Test.make ~name:"kernel:nn-tsp-256"
+      (Staged.stage (fun () ->
+           ignore
+             (Countq_tsp.Nn.on_tree mesh_tree ~start:(Tree.root mesh_tree)
+                ~requests:half)));
+    Test.make ~name:"kernel:central-counting-mesh"
+      (Staged.stage (fun () ->
+           ignore (Countq_counting.Central.run ~graph:mesh ~requests:half ())));
+    Test.make ~name:"kernel:counting-network-mesh"
+      (Staged.stage (fun () ->
+           ignore (Countq_counting.Network.run ~graph:mesh ~requests:half ())));
+    Test.make ~name:"kernel:bitonic-push-1k"
+      (Staged.stage (fun () ->
+           let net = Countq_counting.Bitonic.create ~width:32 in
+           let st = Countq_counting.Bitonic.State.create net in
+           for t = 0 to 999 do
+             ignore (Countq_counting.Bitonic.State.push st ~wire:(t land 31))
+           done));
+    Test.make ~name:"kernel:lower-bound-sum-4096"
+      (Staged.stage (fun () -> ignore (Countq_bounds.Lower.contention_lb 4096)));
+  ]
+
+let run_micro specs =
+  let tests =
+    Test.make_grouped ~name:"countq" ~fmt:"%s/%s"
+      (experiment_tests specs @ kernel_tests ())
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  print_endline "== Bechamel micro benchmarks (monotonic clock) ==";
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, Float.nan) :: acc)
+      clock []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e6 then Printf.printf "%-40s %10.3f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "%-40s %10.1f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let () =
+  let quick, micro, only, csv_dir, jobs = parse_args () in
+  let specs = selected only in
+  Printf.printf
+    "countq benchmark harness: reproducing %d paper claims (%s mode%s)\n\n%!"
+    (List.length specs)
+    (if quick then "quick" else "full")
+    (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
+  run_tables ~quick ~csv_dir ~jobs specs;
+  if micro then run_micro specs

@@ -1,0 +1,391 @@
+(* countq: command-line driver for the reproduction.
+
+   Subcommands:
+     list                     -- list the experiments
+     run <id> [--quick] [--csv FILE]
+     all [--quick]
+     compare -t T -n N [-r PATTERN] [--seed S]
+     topo -t T -n N
+     trace -t T -n N          -- ASCII timeline of one arrow run
+     series -t T --sizes N,…  -- CSV sweep of queuing vs counting
+     verify -t T -n N         -- exhaustive schedule check (tiny n)
+     report [-o FILE] [-j N]  -- regenerate the full markdown report
+*)
+
+open Cmdliner
+
+module Gen = Countq_topology.Gen
+module Graph = Countq_topology.Graph
+module Bfs = Countq_topology.Bfs
+module Tree = Countq_topology.Tree
+module Spanning = Countq_topology.Spanning
+module Rng = Countq_util.Rng
+module Experiments = Countq.Experiments
+module Table = Countq.Table
+module Run = Countq.Run
+
+(* ---- shared arguments (parsed by Countq.Scenario) ---- *)
+
+let build_topology name n =
+  match Countq.Scenario.topology (Printf.sprintf "%s:%d" name n) with
+  | Ok (_, g) -> Ok g
+  | Error (`Msg m) -> Error m
+
+let topology_arg =
+  let doc =
+    Printf.sprintf "Topology family: one of %s."
+      (String.concat ", " Countq.Scenario.known_topologies)
+  in
+  Arg.(value & opt string "mesh" & info [ "topology"; "t" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of processors (rounded to the family's nearest realisable size).")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt string "all"
+    & info [ "requests"; "r" ] ~docv:"PATTERN"
+        ~doc:"Request pattern: all | half | k:K | density:D | nodes:v,v,…")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink the parameter sweeps.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Experiments.spec) ->
+        Printf.printf "%-4s %-45s (%s)\n" s.id s.title s.paper_ref)
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper-reproduction experiments.")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E9).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let run id quick csv =
+    match Experiments.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %S; try 'countq list'\n" id;
+        exit 2
+    | Some spec ->
+        let table = spec.run ~quick () in
+        Table.print table;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Table.to_csv table);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          csv
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its table.")
+    Term.(const run $ id_arg $ quick_arg $ csv_arg)
+
+(* ---- all ---- *)
+
+let all_cmd =
+  let run quick =
+    List.iter
+      (fun (s : Experiments.spec) -> Table.print (s.run ~quick ()))
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const run $ quick_arg)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run topology n req_spec seed =
+    match build_topology topology n with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok graph -> (
+        let n = Graph.n graph in
+        match
+          Countq.Scenario.requests ~seed:(Int64.of_int seed) ~n req_spec
+        with
+        | Error (`Msg m) ->
+            prerr_endline m;
+            exit 2
+        | Ok requests ->
+            let k = List.length requests in
+            let rows =
+              List.map
+                (fun (s : Run.summary) ->
+                  [
+                    s.protocol;
+                    Table.cell_int s.total_delay;
+                    Table.cell_int s.normalized_delay;
+                    Table.cell_int s.max_delay;
+                    Table.cell_int s.rounds;
+                    Table.cell_int s.messages;
+                    Table.cell_int s.expansion;
+                    Table.cell_bool s.valid;
+                  ])
+                (List.map
+                   (fun protocol -> Run.queuing ~graph ~protocol ~requests ())
+                   [ `Arrow; `Arrow_notify; `Central; `Token_ring ]
+                @ List.map
+                    (fun protocol -> Run.counting ~graph ~protocol ~requests ())
+                    [ `Central; `Combining; `Network; `Sweep ])
+            in
+            Table.print
+              (Table.make ~id:"compare"
+                 ~title:
+                   (Printf.sprintf "all protocols on %s (n=%d, k=%d)" topology
+                      n k)
+                 ~paper_ref:"ad-hoc comparison"
+                 ~headers:
+                   [ "protocol"; "total"; "normalised"; "max"; "rounds"; "messages"; "expansion"; "valid" ]
+                 rows))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every protocol on one instance and tabulate.")
+    Term.(const run $ topology_arg $ n_arg $ requests_arg $ seed_arg)
+
+(* ---- topo ---- *)
+
+let topo_cmd =
+  let run topology n =
+    match build_topology topology n with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok g ->
+        let tree = Spanning.best_for_arrow g in
+        Printf.printf "topology    %s\n" topology;
+        Printf.printf "n           %d\n" (Graph.n g);
+        Printf.printf "m           %d\n" (Graph.m g);
+        Printf.printf "max degree  %d\n" (Graph.max_degree g);
+        Printf.printf "diameter    %d\n" (Bfs.diameter g);
+        Printf.printf "arrow tree  degree %d, height %d\n"
+          (Tree.max_degree tree) (Tree.height tree);
+        Printf.printf "counting lower bound (Thm 3.5)  %d\n"
+          (Countq_bounds.Lower.contention_lb (Graph.n g));
+        Printf.printf "counting lower bound (Thm 3.6)  %d\n"
+          (Countq_bounds.Lower.diameter_lb ~diameter:(Bfs.diameter g))
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Describe a topology and its bounds.")
+    Term.(const run $ topology_arg $ n_arg)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run topology n req_spec seed =
+    let n = min n 6 in
+    match build_topology topology n with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok g -> (
+        let nv = Graph.n g in
+        if nv > 8 then begin
+          prerr_endline
+            "verify: instance too large for exhaustive exploration (max 8 nodes)";
+          exit 2
+        end;
+        match
+          Countq.Scenario.requests ~seed:(Int64.of_int seed) ~n:nv req_spec
+        with
+        | Error (`Msg m) ->
+            prerr_endline m;
+            exit 2
+        | Ok requests -> (
+            let tree = Spanning.best_for_arrow g in
+            let protocol =
+              Countq_arrow.Protocol.one_shot_protocol ~tree ~requests ()
+            in
+            let check completions =
+              let outcomes =
+                List.map
+                  (fun (c : _ Countq_simnet.Engine.completion) ->
+                    let op, pred = c.value in
+                    {
+                      Countq_arrow.Types.op;
+                      pred;
+                      found_at = c.node;
+                      round = c.round;
+                    })
+                  completions
+              in
+              if List.length outcomes <> List.length requests then
+                Error "wrong completion count"
+              else
+                match Countq_arrow.Order.chain outcomes with
+                | Ok _ -> Ok ()
+                | Error e ->
+                    Error (Format.asprintf "%a" Countq_arrow.Order.pp_error e)
+            in
+            match
+              Countq_simnet.Explore.run ~graph:(Tree.to_graph tree) ~protocol
+                ~check ()
+            with
+            | stats ->
+                Printf.printf
+                  "arrow on %s (n=%d), requests {%s}:\n\
+                   ALL SCHEDULES SAFE - %d configurations explored, %d quiescent\n\
+                   outcomes checked, every one a single valid total order.\n"
+                  topology nv
+                  (String.concat "," (List.map string_of_int requests))
+                  stats.explored stats.terminal
+            | exception Countq_simnet.Explore.Violation m ->
+                Printf.printf "VIOLATION FOUND: %s\n" m;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Exhaustively model-check arrow safety on a tiny instance (every schedule; n is capped).")
+    Term.(const run $ topology_arg $ n_arg $ requests_arg $ seed_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "report.md"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output markdown file.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Regenerate tables on N domains.")
+  in
+  let run quick out jobs =
+    if jobs < 1 then begin
+      prerr_endline "--jobs must be positive";
+      exit 2
+    end;
+    let tables =
+      Countq_util.Parallel.map ~jobs
+        (fun (s : Experiments.spec) -> s.run ~quick ())
+        Experiments.all
+    in
+    let oc = open_out out in
+    output_string oc "# countq — measured results\n\n";
+    output_string oc
+      "Regenerated from the committed seeds by `countq report`. E1–E13\n\
+       reproduce the paper's claims; E14+ are ablations and extensions.\n\
+       See EXPERIMENTS.md for the reading guide.\n\n";
+    List.iter
+      (fun table ->
+        output_string oc (Table.to_markdown table);
+        output_string oc "\n")
+      tables;
+    close_out oc;
+    Printf.printf "wrote %s (%d experiments)\n" out (List.length tables)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate every experiment and write one markdown report.")
+    Term.(const run $ quick_arg $ out_arg $ jobs_arg)
+
+(* ---- series ---- *)
+
+let series_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 16; 32; 64; 128; 256 ]
+      & info [ "sizes" ] ~docv:"N1,N2,…" ~doc:"Comma-separated processor counts.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write CSV here instead of stdout.")
+  in
+  let run topology sizes out =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "topology,n,arrow_total,arrow_normalized,best_counting,counting_normalized,ratio\n";
+    List.iter
+      (fun n ->
+        match build_topology topology n with
+        | Error e ->
+            prerr_endline e;
+            exit 2
+        | Ok g ->
+            let n = Graph.n g in
+            let requests = List.init n (fun i -> i) in
+            let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
+            let c = Run.best_counting ~graph:g ~requests in
+            Buffer.add_string buf
+              (Printf.sprintf "%s,%d,%d,%d,%s,%d,%.3f\n" topology n
+                 q.total_delay q.normalized_delay c.protocol c.normalized_delay
+                 (float_of_int c.normalized_delay
+                 /. float_of_int (max 1 q.normalized_delay))))
+      sizes;
+    match out with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+        let oc = open_out path in
+        Buffer.output_buffer oc buf;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "series"
+       ~doc:
+         "Sweep n for one topology and emit a CSV series of queuing vs counting totals (for plotting).")
+    Term.(const run $ topology_arg $ sizes_arg $ out_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run topology n seed =
+    match build_topology topology (min n 24) with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok g ->
+        let n = Graph.n g in
+        let tree = Spanning.best_for_arrow g in
+        let rng = Rng.create (Int64.of_int seed) in
+        let k = max 1 (n / 3) in
+        let requests = Rng.sample rng ~k ~n in
+        let result, events =
+          Countq_arrow.Protocol.run_one_shot_traced ~tree ~requests ()
+        in
+        Printf.printf
+          "arrow protocol on %s (n=%d), requests {%s}, tail at node %d\n\n"
+          topology n
+          (String.concat "," (List.map string_of_int requests))
+          (Tree.root tree);
+        print_string (Countq_simnet.Trace.render ~n events);
+        Printf.printf "\nlegend: s=queued send, R=received, +=both, *=completed\n";
+        (match result.order with
+        | Ok ops ->
+            Printf.printf "total order: %s\n"
+              (String.concat " -> "
+                 (List.map
+                    (fun (o : Countq_arrow.Types.op) -> string_of_int o.origin)
+                    ops))
+        | Error e ->
+            Format.printf "INVALID ORDER: %a@." Countq_arrow.Order.pp_error e);
+        Printf.printf "total delay %d, %d messages\n" result.total_delay
+          result.messages
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace a small arrow execution as an ASCII timeline (n capped at 24).")
+    Term.(const run $ topology_arg $ n_arg $ seed_arg)
+
+let () =
+  let doc = "Concurrent counting is harder than queuing - reproduction CLI" in
+  let info = Cmd.info "countq" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; compare_cmd; topo_cmd; trace_cmd;
+            series_cmd; report_cmd; verify_cmd ]))

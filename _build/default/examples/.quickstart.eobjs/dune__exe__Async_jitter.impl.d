@@ -1,0 +1,1 @@
+examples/async_jitter.ml: Countq_arrow Countq_counting Countq_simnet Countq_topology Countq_util Format List Result

@@ -1,0 +1,1 @@
+examples/barrier.ml: Countq Countq_topology Format List

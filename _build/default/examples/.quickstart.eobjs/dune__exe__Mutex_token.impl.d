@@ -1,0 +1,1 @@
+examples/mutex_token.ml: Countq_arrow Countq_topology Countq_util Format Hashtbl List

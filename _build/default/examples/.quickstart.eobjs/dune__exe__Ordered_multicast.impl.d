@@ -1,0 +1,1 @@
+examples/ordered_multicast.ml: Countq_multicast Countq_topology Format List

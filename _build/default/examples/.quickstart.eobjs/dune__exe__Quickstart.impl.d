@@ -1,0 +1,1 @@
+examples/quickstart.ml: Countq Countq_arrow Countq_topology Format List

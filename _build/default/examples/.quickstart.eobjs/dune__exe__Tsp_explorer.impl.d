@@ -1,0 +1,1 @@
+examples/tsp_explorer.ml: Countq_topology Countq_tsp Countq_util Format List Printf

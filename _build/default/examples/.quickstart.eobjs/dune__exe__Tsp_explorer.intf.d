@@ -1,0 +1,1 @@
+examples/tsp_explorer.mli:

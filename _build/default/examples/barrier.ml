@@ -1,0 +1,53 @@
+(* Distributed barrier: a coordination task where counting is the
+   right tool — and where its cost structure still matters.
+
+   All processors must learn when every one of them has reached the
+   barrier. The classic construction: each arrival increments a
+   distributed counter; the processor that draws rank n knows it is
+   last and floods a release wave. Barrier latency = (time for the
+   last arrival to learn its rank) + (release broadcast).
+
+   We build the barrier on each counting protocol and compare: the
+   combining tree is the textbook choice, and the numbers show why —
+   its makespan (which is what a barrier cares about, unlike the
+   paper's total-delay metric) beats the serialising central counter.
+
+   Run with:  dune exec examples/barrier.exe *)
+
+module Gen = Countq_topology.Gen
+module Graph = Countq_topology.Graph
+module Bfs = Countq_topology.Bfs
+module Spanning = Countq_topology.Spanning
+module Run = Countq.Run
+
+let () =
+  let g = Gen.square_mesh 10 in
+  let n = Graph.n g in
+  let requests = List.init n (fun i -> i) in
+  Format.printf
+    "barrier on a 10x10 mesh: all %d processors arrive at time 0@.@." n;
+  Format.printf "%-18s %-18s %-14s %-16s@." "counting protocol"
+    "last rank known at" "release flood" "barrier latency";
+  List.iter
+    (fun protocol ->
+      let s = Run.counting ~graph:g ~protocol ~requests () in
+      if not s.valid then Format.printf "%s: INVALID@." s.protocol
+      else begin
+        (* The processor holding rank n can start the release wave the
+           round it learns its rank; the wave then needs (at most) the
+           graph's eccentricity from wherever it starts — we charge the
+           diameter as a uniform upper bound. *)
+        let arrive = s.max_delay * s.expansion in
+        let release = Bfs.diameter g in
+        Format.printf "%-18s %-18d %-14d %-16d@." s.protocol arrive release
+          (arrive + release)
+      end)
+    [ `Combining; `Central; `Network; `Sweep ];
+  Format.printf
+    "@.the barrier metric is the MAKESPAN, not the paper's total delay.@.";
+  Format.printf
+    "the token sweep's linear makespan looks competitive at n=100, but the@.";
+  Format.printf
+    "combining tree's O(sqrt n) upsweep wins as the mesh grows; the central@.";
+  Format.printf
+    "counter's serialisation (and the network's pipeline) never catch up.@."

@@ -1,0 +1,39 @@
+(* Ordered multicast: the paper's Section 1 motivating application.
+
+   Every sender multicasts one message; all 144 processors must deliver
+   all messages in one agreed order. We coordinate the order two ways
+   -- with a distributed counter (attach a rank) and with distributed
+   queuing (attach the predecessor's identity, the Herlihy et al.
+   scheme) -- then flood the messages and measure delivery latency.
+
+   Run with:  dune exec examples/ordered_multicast.exe *)
+
+module Gen = Countq_topology.Gen
+module Ordered = Countq_multicast.Ordered
+
+let describe (r : Ordered.result) =
+  Format.printf "%a@." Ordered.pp_scheme r.scheme;
+  Format.printf "  coordination: total %d rounds, makespan %d@."
+    r.coordination_total r.coordination_makespan;
+  Format.printf "  delivery:     mean %.1f rounds, max %d@."
+    r.mean_delivery_latency r.max_delivery_latency;
+  Format.printf "  network load: %d messages@.@." r.network_messages
+
+let () =
+  let graph = Gen.square_mesh 12 in
+  let senders = List.init 144 (fun i -> i) in
+  Format.printf
+    "144 senders on a 12x12 mesh; all processors deliver in one order@.@.";
+  List.iter
+    (fun scheme -> describe (Ordered.run ~graph ~senders scheme))
+    [
+      Ordered.Via_queuing `Arrow;
+      Ordered.Via_counting `Central;
+      Ordered.Via_counting `Combining;
+      Ordered.Via_counting `Network;
+    ];
+  Format.printf
+    "The queuing-based scheme needs only local predecessor discovery,@.";
+  Format.printf
+    "so its coordination cost stays linear while every counting scheme@.";
+  Format.printf "pays the contention/lower-bound cost of global ranks.@."

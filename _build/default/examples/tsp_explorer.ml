@@ -1,0 +1,69 @@
+(* TSP explorer: watch the Section 4 upper-bound machinery in action.
+
+   For each topology the paper treats, print the nearest-neighbour tour
+   over a random request set, the theoretical ceiling that applies, and
+   (on the list) the Lemma 4.3 run-decomposition certificate.
+
+   Run with:  dune exec examples/tsp_explorer.exe *)
+
+module Gen = Countq_topology.Gen
+module Tree = Countq_topology.Tree
+module Tsp = Countq_tsp
+module Rng = Countq_util.Rng
+
+let show_tour name tree ~start ~requests ~bound_name ~bound =
+  let tour = Tsp.Nn.on_tree tree ~start ~requests in
+  Format.printf "%-24s k=%-4d cost=%-6d %s=%-6d  %s@." name
+    (List.length requests) tour.cost bound_name bound
+    (if tour.cost <= bound then "within bound" else "BOUND VIOLATED");
+  tour
+
+let () =
+  let rng = Rng.create 7L in
+
+  (* The list (Lemma 4.3). *)
+  let n = 400 in
+  let list_tree = Tree.of_graph (Gen.path n) ~root:0 in
+  let requests = Rng.sample rng ~k:200 ~n in
+  let tour =
+    show_tour "list-400 (random half)" list_tree ~start:(n / 2) ~requests
+      ~bound_name:"3n" ~bound:(Tsp.Tbounds.list_bound n)
+  in
+  let cert = Tsp.Runs.certify ~n ~start:(n / 2) tour.order in
+  Format.printf "  certificate: %a@.@." Tsp.Runs.pp_certificate cert;
+
+  (* The adversarial zigzag that stresses the same bound. *)
+  let start, zig = Tsp.Nn.worst_case_on_list ~n in
+  let ztour =
+    show_tour "list-400 (zigzag)" list_tree ~start ~requests:zig
+      ~bound_name:"3n" ~bound:(Tsp.Tbounds.list_bound n)
+  in
+  let zcert = Tsp.Runs.certify ~n ~start ztour.order in
+  Format.printf "  certificate: %a@.@." Tsp.Runs.pp_certificate zcert;
+
+  (* Perfect binary tree (Theorem 4.7). *)
+  let g = Gen.perfect_tree ~arity:2 ~height:9 in
+  let nb = Countq_topology.Graph.n g in
+  let btree = Tree.of_graph g ~root:0 in
+  let requests = Rng.sample rng ~k:(nb / 2) ~n:nb in
+  ignore
+    (show_tour
+       (Printf.sprintf "perfect-binary n=%d" nb)
+       btree ~start:0 ~requests ~bound_name:"2d(d+1)+8n"
+       ~bound:(Tsp.Tbounds.perfect_binary_bound ~n:nb));
+  Format.printf "@.";
+
+  (* Nearest-neighbour vs the exact optimum (Rosenkrantz, Cor. 4.2). *)
+  Format.printf "NN vs Held-Karp optimum on random constant-degree trees:@.";
+  for trial = 1 to 5 do
+    let n = 40 + (10 * trial) in
+    let g = Gen.random_binary_tree rng n in
+    let tree = Tree.of_graph g ~root:0 in
+    let requests = Rng.sample rng ~k:12 ~n in
+    let nn = (Tsp.Nn.on_tree tree ~start:0 ~requests).cost in
+    let opt = Tsp.Exact.min_path_on_tree tree ~start:0 ~requests in
+    Format.printf "  n=%-4d nn=%-4d opt=%-4d ratio=%.3f (guarantee %.2f)@." n
+      nn opt
+      (float_of_int nn /. float_of_int (max 1 opt))
+      (Tsp.Tbounds.rosenkrantz_ratio 12)
+  done

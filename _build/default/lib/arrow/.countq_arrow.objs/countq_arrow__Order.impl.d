@@ -1,0 +1,1 @@
+lib/arrow/order.ml: Array Format List Map Result Types

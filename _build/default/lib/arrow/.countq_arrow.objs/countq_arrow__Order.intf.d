@@ -1,0 +1,1 @@
+lib/arrow/order.mli: Format Types

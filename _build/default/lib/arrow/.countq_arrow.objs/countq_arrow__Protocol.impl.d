@@ -1,0 +1,1 @@
+lib/arrow/protocol.ml: Array Countq_simnet Countq_topology List Option Order Types

@@ -1,0 +1,1 @@
+lib/arrow/protocol.mli: Countq_simnet Countq_topology Order Types

@@ -1,0 +1,1 @@
+lib/arrow/types.ml: Format

@@ -1,0 +1,19 @@
+(* Operation identities for queuing protocols. See types.mli. *)
+
+type op = { origin : int; seq : int }
+type pred = Init | Op of op
+
+type outcome = { op : op; pred : pred; found_at : int; round : int }
+
+let compare_op a b =
+  match compare a.origin b.origin with 0 -> compare a.seq b.seq | c -> c
+
+let pp_op ppf o = Format.fprintf ppf "%d.%d" o.origin o.seq
+
+let pp_pred ppf = function
+  | Init -> Format.pp_print_string ppf "\xe2\x8a\xa5"
+  | Op o -> pp_op ppf o
+
+let pp_outcome ppf t =
+  Format.fprintf ppf "op %a <- pred %a (found at %d, round %d)" pp_op t.op
+    pp_pred t.pred t.found_at t.round

@@ -1,0 +1,33 @@
+(** Operation identities shared by the queuing protocols.
+
+    In distributed queuing each operation learns the identity of its
+    {e predecessor} in the total order (Fig. 1 of the paper); these are
+    the identities exchanged. *)
+
+type op = { origin : int; seq : int }
+(** An operation: issued by processor [origin]; [seq] distinguishes
+    successive operations of the same processor in the long-lived
+    scenario (always 0 in the one-shot scenario). *)
+
+type pred =
+  | Init  (** The queue's initial tail (no real predecessor). *)
+  | Op of op  (** A real predecessor operation. *)
+
+type outcome = {
+  op : op;  (** the operation that got queued. *)
+  pred : pred;  (** its predecessor in the total order. *)
+  found_at : int;  (** node at which the predecessor was discovered. *)
+  round : int;  (** the operation's queuing delay [ℓ_Q] in rounds. *)
+}
+
+val compare_op : op -> op -> int
+(** Total order on operation identities (origin, then seq). *)
+
+val pp_op : Format.formatter -> op -> unit
+(** Prints ["origin.seq"]. *)
+
+val pp_pred : Format.formatter -> pred -> unit
+(** Prints ["⊥"] for [Init], otherwise the operation. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line outcome description. *)

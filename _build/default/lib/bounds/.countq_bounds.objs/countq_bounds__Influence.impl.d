@@ -1,0 +1,1 @@
+lib/bounds/influence.ml: Float List Tow

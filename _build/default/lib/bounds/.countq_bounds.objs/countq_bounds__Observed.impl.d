@@ -1,0 +1,1 @@
+lib/bounds/observed.ml: Array Bytes Char Countq_simnet Hashtbl Lazy List Queue Tow

@@ -1,0 +1,1 @@
+lib/bounds/observed.mli: Countq_simnet

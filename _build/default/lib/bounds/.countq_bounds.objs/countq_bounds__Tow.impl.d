@@ -1,0 +1,1 @@
+lib/bounds/tow.ml: Float Format

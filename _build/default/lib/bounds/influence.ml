@@ -1,0 +1,45 @@
+(* Influence-set recurrences (Lemmas 3.2-3.4). See influence.mli. *)
+
+type row = {
+  t : int;
+  a : float;
+  b : float;
+  tow2t : Tow.tower;
+  within_envelope : bool;
+}
+
+let saturation = 1e300
+
+let sat x = if x > saturation || Float.is_nan x then saturation else x
+
+let step (a, b) =
+  let a' = sat (a +. (a *. a *. b)) in
+  let b' = sat (b *. (1. +. (2. *. a))) in
+  (a', b')
+
+let make_row t a b =
+  let tow2t = Tow.tow (2 * t) in
+  let within v = match tow2t with Tow.Finite f -> v <= f | Tow.Huge _ -> true in
+  { t; a; b; tow2t; within_envelope = within a && within b }
+
+let table ~rounds =
+  if rounds < 0 then invalid_arg "Influence.table: negative rounds";
+  let rec go t a b acc =
+    let acc = make_row t a b :: acc in
+    if t >= rounds then List.rev acc
+    else begin
+      let a', b' = step (a, b) in
+      go (t + 1) a' b' acc
+    end
+  in
+  go 0 1. 1. []
+
+let rounds_to_reach k =
+  let rec go t a b =
+    if a >= k || a >= saturation then t
+    else begin
+      let a', b' = step (a, b) in
+      go (t + 1) a' b'
+    end
+  in
+  go 0 1. 1.

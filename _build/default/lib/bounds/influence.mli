@@ -1,0 +1,29 @@
+(** The influence-set recurrences of Lemmas 3.2–3.4.
+
+    [a t] bounds the size of any processor's "affecting set"
+    [A(alg, i, t)] — the processors whose inputs can influence its
+    state after [t] rounds — and [b t] the reverse sets
+    [B(alg, i, t)]. Lemma 3.2 shows
+    [a (t+1) <= a t + (a t)² · b t], Lemma 3.3
+    [b (t+1) <= b t · (1 + 2 · a t)], and Lemma 3.4 closes the
+    induction with [a t, b t <= tow (2 t)]. This module iterates the
+    recurrences (saturating far above any count of interest) so the
+    tests can verify the Lemma 3.4 envelope numerically, and so
+    experiment E4 can print the growth table. *)
+
+type row = {
+  t : int;
+  a : float;  (** recurrence upper bound on [a t] (saturating). *)
+  b : float;  (** recurrence upper bound on [b t] (saturating). *)
+  tow2t : Tow.tower;  (** the Lemma 3.4 envelope [tow (2 t)]. *)
+  within_envelope : bool;  (** [a t <= tow 2t && b t <= tow 2t]. *)
+}
+
+val table : rounds:int -> row list
+(** [table ~rounds] iterates from [a 0 = b 0 = 1] for the given number
+    of rounds (row [t = 0] included). Values saturate at [1e300]. *)
+
+val rounds_to_reach : float -> int
+(** [rounds_to_reach k]: the first [t] at which the recurrence's [a t]
+    reaches [k] — an upper bound on how fast information can spread,
+    dual to {!Lower.latency_floor_count}. *)

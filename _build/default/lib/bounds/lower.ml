@@ -1,0 +1,19 @@
+(* Counting lower bounds (Section 3). See lower.mli. *)
+
+let latency_floor_count k =
+  if k < 1 then 0 else Tow.min_t_with_tow_ge k
+
+let contention_lb n =
+  let acc = ref 0 in
+  for k = 1 to n do
+    acc := !acc + latency_floor_count k
+  done;
+  !acc
+
+let diameter_lb ~diameter =
+  let h = diameter / 2 in
+  h * (h + 1) / 2
+
+let latency_floor_diameter ~diameter ~n ~k = max 0 ((diameter / 2) + k - n)
+
+let best_lb ~n ~diameter = max (contention_lb n) (diameter_lb ~diameter)

@@ -1,0 +1,32 @@
+(** Executable lower bounds on concurrent counting (Section 3).
+
+    These are the floors any counting algorithm must respect; the
+    experiments print them next to the measured cost of the best
+    counting protocol in the portfolio and check the measured cost
+    dominates. *)
+
+val latency_floor_count : int -> int
+(** Theorem 3.5 machinery: a processor that outputs count [k] has
+    delay at least the smallest [t] with [tow (2t) >= k]
+    (Lemmas 3.1 + 3.4) — asymptotically [log* k / 2]. *)
+
+val contention_lb : int -> int
+(** The Theorem 3.5 total-delay lower bound for [R = V] on {e any}
+    graph on [n] vertices, summed exactly:
+    [Σ_{k=1}^{n} latency_floor_count k] = [Ω(n log* n)]. (The paper
+    sums only [k >= n/2] for the asymptotic statement; summing all [k]
+    is the same bound with a better constant and still valid, since
+    every count in [{1..n}] is output by exactly one processor.) *)
+
+val diameter_lb : diameter:int -> int
+(** Theorem 3.6: with all [n] nodes counting on a graph of diameter
+    [α], node [v_k] (receiving count [k > n - α/2]) has delay at least
+    [α/2 + k - n]; summing gives [Σ_{j=1}^{⌊α/2⌋} j = Ω(α²)]. *)
+
+val latency_floor_diameter : diameter:int -> n:int -> k:int -> int
+(** The per-node floor in Theorem 3.6's proof: [max 0 (α/2 + k - n)]
+    (integer [α/2] taken as [floor]). *)
+
+val best_lb : n:int -> diameter:int -> int
+(** The better of {!contention_lb} and {!diameter_lb} — what E2/E3
+    compare measured counting costs against. *)

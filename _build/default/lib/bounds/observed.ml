@@ -1,0 +1,91 @@
+(* Observed influence sets from execution traces. See observed.mli. *)
+
+module Trace = Countq_simnet.Trace
+
+type growth = { rounds : int; max_influence : int array }
+
+let popcount_table =
+  lazy
+    (Array.init 256 (fun b ->
+         let rec bits x = if x = 0 then 0 else (x land 1) + bits (x lsr 1) in
+         bits b))
+
+let popcount bytes =
+  let table = Lazy.force popcount_table in
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + table.(Char.code c)) bytes;
+  !acc
+
+let of_trace ~n events =
+  if n < 1 then invalid_arg "Observed.of_trace: n must be >= 1";
+  let words = (n + 7) / 8 in
+  let sets =
+    Array.init n (fun i ->
+        let b = Bytes.make words '\000' in
+        Bytes.set b (i / 8) (Char.chr (1 lsl (i mod 8)));
+        b)
+  in
+  let horizon =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Trace.Received { round; _ }
+        | Trace.Queued_send { round; _ }
+        | Trace.Completed { round; _ } ->
+            max acc round)
+      0 events
+  in
+  let max_influence = Array.make (horizon + 1) 1 in
+  let current_max = ref 1 in
+  let union dst src =
+    for w = 0 to words - 1 do
+      Bytes.set dst w
+        (Char.chr (Char.code (Bytes.get dst w) lor Char.code (Bytes.get src w)))
+    done
+  in
+  (* A message carries its sender's influence set as of the moment it
+     was queued; links are FIFO, so snapshots pop in send order. *)
+  let in_flight : (int * int, Bytes.t Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let snapshots_of key =
+    match Hashtbl.find_opt in_flight key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace in_flight key q;
+        q
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Queued_send { node; dst; _ } ->
+          Queue.push (Bytes.copy sets.(node)) (snapshots_of (node, dst))
+      | Trace.Received { round; node; src } ->
+          let q = snapshots_of (src, node) in
+          let carried =
+            (* A missing snapshot means the trace started mid-run;
+               fall back to the sender's current set (conservative). *)
+            if Queue.is_empty q then sets.(src) else Queue.pop q
+          in
+          union sets.(node) carried;
+          let size = popcount sets.(node) in
+          if size > !current_max then current_max := size;
+          if !current_max > max_influence.(round) then
+            max_influence.(round) <- !current_max
+      | Trace.Completed _ -> ())
+    events;
+  (* Influence never shrinks: make the per-round maxima monotone. *)
+  for t = 1 to horizon do
+    if max_influence.(t) < max_influence.(t - 1) then
+      max_influence.(t) <- max_influence.(t - 1)
+  done;
+  { rounds = horizon; max_influence }
+
+let within_envelope g =
+  let ok = ref true in
+  Array.iteri
+    (fun t size ->
+      if not (Tow.tow_exceeds (2 * t) (float_of_int size -. 1.)) then
+        (* tow (2t) >= size must hold: tow > size - 1. *)
+        ok := false)
+    g.max_influence;
+  !ok

@@ -1,0 +1,42 @@
+(* Tower arithmetic and log* (Definition 3.4). See tow.mli. *)
+
+type tower = Finite of float | Huge of int
+
+(* tow 4 = 65536; tow 5 = 2^65536 overflows float (max ~2^1024). *)
+let tow j =
+  if j < 0 then invalid_arg "Tow.tow: negative height";
+  let rec go j acc =
+    if j = 0 then Finite acc
+    else if acc > 1023. then Huge j
+    else go (j - 1) (Float.pow 2. acc)
+  in
+  (* Iterate from the top: tow j = 2^(tow (j-1)). Build upward. *)
+  ignore go;
+  let rec build i acc =
+    if i >= j then Finite acc
+    else if acc > 1023. then Huge (j - i)
+      (* remaining exponentiations would overflow: tow j is "huge with
+         (j - i) twos above a float-range tower". *)
+    else build (i + 1) (Float.pow 2. acc)
+  in
+  build 0 1.
+
+let tow_exceeds j x =
+  match tow j with Finite v -> v > x | Huge _ -> true
+
+let log_star k =
+  if Float.is_nan k then invalid_arg "Tow.log_star: nan";
+  let rec go k i = if k <= 1. then i else go (Float.log2 k) (i + 1) in
+  go k 0
+
+let log_star_int k = log_star (float_of_int k)
+
+let min_t_with_tow_ge k =
+  let kf = float_of_int k in
+  let rec go t = if tow_exceeds (2 * t) (kf -. 1.) then t else go (t + 1) in
+  (* tow (2t) >= k  <=>  tow (2t) > k - 1 on integers-as-floats. *)
+  go 0
+
+let pp_tower ppf = function
+  | Finite v -> Format.fprintf ppf "%.0f" v
+  | Huge j -> Format.fprintf ppf "tow(%d)+" j

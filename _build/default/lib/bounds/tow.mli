@@ -1,0 +1,31 @@
+(** Tower arithmetic and iterated logarithms (Definition 3.4).
+
+    [tow j = 2^(2^(…^2))] ([j] twos) explodes past machine range at
+    [j = 5], so towers are represented symbolically above a finite
+    threshold; [log* k] is computed by direct iteration. *)
+
+type tower =
+  | Finite of float  (** exact (to float precision) value. *)
+  | Huge of int  (** [tow j] for a [j] whose value exceeds float range. *)
+
+val tow : int -> tower
+(** [tow j] for [j >= 0] ([tow 0 = 1]). *)
+
+val tow_exceeds : int -> float -> bool
+(** [tow_exceeds j x]: is [tow j > x]? Works for all [j]. *)
+
+val log_star : float -> int
+(** [log_star k] = min [i >= 0] such that applying [log2] [i] times to
+    [k] gives a value [<= 1] (Definition 3.4). [log_star 1. = 0],
+    [log_star 2. = 1], [log_star 16. = 3], [log_star 65536. = 4]. *)
+
+val log_star_int : int -> int
+(** {!log_star} on an integer argument. *)
+
+val min_t_with_tow_ge : int -> int
+(** [min_t_with_tow_ge k] = the smallest [t >= 0] with
+    [tow (2 t) >= k] — the latency floor of Theorem 3.5's proof: a
+    processor outputting count [k] has delay at least this. Equals
+    [ceil (log_star k / 2)] for [k >= 2]. *)
+
+val pp_tower : Format.formatter -> tower -> unit

@@ -1,0 +1,1 @@
+lib/core/growth.ml: Format List

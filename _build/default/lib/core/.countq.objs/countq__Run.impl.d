@@ -1,0 +1,1 @@
+lib/core/run.ml: Countq_arrow Countq_counting Countq_queuing Countq_topology List Result

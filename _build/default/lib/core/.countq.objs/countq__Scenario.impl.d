@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Countq_topology Countq_util Float List Printf String

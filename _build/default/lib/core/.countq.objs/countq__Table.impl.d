@@ -1,0 +1,1 @@
+lib/core/table.ml: Buffer Format List Printf String

@@ -1,0 +1,128 @@
+(** The paper-reproduction experiments (E1–E13).
+
+    The paper's evaluation is its theorems; each experiment regenerates
+    one claim as a measured table (see DESIGN.md's experiment index).
+    Every function takes [?quick] — [true] shrinks the sweep for use in
+    test suites — and returns a renderable {!Table.t}. *)
+
+type spec = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : ?quick:bool -> unit -> Table.t;
+}
+
+val e1_model_demo : ?quick:bool -> unit -> Table.t
+(** Fig. 1: counting ranks and queuing predecessors for one concrete
+    one-shot run on a small mesh, both validated. *)
+
+val e2_counting_lb_general : ?quick:bool -> unit -> Table.t
+(** Theorem 3.5: measured cost of the best counting protocol on K_n
+    versus the exact [Ω(n log* n)] sum. *)
+
+val e3_counting_lb_diameter : ?quick:bool -> unit -> Table.t
+(** Theorem 3.6: counting on the list and the 2-D mesh versus the
+    [Ω(α²)] floor. *)
+
+val e4_influence_growth : ?quick:bool -> unit -> Table.t
+(** Lemmas 3.2–3.4: the influence-set recurrence against the
+    [tow(2t)] envelope. *)
+
+val e5_arrow_vs_tsp : ?quick:bool -> unit -> Table.t
+(** Theorem 4.1: measured arrow cost versus twice the
+    nearest-neighbour TSP, across topologies and request densities. *)
+
+val e6_list_tsp : ?quick:bool -> unit -> Table.t
+(** Lemma 4.3 / Fig. 2: nearest-neighbour tours on the list against
+    the [3n] ceiling, with the run-decomposition certificate. *)
+
+val e7_mary_tree_tsp : ?quick:bool -> unit -> Table.t
+(** Theorem 4.7 / Fig. 3 / Theorem 4.12: nearest-neighbour tours on
+    perfect m-ary trees stay [O(n)]. *)
+
+val e8_nn_approximation : ?quick:bool -> unit -> Table.t
+(** Corollary 4.2: tours on constant-degree random trees versus
+    [O(n log k)], and measured NN/optimal ratios versus the
+    Rosenkrantz [log k] guarantee (Held–Karp optima). *)
+
+val e9_hamilton_separation : ?quick:bool -> unit -> Table.t
+(** Theorem 4.5 / Lemma 4.6 — the headline: queuing versus counting
+    total delay on K_n, the mesh and the hypercube; the ratio must
+    grow with n. *)
+
+val e10_high_diameter_separation : ?quick:bool -> unit -> Table.t
+(** Theorem 4.13: the separation on high-diameter constant-degree
+    graphs (caterpillars). *)
+
+val e11_star_no_separation : ?quick:bool -> unit -> Table.t
+(** Section 5: on the star, counting and queuing are both Θ(n²) — the
+    ratio stays bounded instead of growing. *)
+
+val e12_ordered_multicast : ?quick:bool -> unit -> Table.t
+(** Section 1's application: end-to-end ordered-multicast latency,
+    queuing-based versus counting-based. *)
+
+val e13_long_lived_arrow : ?quick:bool -> unit -> Table.t
+(** Kuhn–Wattenhofer extension: arrow under staggered arrivals stays
+    stable with bounded per-operation delay. *)
+
+val e14_arbiter_ablation : ?quick:bool -> unit -> Table.t
+(** Ablation: how the model's message-arbitration policy (fair
+    round-robin vs adversarial fixed-priority) moves the delays. *)
+
+val e15_network_width_ablation : ?quick:bool -> unit -> Table.t
+(** Ablation: bitonic-network width — contention versus pipeline
+    depth. *)
+
+val e16_arrow_tree_ablation : ?quick:bool -> unit -> Table.t
+(** Ablation: the arrow protocol on Hamilton-path vs BFS vs DFS
+    spanning trees (why Theorem 4.5 picks the path). *)
+
+val e17_notify_overhead : ?quick:bool -> unit -> Table.t
+(** Ablation: the cost of routing each discovered predecessor back to
+    its origin (the variant applications consume). *)
+
+val e18_async_sensitivity : ?quick:bool -> unit -> Table.t
+(** The general asynchronous model of Section 2.1: safety under
+    constant/jittered/adversarial link delays, for both problems. *)
+
+val e19_fetch_add : ?quick:bool -> unit -> Table.t
+(** The Section 5 open-question direction: distributed fetch&add costs
+    exactly what counting costs in the same structures. *)
+
+val e20_network_families : ?quick:bool -> unit -> Table.t
+(** Ablation: bitonic vs periodic counting networks, embedded on the
+    same graph. *)
+
+val e21_expansion_soundness : ?quick:bool -> unit -> Table.t
+(** Section 2.1's simulation claim, measured: arrow in the strict
+    base model costs at most [c] times its expanded-step cost. *)
+
+val e22_other_networks : ?quick:bool -> unit -> Table.t
+(** Beyond the paper's named families: the separation measured on
+    de Bruijn graphs, cube-connected cycles, butterflies, random
+    regular graphs and tori. *)
+
+val e23_observed_influence : ?quick:bool -> unit -> Table.t
+(** Section 3's influence sets [A(i, t)] replayed on real executions:
+    counting's must reach [|R|]; the arrow's stay tiny. *)
+
+val e24_queuing_ablation : ?quick:bool -> unit -> Table.t
+(** Queuing-side ablation: the arrow against the folk baselines it
+    displaced — the central queue and the circulating token — across
+    request densities. *)
+
+val e25_growth_exponents : ?quick:bool -> unit -> Table.t
+(** Fit [cost ~ c·n^e] on R = V sweeps and compare the measured
+    exponents with the theorems' predictions — the separations as
+    single numbers. *)
+
+val e26_exhaustive_verification : ?quick:bool -> unit -> Table.t
+(** Model-check the Section 2.2 safety specifications on every
+    asynchronous interleaving of small instances. *)
+
+val all : spec list
+(** Every experiment, in id order. *)
+
+val find : string -> spec option
+(** Look up by id (case-insensitive). *)

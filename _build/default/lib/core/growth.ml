@@ -1,0 +1,47 @@
+(* Power-law fitting in log-log space. See growth.mli. *)
+
+type fit = {
+  exponent : float;
+  coefficient : float;
+  r_squared : float;
+  points : int;
+}
+
+let fit_power_law series =
+  let usable =
+    List.filter_map
+      (fun (n, cost) ->
+        if n > 0 && cost > 0 then
+          Some (log (float_of_int n), log (float_of_int cost))
+        else None)
+      series
+  in
+  let k = List.length usable in
+  if k < 2 then
+    invalid_arg "Growth.fit_power_law: need at least two positive points";
+  let kf = float_of_int k in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. usable in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. usable in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. usable in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. usable in
+  let denom = (kf *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then
+    invalid_arg "Growth.fit_power_law: all points share one n";
+  let exponent = ((kf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (exponent *. sx)) /. kf in
+  let mean_y = sy /. kf in
+  let ss_tot =
+    List.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.)) 0. usable
+  in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let p = intercept +. (exponent *. x) in
+        a +. ((y -. p) ** 2.))
+      0. usable
+  in
+  let r_squared = if ss_tot < 1e-12 then 1.0 else 1. -. (ss_res /. ss_tot) in
+  { exponent; coefficient = exp intercept; r_squared; points = k }
+
+let pp_fit ppf f =
+  Format.fprintf ppf "n^%.2f (R2=%.3f)" f.exponent f.r_squared

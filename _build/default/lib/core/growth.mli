@@ -1,0 +1,26 @@
+(** Growth-exponent estimation: turn (n, cost) series into measured
+    asymptotic shapes.
+
+    The paper's claims are about growth rates — counting on the list is
+    Θ(n²), queuing on Hamilton-path graphs is Θ(n), their ratio
+    diverges. Fitting [cost ≈ c · n^e] by least squares on
+    [log cost = log c + e · log n] gives a numeric exponent [e] and an
+    R² for how power-law-like the series is; experiment E25 prints
+    these next to the theorems' predicted exponents. *)
+
+type fit = {
+  exponent : float;  (** the fitted power [e]. *)
+  coefficient : float;  (** the fitted constant [c]. *)
+  r_squared : float;  (** goodness of fit in log–log space. *)
+  points : int;
+}
+
+val fit_power_law : (int * int) list -> fit
+(** [fit_power_law series] fits [cost = c · n^e] over the given
+    [(n, cost)] points by ordinary least squares in log–log space.
+    Points with [n <= 0] or [cost <= 0] are dropped (log-undefined);
+    at least two usable points are required.
+    @raise Invalid_argument otherwise. *)
+
+val pp_fit : Format.formatter -> fit -> unit
+(** Prints ["n^e (R²=…)"]. *)

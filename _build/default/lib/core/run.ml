@@ -1,0 +1,113 @@
+(* Uniform protocol drivers. See run.mli. *)
+
+module Graph = Countq_topology.Graph
+module Spanning = Countq_topology.Spanning
+module Counting = Countq_counting
+module Arrow = Countq_arrow
+module Queuing = Countq_queuing
+
+type kind = Counting | Queuing
+
+type counting_protocol = [ `Central | `Combining | `Network | `Sweep ]
+type queuing_protocol = [ `Arrow | `Arrow_notify | `Central | `Token_ring ]
+
+let counting_protocol_name = function
+  | `Central -> "count/central"
+  | `Combining -> "count/combining"
+  | `Network -> "count/network"
+  | `Sweep -> "count/sweep"
+
+let queuing_protocol_name = function
+  | `Arrow -> "queue/arrow"
+  | `Arrow_notify -> "queue/arrow+notify"
+  | `Central -> "queue/central"
+  | `Token_ring -> "queue/token-ring"
+
+type summary = {
+  protocol : string;
+  kind : kind;
+  n : int;
+  k : int;
+  total_delay : int;
+  normalized_delay : int;
+  max_delay : int;
+  rounds : int;
+  messages : int;
+  expansion : int;
+  valid : bool;
+}
+
+let counting ?tree ?width ~graph ~protocol ~requests () =
+  let result =
+    match protocol with
+    | `Central -> Counting.Central.run ~graph ~requests ()
+    | `Combining ->
+        let tree =
+          match tree with Some t -> t | None -> Spanning.bfs graph ~root:0
+        in
+        Counting.Combining.run ~tree ~requests ()
+    | `Network -> Counting.Network.run ?width ~graph ~requests ()
+    | `Sweep ->
+        let tree =
+          match tree with
+          | Some t -> t
+          | None -> Spanning.best_for_arrow graph
+        in
+        Counting.Sweep.run ~tree ~requests ()
+  in
+  {
+    protocol = counting_protocol_name protocol;
+    kind = Counting;
+    n = Graph.n graph;
+    k = List.length requests;
+    total_delay = result.total_delay;
+    normalized_delay = result.total_delay * result.expansion;
+    max_delay = result.max_delay;
+    rounds = result.rounds;
+    messages = result.messages;
+    expansion = result.expansion;
+    valid = Result.is_ok result.valid;
+  }
+
+let queuing ?tree ~graph ~protocol ~requests () =
+  let result =
+    match protocol with
+    | (`Arrow | `Arrow_notify) as p ->
+        let tree =
+          match tree with Some t -> t | None -> Spanning.best_for_arrow graph
+        in
+        Arrow.Protocol.run_one_shot ~tree ~notify:(p = `Arrow_notify) ~requests
+          ()
+    | `Central -> Queuing.Central_queue.run ~graph ~requests ()
+    | `Token_ring ->
+        let tree =
+          match tree with Some t -> t | None -> Spanning.best_for_arrow graph
+        in
+        Queuing.Token_ring.run ~tree ~requests ()
+  in
+  {
+    protocol = queuing_protocol_name protocol;
+    kind = Queuing;
+    n = Graph.n graph;
+    k = List.length requests;
+    total_delay = result.total_delay;
+    normalized_delay = result.total_delay * result.expansion;
+    max_delay = result.max_delay;
+    rounds = result.rounds;
+    messages = result.messages;
+    expansion = result.expansion;
+    valid = Result.is_ok result.order;
+  }
+
+let best_counting ~graph ~requests =
+  let candidates =
+    List.map
+      (fun protocol -> counting ~graph ~protocol ~requests ())
+      [ `Central; `Combining; `Network; `Sweep ]
+  in
+  match
+    List.sort (fun a b -> compare a.normalized_delay b.normalized_delay)
+      (List.filter (fun s -> s.valid) candidates)
+  with
+  | best :: _ -> best
+  | [] -> invalid_arg "Run.best_counting: every counting protocol failed"

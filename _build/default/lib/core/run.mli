@@ -1,0 +1,63 @@
+(** Uniform one-shot drivers over every protocol in the portfolio.
+
+    The normalisation rule makes cross-protocol comparison honest: a
+    protocol run with an expanded step of width [c] (receive capacity
+    [c] > 1, used by the tree protocols exactly as Section 4 allows) has
+    its delays multiplied by [c], because one expanded step is
+    simulable by [c] base-model steps. Base-model runs ([c = 1]) are
+    unchanged. All separations reported by the experiments use the
+    normalised totals. *)
+
+type kind = Counting | Queuing
+
+type counting_protocol = [ `Central | `Combining | `Network | `Sweep ]
+
+type queuing_protocol = [ `Arrow | `Arrow_notify | `Central | `Token_ring ]
+
+val counting_protocol_name : counting_protocol -> string
+val queuing_protocol_name : queuing_protocol -> string
+
+type summary = {
+  protocol : string;
+  kind : kind;
+  n : int;  (** vertices in the graph. *)
+  k : int;  (** number of requests. *)
+  total_delay : int;  (** raw, in (possibly expanded) rounds. *)
+  normalized_delay : int;  (** [total_delay * expansion]. *)
+  max_delay : int;
+  rounds : int;
+  messages : int;
+  expansion : int;
+  valid : bool;  (** output met the problem specification. *)
+}
+
+val counting :
+  ?tree:Countq_topology.Tree.t ->
+  ?width:int ->
+  graph:Countq_topology.Graph.t ->
+  protocol:counting_protocol ->
+  requests:int list ->
+  unit ->
+  summary
+(** Run a counting protocol. [tree] (for [`Combining]) defaults to the
+    BFS spanning tree rooted at 0 and (for [`Sweep]) to the arrow
+    protocol's preferred spanning tree (a Hamilton path where one is
+    known, which makes the sweep a single pass); [width] (for
+    [`Network]) defaults to [Network.default_width]. *)
+
+val queuing :
+  ?tree:Countq_topology.Tree.t ->
+  graph:Countq_topology.Graph.t ->
+  protocol:queuing_protocol ->
+  requests:int list ->
+  unit ->
+  summary
+(** Run a queuing protocol. [tree] (for the arrow variants and the
+    token ring) defaults to [Spanning.best_for_arrow graph]. *)
+
+val best_counting :
+  graph:Countq_topology.Graph.t -> requests:int list -> summary
+(** The cheapest (by normalised total delay) of the counting portfolio
+    on this instance — what the experiments compare against: the
+    Section 3 lower bounds must sit below it, and on the separation
+    topologies the arrow protocol's cost must sit below it too. *)

@@ -1,0 +1,121 @@
+(* Scenario-string parsing. See scenario.mli. *)
+
+module Gen = Countq_topology.Gen
+module Graph = Countq_topology.Graph
+module Rng = Countq_util.Rng
+
+type error = [ `Msg of string ]
+
+let known_topologies =
+  [
+    "complete"; "path"; "list"; "cycle"; "star"; "mesh"; "hypercube"; "torus";
+    "binary-tree"; "caterpillar"; "random-tree"; "random-regular"; "de-bruijn";
+    "ccc"; "butterfly";
+  ]
+
+let err fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt
+
+let split_spec spec =
+  match String.index_opt spec ':' with
+  | None -> (spec, None)
+  | Some i ->
+      ( String.sub spec 0 i,
+        Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+
+let parse_size name = function
+  | None -> Ok 64
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> err "%s: size %S is not a positive integer" name s)
+
+let log2_ceil n =
+  let rec go p e = if p >= n then e else go (p * 2) (e + 1) in
+  go 1 0
+
+let topology ?(seed = 0x5ce9a1L) spec =
+  let name, arg = split_spec (String.lowercase_ascii (String.trim spec)) in
+  match parse_size name arg with
+  | Error e -> Error e
+  | Ok n -> (
+      match name with
+      | "complete" -> Ok (Printf.sprintf "complete-%d" n, Gen.complete n)
+      | "path" | "list" -> Ok (Printf.sprintf "path-%d" n, Gen.path n)
+      | "cycle" ->
+          let n = max 3 n in
+          Ok (Printf.sprintf "cycle-%d" n, Gen.cycle n)
+      | "star" ->
+          let n = max 2 n in
+          Ok (Printf.sprintf "star-%d" n, Gen.star n)
+      | "mesh" ->
+          let s = max 1 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+          Ok (Printf.sprintf "mesh-%dx%d" s s, Gen.square_mesh s)
+      | "torus" ->
+          let s = max 3 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+          Ok (Printf.sprintf "torus-%dx%d" s s, Gen.torus ~dims:[ s; s ])
+      | "hypercube" ->
+          let d = max 1 (log2_ceil n) in
+          Ok (Printf.sprintf "hypercube-%d" d, Gen.hypercube d)
+      | "de-bruijn" ->
+          let d = max 1 (log2_ceil n) in
+          Ok (Printf.sprintf "de-bruijn-%d" d, Gen.de_bruijn d)
+      | "ccc" ->
+          let rec fit d =
+            if d * (1 lsl d) >= n || d > 16 then d else fit (d + 1)
+          in
+          let d = fit 3 in
+          Ok (Printf.sprintf "ccc-%d" d, Gen.cube_connected_cycles d)
+      | "butterfly" ->
+          let rec fit d =
+            if (d + 1) * (1 lsl d) >= n || d > 16 then d else fit (d + 1)
+          in
+          let d = fit 1 in
+          Ok (Printf.sprintf "butterfly-%d" d, Gen.butterfly d)
+      | "binary-tree" ->
+          Ok (Printf.sprintf "binary-tree-%d" n, Gen.balanced_tree_on ~arity:2 n)
+      | "caterpillar" ->
+          let spine = max 1 (n / 2) in
+          Ok
+            ( Printf.sprintf "caterpillar-%d" spine,
+              Gen.caterpillar ~spine ~legs:1 )
+      | "random-tree" ->
+          Ok (Printf.sprintf "random-tree-%d" n, Gen.random_tree (Rng.create seed) n)
+      | "random-regular" ->
+          let n = if n * 4 mod 2 = 0 then max 5 n else max 5 (n + 1) in
+          Ok
+            ( Printf.sprintf "random-4-regular-%d" n,
+              Gen.random_regular (Rng.create seed) ~n ~degree:4 )
+      | other -> err "unknown topology %S (try: %s)" other (String.concat ", " known_topologies))
+
+let explicit_nodes ~n s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.sort_uniq compare acc)
+    | p :: rest -> (
+        match int_of_string_opt (String.trim p) with
+        | Some v when v >= 0 && v < n -> go (v :: acc) rest
+        | _ -> err "nodes: %S is not a vertex id below %d" p n)
+  in
+  go [] parts
+
+let requests ?(seed = 0x5ce9a2L) ~n spec =
+  let name, arg = split_spec (String.lowercase_ascii (String.trim spec)) in
+  let sample k =
+    let k = max 0 (min n k) in
+    if k >= n then Ok (List.init n (fun i -> i))
+    else Ok (Rng.sample (Rng.create seed) ~k ~n)
+  in
+  match (name, arg) with
+  | "all", None -> Ok (List.init n (fun i -> i))
+  | "half", None -> sample (max 1 (n / 2))
+  | "k", Some s -> (
+      match int_of_string_opt s with
+      | Some k when k >= 0 -> sample k
+      | _ -> err "k: %S is not a non-negative integer" s)
+  | "density", Some s -> (
+      match float_of_string_opt s with
+      | Some d when d >= 0. && d <= 1. ->
+          sample (max 1 (int_of_float (d *. float_of_int n)))
+      | _ -> err "density: %S is not in [0, 1]" s)
+  | "nodes", Some s -> explicit_nodes ~n s
+  | _ -> err "unknown request pattern %S (all | half | k:K | density:D | nodes:v,v,…)" spec

@@ -1,0 +1,38 @@
+(** Scenario specifications: parse compact strings like
+    ["mesh:256"] / ["complete:128"] / ["all"] / ["density:0.3"] into
+    topologies and request sets.
+
+    This is the single place the CLI, examples and scripts translate a
+    human-written instance description into a graph and a request set,
+    with deterministic seeding. The grammar:
+
+    {v
+    topology  ::= NAME [ ":" N ]          default N = 64
+    NAME      ::= complete | path | list | cycle | star | mesh
+                | hypercube | torus | binary-tree | caterpillar
+                | random-tree | random-regular | de-bruijn | ccc
+                | butterfly
+    requests  ::= "all" | "half" | "k:" K | "density:" D | "nodes:" v,v,…
+    v}
+
+    For families with structural constraints (mesh sides, hypercube and
+    de Bruijn powers of two, CCC/butterfly dimensions) [N] is rounded to
+    the nearest realisable size [>= the requested one where possible]. *)
+
+type error = [ `Msg of string ]
+
+val topology :
+  ?seed:int64 -> string -> (string * Countq_topology.Graph.t, error) result
+(** [topology spec] builds the graph; returns the canonical name with
+    the realised size (e.g. ["mesh:256 -> mesh-16x16"]) alongside it.
+    [seed] feeds the random families (default a fixed seed, so specs
+    are reproducible). *)
+
+val requests :
+  ?seed:int64 -> n:int -> string -> (int list, error) result
+(** [requests ~n spec] builds the request set for an [n]-vertex graph.
+    ["half"] and ["density:…"] sample uniformly with the given seed;
+    ["nodes:…"] takes an explicit comma-separated list. *)
+
+val known_topologies : string list
+(** The accepted family names (for help strings). *)

@@ -1,0 +1,41 @@
+(** Result tables: the uniform shape every experiment produces, with
+    aligned-text and CSV renderers. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "E5". *)
+  title : string;
+  paper_ref : string;  (** the theorem/lemma/figure reproduced. *)
+  headers : string list;
+  rows : string list list;
+  notes : string list;  (** caveats and reading guidance. *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  paper_ref:string ->
+  headers:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+(** Cell formatting helpers ("yes"/"NO" for booleans, so failures jump
+    out of a table). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render with aligned columns, a title banner and the notes. *)
+
+val to_csv : t -> string
+(** Headers then rows, comma-separated with minimal quoting. *)
+
+val to_markdown : t -> string
+(** A GitHub-flavoured markdown section: an [##] heading with the id
+    and title, the paper reference, a pipe table, and the notes as a
+    bullet list. Pipe characters in cells are escaped. Used by the
+    [countq report] subcommand to regenerate a full results document. *)
+
+val print : t -> unit
+(** [pp] to stdout. *)

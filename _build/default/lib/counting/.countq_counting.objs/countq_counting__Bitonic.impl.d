@@ -1,0 +1,1 @@
+lib/counting/bitonic.ml: Array List

@@ -1,0 +1,1 @@
+lib/counting/bitonic.mli:

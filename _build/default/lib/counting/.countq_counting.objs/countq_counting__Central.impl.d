@@ -1,0 +1,1 @@
+lib/counting/central.ml: Array Countq_simnet Countq_topology Counts List Option

@@ -1,0 +1,1 @@
+lib/counting/central.mli: Countq_simnet Countq_topology Counts

@@ -1,0 +1,1 @@
+lib/counting/combining.ml: Array Countq_simnet Countq_topology Counts List

@@ -1,0 +1,1 @@
+lib/counting/combining.mli: Countq_simnet Countq_topology Counts

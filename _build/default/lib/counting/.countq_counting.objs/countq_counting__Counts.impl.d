@@ -1,0 +1,1 @@
+lib/counting/counts.ml: Countq_simnet Format Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/counting/counts.mli: Countq_simnet Format

@@ -1,0 +1,1 @@
+lib/counting/fetch_add.ml: Array Countq_simnet Countq_topology Format Hashtbl List Option Sweep

@@ -1,0 +1,1 @@
+lib/counting/fetch_add.mli: Countq_simnet Countq_topology Format

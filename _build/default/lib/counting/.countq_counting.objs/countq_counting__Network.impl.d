@@ -1,0 +1,1 @@
+lib/counting/network.ml: Array Bitonic Countq_simnet Countq_topology Countq_util Counts Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/counting/network.mli: Bitonic Countq_simnet Countq_topology Counts

@@ -1,0 +1,1 @@
+lib/counting/periodic.ml: Array Bitonic List

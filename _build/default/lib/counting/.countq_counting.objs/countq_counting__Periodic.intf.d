@@ -1,0 +1,1 @@
+lib/counting/periodic.mli: Bitonic

@@ -1,0 +1,1 @@
+lib/counting/sweep.ml: Array Countq_simnet Countq_topology Counts List Option

@@ -1,0 +1,1 @@
+lib/counting/sweep.mli: Countq_simnet Countq_topology Counts

@@ -1,0 +1,172 @@
+(* Bitonic counting network (Aspnes-Herlihy-Shavit, JACM 94), built by
+   the recursive Merger construction. See bitonic.mli. *)
+
+type dest = To_balancer of int | To_output of int
+
+type balancer = { id : int; succ_top : dest; succ_bot : dest; layer : int }
+
+type t = {
+  width : int;
+  balancers : balancer array;
+  entry : dest array;
+  depth : int;
+}
+
+let is_pow2 w = w >= 1 && w land (w - 1) = 0
+
+(* Balancers under construction: successors known at creation (we build
+   from outputs back toward inputs), layers computed afterwards. *)
+type builder = { mutable next_id : int; mutable acc : (int * dest * dest) list }
+
+let new_balancer b ~succ_top ~succ_bot =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.acc <- (id, succ_top, succ_bot) :: b.acc;
+  id
+
+(* Merger[w] with output destinations [outs]; returns the w input
+   destinations, ordered x_0..x_{k-1} (top half) then y_0..y_{k-1}.
+   AHS wiring: x_even and y_odd feed the first sub-merger, x_odd and
+   y_even the second; sub-merger outputs z_i, z'_i meet in a final
+   balancer whose outputs are wires 2i and 2i+1. *)
+let rec make_merger b w (outs : dest array) : dest array =
+  if w = 2 then begin
+    let id = new_balancer b ~succ_top:outs.(0) ~succ_bot:outs.(1) in
+    [| To_balancer id; To_balancer id |]
+  end
+  else begin
+    let k = w / 2 in
+    let finals =
+      Array.init (k)
+        (fun i ->
+          new_balancer b ~succ_top:outs.(2 * i) ~succ_bot:outs.((2 * i) + 1))
+    in
+    let sub_outs = Array.init k (fun i -> To_balancer finals.(i)) in
+    let top_ins = make_merger b k (Array.copy sub_outs) in
+    let bot_ins = make_merger b k (Array.copy sub_outs) in
+    let ins = Array.make w (To_output (-1)) in
+    for i = 0 to k - 1 do
+      (* x_i : even-indexed x's go to the first sub-merger's x slots. *)
+      if i mod 2 = 0 then ins.(i) <- top_ins.(i / 2)
+      else ins.(i) <- bot_ins.(i / 2)
+    done;
+    for i = 0 to k - 1 do
+      (* y_i : odd-indexed y's go to the first sub-merger's y slots. *)
+      if i mod 2 = 1 then ins.(k + i) <- top_ins.((k / 2) + (i / 2))
+      else ins.(k + i) <- bot_ins.((k / 2) + (i / 2))
+    done;
+    ins
+  end
+
+let rec make_bitonic b w (outs : dest array) : dest array =
+  if w = 1 then outs
+  else begin
+    let merged_ins = make_merger b w outs in
+    let top = make_bitonic b (w / 2) (Array.sub merged_ins 0 (w / 2)) in
+    let bot = make_bitonic b (w / 2) (Array.sub merged_ins (w / 2) (w / 2)) in
+    Array.append top bot
+  end
+
+let make ~width ~succ ~entry =
+  if not (is_pow2 width) then
+    invalid_arg "Bitonic.make: width must be a power of two >= 1";
+  if Array.length entry <> width then invalid_arg "Bitonic.make: entry size";
+  let n = Array.length succ in
+  let check = function
+    | To_output w -> if w < 0 || w >= width then invalid_arg "Bitonic.make: bad output wire"
+    | To_balancer id -> if id < 0 || id >= n then invalid_arg "Bitonic.make: dangling id"
+  in
+  Array.iter
+    (fun (a, b) ->
+      check a;
+      check b)
+    succ;
+  Array.iter check entry;
+  (* Layers: longest distance from any network input, by memoised
+     relaxation from the entries (layered constructions converge in one
+     pass per layer). *)
+  let layer = Array.make n (-1) in
+  let rec relax d target =
+    match target with
+    | To_output _ -> ()
+    | To_balancer id ->
+        if d > layer.(id) then begin
+          layer.(id) <- d;
+          let st, sb = succ.(id) in
+          relax (d + 1) st;
+          relax (d + 1) sb
+        end
+  in
+  Array.iter (fun dst -> relax 0 dst) entry;
+  let balancers =
+    Array.init n (fun id ->
+        let succ_top, succ_bot = succ.(id) in
+        { id; succ_top; succ_bot; layer = layer.(id) })
+  in
+  let depth =
+    Array.fold_left (fun acc (bal : balancer) -> max acc (bal.layer + 1)) 0
+      balancers
+  in
+  { width; balancers; entry; depth }
+
+let create ~width =
+  if not (is_pow2 width) then
+    invalid_arg "Bitonic.create: width must be a power of two >= 1";
+  let b = { next_id = 0; acc = [] } in
+  let outs = Array.init width (fun i -> To_output i) in
+  let entry = make_bitonic b width outs in
+  let succ = Array.make b.next_id (To_output (-1), To_output (-1)) in
+  List.iter (fun (id, st, sb) -> succ.(id) <- (st, sb)) b.acc;
+  make ~width ~succ ~entry
+
+let width t = t.width
+let size t = Array.length t.balancers
+let depth t = t.depth
+let balancers t = t.balancers
+
+let entry t ~wire =
+  if wire < 0 || wire >= t.width then invalid_arg "Bitonic.entry: wire";
+  t.entry.(wire)
+
+module State = struct
+  type network = t
+
+  type t = { net : network; toggles : bool array; exits : int array }
+
+  let create net =
+    {
+      net;
+      toggles = Array.make (max 1 (size net)) false;
+      exits = Array.make net.width 0;
+    }
+
+  let push st ~wire =
+    if wire < 0 || wire >= st.net.width then
+      invalid_arg "Bitonic.State.push: wire";
+    let rec go = function
+      | To_output w ->
+          st.exits.(w) <- st.exits.(w) + 1;
+          w
+      | To_balancer id ->
+          let fired = st.toggles.(id) in
+          st.toggles.(id) <- not fired;
+          let b = st.net.balancers.(id) in
+          go (if fired then b.succ_bot else b.succ_top)
+    in
+    go st.net.entry.(wire)
+
+  let exit_counts st = Array.copy st.exits
+
+  let has_step_property st =
+    let w = st.net.width in
+    let ok = ref true in
+    for i = 0 to w - 1 do
+      for j = i + 1 to w - 1 do
+        let d = st.exits.(i) - st.exits.(j) in
+        if d < 0 || d > 1 then ok := false
+      done
+    done;
+    !ok
+end
+
+let count_of_exit ~width ~wire ~nth = wire + (nth * width) + 1

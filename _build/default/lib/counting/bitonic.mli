@@ -1,0 +1,85 @@
+(** The bitonic counting network of Aspnes, Herlihy and Shavit
+    ("Counting Networks", JACM 41(5), 1994) — the paper's canonical
+    prior-art counting structure.
+
+    A balancer is a two-input, two-output toggle: successive tokens
+    leave on alternating output wires, the first on the {e top} output.
+    A balancing network is a {e counting network} when in every
+    quiescent state the numbers of tokens that have exited its output
+    wires [y_0 … y_{w-1}] satisfy the {e step property}:
+    [0 <= y_i - y_j <= 1] for [i < j]. [Bitonic[w]] — two [Bitonic[w/2]]
+    networks feeding a [Merger[w]] — is a counting network of width [w]
+    with [w (log w)(log w + 1) / 4] balancers and depth
+    [(log w)(log w + 1) / 2].
+
+    The network is represented as a DAG of balancers (the recursive
+    construction wires sub-mergers through explicit permutations, so a
+    flat layered picture would obscure it). This module is the pure
+    structure plus a sequential token-driving harness for the property
+    tests; the distributed message-passing embedding lives in
+    {!Network}. *)
+
+type dest =
+  | To_balancer of int  (** id of the next balancer. *)
+  | To_output of int  (** network output wire. *)
+
+type balancer = {
+  id : int;
+  succ_top : dest;  (** where the 1st, 3rd, 5th… token goes. *)
+  succ_bot : dest;  (** where the 2nd, 4th, 6th… token goes. *)
+  layer : int;  (** longest distance from any network input. *)
+}
+
+type t
+(** An immutable bitonic network. *)
+
+val create : width:int -> t
+(** [create ~width] builds [Bitonic[width]].
+    @raise Invalid_argument unless [width] is a power of two >= 1. *)
+
+val make :
+  width:int -> succ:(dest * dest) array -> entry:dest array -> t
+(** [make ~width ~succ ~entry] wraps an arbitrary balancing-network
+    DAG in this module's representation (balancer [id]'s outputs are
+    [succ.(id)]); layers and depth are recomputed. Used by {!Periodic}
+    and by tests; it does NOT check the counting property — drive
+    tokens through {!State} to test that.
+    @raise Invalid_argument on dangling ids or out-of-range outputs. *)
+
+val width : t -> int
+
+val size : t -> int
+(** Total number of balancers ([0] when [width = 1]). *)
+
+val depth : t -> int
+(** Number of layers on the longest input-to-output path. *)
+
+val balancers : t -> balancer array
+(** All balancers, indexed by [id]. Owned by the network. *)
+
+val entry : t -> wire:int -> dest
+(** Where a token injected on input [wire] goes first. *)
+
+(** Mutable toggle state for driving tokens through a network. *)
+module State : sig
+  type network = t
+  type t
+
+  val create : network -> t
+
+  val push : t -> wire:int -> int
+  (** [push st ~wire] sends one token in on input [wire] and returns
+      the output wire it exits on, flipping the toggles it traverses. *)
+
+  val exit_counts : t -> int array
+  (** Tokens that have exited each output wire so far. *)
+
+  val has_step_property : t -> bool
+  (** Whether {!exit_counts} currently satisfies the step property. *)
+end
+
+val count_of_exit : width:int -> wire:int -> nth:int -> int
+(** [count_of_exit ~width ~wire ~nth] is the rank handed to the [nth]
+    token (0-based) exiting output [wire]: [wire + nth * width + 1].
+    With the step property this enumerates exactly [{1 .. m}] over all
+    exits at quiescence. *)

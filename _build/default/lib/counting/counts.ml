@@ -1,0 +1,90 @@
+(* Counting outcome validation. See counts.mli. *)
+
+module Engine = Countq_simnet.Engine
+
+type outcome = { node : int; count : int; round : int }
+
+type error =
+  | Unrequested_count of int
+  | Duplicate_node of int
+  | Missing_node of int
+  | Bad_count_set
+
+let pp_error ppf = function
+  | Unrequested_count v ->
+      Format.fprintf ppf "non-requesting node %d received a count" v
+  | Duplicate_node v -> Format.fprintf ppf "node %d received two counts" v
+  | Missing_node v -> Format.fprintf ppf "requesting node %d got no count" v
+  | Bad_count_set ->
+      Format.pp_print_string ppf "counts are not exactly {1..|R|}"
+
+let validate ~requests outcomes =
+  let exception E of error in
+  try
+    let module S = Set.Make (Int) in
+    let request_set = S.of_list requests in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun o ->
+        if not (S.mem o.node request_set) then raise (E (Unrequested_count o.node));
+        if Hashtbl.mem seen o.node then raise (E (Duplicate_node o.node));
+        Hashtbl.replace seen o.node ())
+      outcomes;
+    S.iter
+      (fun v -> if not (Hashtbl.mem seen v) then raise (E (Missing_node v)))
+      request_set;
+    let k = List.length outcomes in
+    let counts = List.sort compare (List.map (fun o -> o.count) outcomes) in
+    let expected = List.init k (fun i -> i + 1) in
+    if counts <> expected then raise (E Bad_count_set);
+    Ok ()
+  with E e -> Error e
+
+type run_result = {
+  outcomes : outcome list;
+  valid : (unit, error) result;
+  rounds : int;
+  messages : int;
+  total_delay : int;
+  max_delay : int;
+  expansion : int;
+}
+
+let of_engine ~requests (res : (int * int) Engine.result) =
+  let outcomes =
+    List.map
+      (fun (c : _ Engine.completion) ->
+        let node, count = c.value in
+        { node; count; round = c.round })
+      res.completions
+  in
+  {
+    outcomes;
+    valid = validate ~requests outcomes;
+    rounds = res.rounds;
+    messages = res.messages;
+    total_delay = List.fold_left (fun acc o -> acc + o.round) 0 outcomes;
+    max_delay = List.fold_left (fun acc o -> max acc o.round) 0 outcomes;
+    expansion = res.expansion;
+  }
+
+let of_async ~requests (res : (int * int) Countq_simnet.Async.result) =
+  let outcomes =
+    List.map
+      (fun (c : _ Engine.completion) ->
+        let node, count = c.value in
+        { node; count; round = c.round })
+      res.completions
+  in
+  {
+    outcomes;
+    valid = validate ~requests outcomes;
+    rounds = res.finish_time;
+    messages = res.messages;
+    total_delay = List.fold_left (fun acc o -> acc + o.round) 0 outcomes;
+    max_delay = List.fold_left (fun acc o -> max acc o.round) 0 outcomes;
+    expansion = 1;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "node %d count %d (round %d)" o.node o.count o.round

@@ -1,0 +1,51 @@
+(* Periodic counting network (Aspnes-Herlihy-Shavit), whose block is
+   the balancer form of the Dowd-Perl-Rudolph-Saks balanced merging
+   network. See periodic.mli. *)
+
+let block_layers w =
+  if w < 1 || w land (w - 1) <> 0 then
+    invalid_arg "Periodic.block_layers: width must be a power of two >= 1";
+  let rec log2 p e = if p >= w then e else log2 (p * 2) (e + 1) in
+  log2 1 0
+
+let create ~width =
+  let k = block_layers width in
+  (* Straight-wired layers, built backwards from the outputs:
+     [next.(j)] is where a token currently on wire [j] goes after the
+     layer being prepended. Block layer [i] (1-indexed, forward order)
+     pairs wire [j] with [j lxor (2^(k-i+1) - 1)] — a reflection within
+     groups that halve every layer; the first token of a balancer
+     continues on the lower-indexed wire. *)
+  let next = Array.init width (fun j -> Bitonic.To_output j) in
+  let succ = ref [] in
+  let next_id = ref 0 in
+  let prepend_layer ~mask =
+    let fresh = Array.copy next in
+    for j = 0 to width - 1 do
+      let partner = j lxor mask in
+      if partner > j then begin
+        let id = !next_id in
+        incr next_id;
+        succ := (id, next.(j), next.(partner)) :: !succ;
+        fresh.(j) <- Bitonic.To_balancer id;
+        fresh.(partner) <- Bitonic.To_balancer id
+      end
+    done;
+    Array.blit fresh 0 next 0 width
+  in
+  (* log w identical blocks; prepend each block's layers in reverse
+     (forward masks are 2^k - 1, 2^(k-1) - 1, …, 1). *)
+  for _block = 1 to k do
+    for i = k downto 1 do
+      (* forward layer i has mask 2^(k-i+1) - 1; prepending in reverse
+         forward order means i = k (mask 1) is prepended first. *)
+      let mask = (1 lsl (k - i + 1)) - 1 in
+      prepend_layer ~mask
+    done
+  done;
+  let n = !next_id in
+  let succ_arr =
+    Array.make n (Bitonic.To_output (-1), Bitonic.To_output (-1))
+  in
+  List.iter (fun (id, a, b) -> succ_arr.(id) <- (a, b)) !succ;
+  Bitonic.make ~width ~succ:succ_arr ~entry:(Array.copy next)

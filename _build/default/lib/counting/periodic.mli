@@ -1,0 +1,22 @@
+(** The periodic counting network of Aspnes, Herlihy and Shavit — the
+    other classic counting network, built from [log w] identical
+    {e blocks}.
+
+    The block is the balancer form of the Dowd–Perl–Rudolph–Saks
+    balanced merging network: a block of width [w = 2^k] has [k]
+    layers, and layer [i] (for [i = 1 .. k]) joins every wire [j] to
+    wire [j lxor (2^(k-i+1) - 1)] — a reflection within groups whose
+    size halves each layer. [Periodic[w]] chains [log w] identical
+    blocks and is a counting network of depth [log² w] — asymptotically
+    the same as [Bitonic[w]] but with a completely regular, repeating
+    structure, which matters for embeddings.
+
+    The result reuses {!Bitonic.t}, so the {!Network} embedding and
+    {!Bitonic.State} test driver work unchanged. *)
+
+val block_layers : int -> int
+(** Layers in one block ([log2 w]). *)
+
+val create : width:int -> Bitonic.t
+(** [create ~width] builds [Periodic[width]].
+    @raise Invalid_argument unless [width] is a power of two >= 1. *)

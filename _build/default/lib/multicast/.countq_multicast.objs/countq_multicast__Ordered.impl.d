@@ -1,0 +1,1 @@
+lib/multicast/ordered.ml: Array Countq_arrow Countq_counting Countq_queuing Countq_simnet Countq_topology Format Hashtbl List

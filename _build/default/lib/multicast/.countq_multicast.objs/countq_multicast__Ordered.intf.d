@@ -1,0 +1,1 @@
+lib/multicast/ordered.mli: Countq_topology Format

@@ -1,0 +1,1 @@
+lib/queuing/central_queue.ml: Array Countq_arrow Countq_simnet Countq_topology List Option

@@ -1,0 +1,1 @@
+lib/queuing/central_queue.mli: Countq_arrow Countq_simnet Countq_topology

@@ -1,0 +1,1 @@
+lib/queuing/token_ring.ml: Array Countq_arrow Countq_counting Countq_simnet Countq_topology List Option

@@ -1,0 +1,1 @@
+lib/queuing/token_ring.mli: Countq_arrow Countq_simnet Countq_topology

@@ -1,0 +1,76 @@
+(* Centralised queue baseline. See central_queue.mli. *)
+
+module Engine = Countq_simnet.Engine
+module Route = Countq_simnet.Route
+module Graph = Countq_topology.Graph
+module Types = Countq_arrow.Types
+module Order = Countq_arrow.Order
+
+type msg =
+  | Request of { origin : int }
+  | Reply of { dest : int; pred : Types.pred }
+
+type state = { last : Types.pred } (* meaningful at the root only *)
+
+let run ?config ?(root = 0) ?route ~graph ~requests () =
+  let n = Graph.n graph in
+  if root < 0 || root >= n then invalid_arg "Central_queue.run: root out of range";
+  let requesting = Array.make n false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Central_queue.run: request out of range";
+      if requesting.(v) then invalid_arg "Central_queue.run: duplicate request";
+      requesting.(v) <- true)
+    requests;
+  let route = match route with Some r -> r | None -> Route.auto graph in
+  let config = Option.value config ~default:Engine.default_config in
+  let enqueue node s origin =
+    let op = { Types.origin; seq = 0 } in
+    let pred = s.last in
+    let s = { last = Types.Op op } in
+    if origin = node then (s, [ Engine.Complete (op, pred) ])
+    else
+      (s, [ Engine.Send (Route.next_hop route node origin, Reply { dest = origin; pred }) ])
+  in
+  let protocol =
+    {
+      Engine.name = "central-queue";
+      initial_state = (fun _ -> { last = Types.Init });
+      on_start =
+        (fun ~node s ->
+          if not requesting.(node) then (s, [])
+          else if node = root then enqueue node s node
+          else
+            (s, [ Engine.Send (Route.next_hop route node root, Request { origin = node }) ]));
+      on_receive =
+        (fun ~round:_ ~node ~src:_ msg s ->
+          match msg with
+          | Request { origin } ->
+              if node = root then enqueue node s origin
+              else
+                (s, [ Engine.Send (Route.next_hop route node root, Request { origin }) ])
+          | Reply { dest; pred } ->
+              if node = dest then
+                (s, [ Engine.Complete ({ Types.origin = dest; seq = 0 }, pred) ])
+              else
+                (s, [ Engine.Send (Route.next_hop route node dest, Reply { dest; pred }) ]));
+      on_tick = Engine.no_tick;
+    }
+  in
+  let res = Engine.run ~graph ~config ~protocol in
+  let outcomes =
+    List.map
+      (fun (c : _ Engine.completion) ->
+        let op, pred = c.value in
+        { Types.op; pred; found_at = c.node; round = c.round })
+      res.completions
+  in
+  {
+    Countq_arrow.Protocol.outcomes;
+    order = Order.chain outcomes;
+    rounds = res.rounds;
+    messages = res.messages;
+    total_delay = Order.total_delay outcomes;
+    max_delay = Order.max_delay outcomes;
+    expansion = res.expansion;
+  }

@@ -1,0 +1,22 @@
+(** Centralised queuing baseline: a root node remembers the last queued
+    operation and hands each arriving request its predecessor.
+
+    Used for the Section 5 non-separation: on the star graph both this
+    protocol and any counting protocol pay Θ(n²) total delay, because
+    every message serialises through the centre — showing the paper's
+    separation is a property of the topology, not of queuing being
+    universally cheap. (On most topologies the arrow protocol is far
+    better than this baseline; see the E11 experiment.) *)
+
+val run :
+  ?config:Countq_simnet.Engine.config ->
+  ?root:int ->
+  ?route:Countq_simnet.Route.t ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  Countq_arrow.Protocol.run_result
+(** [run ~graph ~requests ()] executes the one-shot scenario; requests
+    are served in root-arrival order. Results reuse the arrow library's
+    outcome/validation types. [root] defaults to 0; [route] to
+    all-pairs shortest-path routing; config to the base model. *)

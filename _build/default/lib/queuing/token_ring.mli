@@ -1,0 +1,25 @@
+(** Token-circulation queuing: a perpetual token walks an Euler tour of
+    a spanning tree; every pending requester the token visits is
+    appended to the queue (its predecessor is whoever held the token's
+    "last appended" slot).
+
+    This is the pre-Raymond folk solution to token-based mutual
+    exclusion, and the reason Raymond's tree algorithm (the arrow
+    protocol's ancestor) was worth inventing: circulating costs every
+    op Θ(n) regardless of load or locality. On the list with all nodes
+    requesting it matches the arrow's O(n) total — but with a single
+    sparse requester it still pays a full sweep where the arrow pays
+    one path. Experiment E24 tabulates the contrast. *)
+
+val run :
+  ?config:Countq_simnet.Engine.config ->
+  tree:Countq_topology.Tree.t ->
+  requests:int list ->
+  unit ->
+  Countq_arrow.Protocol.run_result
+(** [run ~tree ~requests ()] executes the one-shot scenario: the token
+    starts at the tree root (the initial tail) and walks the Euler tour
+    once, appending every requester at its first visit. Results reuse
+    the arrow library's outcome/validation types; base-model config by
+    default.
+    @raise Invalid_argument on out-of-range or duplicate requests. *)

@@ -1,0 +1,1 @@
+lib/simnet/async.ml: Array Countq_topology Countq_util Engine Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/simnet/async.mli: Countq_topology Engine

@@ -1,0 +1,1 @@
+lib/simnet/explore.ml: Array Countq_topology Engine Hashtbl List Stack

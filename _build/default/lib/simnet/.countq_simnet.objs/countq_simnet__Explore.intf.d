@@ -1,0 +1,1 @@
+lib/simnet/explore.mli: Countq_topology Engine

@@ -1,0 +1,1 @@
+lib/simnet/route.mli: Countq_topology

@@ -1,0 +1,1 @@
+lib/simnet/trace.ml: Array Buffer Char Engine Format List Option Printf

@@ -1,0 +1,120 @@
+(* Discrete-event asynchronous engine. See async.mli. *)
+
+module Graph = Countq_topology.Graph
+module Heap = Countq_util.Heap
+module Rng = Countq_util.Rng
+
+type delay_model =
+  | Constant of int
+  | Uniform of { min : int; max : int; seed : int64 }
+  | Per_message of (src:int -> dst:int -> send_time:int -> int)
+
+type 'r result = {
+  completions : 'r Engine.completion list;
+  finish_time : int;
+  messages : int;
+}
+
+type ('m, 'r) event =
+  | Arrival of { src : int; dst : int; msg : 'm }
+  | Wakeup of int
+
+let make_delay_fn = function
+  | Constant d ->
+      if d < 1 then invalid_arg "Async.run: constant delay must be >= 1";
+      fun ~src:_ ~dst:_ ~send_time:_ -> d
+  | Uniform { min; max; seed } ->
+      if min < 1 || max < min then invalid_arg "Async.run: bad uniform delays";
+      let rng = Rng.create seed in
+      fun ~src:_ ~dst:_ ~send_time:_ -> min + Rng.below rng (max - min + 1)
+  | Per_message f ->
+      fun ~src ~dst ~send_time -> Stdlib.max 1 (f ~src ~dst ~send_time)
+
+let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ~protocol () =
+  let n = Graph.n graph in
+  let delay_fn = make_delay_fn delay in
+  let states = Array.init n protocol.Engine.initial_state in
+  let heap : (int, ('m, 'r) event) Heap.t = Heap.create () in
+  (* Serialisation clocks: a node processes (receives or wakes) at most
+     one event per time unit and emits at most one message per unit;
+     links remain FIFO. *)
+  let proc_free = Array.make n (-1) in
+  let send_free = Array.make n (-1) in
+  let link_last = Hashtbl.create 64 in
+  let completions = ref [] in
+  let messages = ref 0 in
+  let finish = ref 0 in
+  let events = ref 0 in
+  let emit src now actions =
+    List.iter
+      (fun action ->
+        match action with
+        | Engine.Complete value ->
+            completions := { Engine.node = src; round = now; value } :: !completions;
+            finish := max !finish now
+        | Engine.Send (dst, msg) ->
+            if not (Graph.has_edge graph src dst) then
+              raise (Engine.Not_a_neighbor { node = src; dst });
+            let s = max now (send_free.(src) + 1) in
+            send_free.(src) <- s;
+            let raw_arrival = s + delay_fn ~src ~dst ~send_time:s in
+            let key = (src, dst) in
+            let arrival =
+              match Hashtbl.find_opt link_last key with
+              | Some last -> max raw_arrival (last + 1)
+              | None -> raw_arrival
+            in
+            Hashtbl.replace link_last key arrival;
+            Heap.push heap arrival (Arrival { src; dst; msg }))
+      actions
+  in
+  List.iter
+    (fun (t, v) ->
+      if t < 0 || v < 0 || v >= n then invalid_arg "Async.run: bad wakeup";
+      Heap.push heap t (Wakeup v))
+    wakeups;
+  (* Time 0: one-shot issue. *)
+  for v = 0 to n - 1 do
+    let s, actions = protocol.Engine.on_start ~node:v states.(v) in
+    states.(v) <- s;
+    emit v 0 actions
+  done;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (t, ev) ->
+        incr events;
+        if !events > max_events then
+          raise (Engine.Round_limit_exceeded max_events);
+        (match ev with
+        | Arrival { src; dst; msg } ->
+            let now = max t (proc_free.(dst) + 1) in
+            proc_free.(dst) <- now;
+            incr messages;
+            finish := max !finish now;
+            let s, actions =
+              protocol.Engine.on_receive ~round:now ~node:dst ~src msg
+                states.(dst)
+            in
+            states.(dst) <- s;
+            emit dst now actions
+        | Wakeup v -> (
+            match protocol.Engine.on_tick with
+            | None -> ()
+            | Some tick ->
+                let now = max t (proc_free.(v) + 1) in
+                proc_free.(v) <- now;
+                finish := max !finish now;
+                let s, actions = tick ~round:now ~node:v states.(v) in
+                states.(v) <- s;
+                emit v now actions));
+        loop ()
+  in
+  loop ();
+  let completions =
+    List.sort
+      (fun (a : _ Engine.completion) (b : _ Engine.completion) ->
+        match compare a.round b.round with 0 -> compare a.node b.node | c -> c)
+      !completions
+  in
+  { completions; finish_time = !finish; messages = !messages }

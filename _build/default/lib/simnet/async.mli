@@ -1,0 +1,53 @@
+(** Asynchronous (discrete-event) execution of the same protocols.
+
+    Section 2.1 notes that the paper's lower bounds carry over to the
+    general asynchronous model, where link delays have no fixed bound;
+    upper bounds degrade because an adversary can sequentialise
+    everything. This engine runs the very same {!Engine.protocol}
+    values under per-message link delays instead of lockstep rounds,
+    so safety properties (total orders, exact count sets) can be
+    checked — and delay sensitivity measured — far outside the
+    synchronous model the bounds were proved in.
+
+    Model: each message sent on a link receives a delay from the
+    {!delay_model}; links stay FIFO (a message never overtakes an
+    earlier one on the same link); each node still processes at most
+    one message per time unit and emits at most one message per time
+    unit (the Section 2.1 constraint, translated to event time). With
+    [Constant 1] delays the timing rules coincide with the synchronous
+    engine's; only tie-breaking among simultaneous arrivals differs
+    (FIFO event order here, round-robin there), so delay {e totals} of
+    contention-bound protocols match while individual interleavings may
+    not — the test suite pins down both facts. *)
+
+type delay_model =
+  | Constant of int  (** every link delay is the given value (>= 1). *)
+  | Uniform of { min : int; max : int; seed : int64 }
+      (** i.i.d. integer delays in [[min, max]], deterministic in
+          [seed]. *)
+  | Per_message of (src:int -> dst:int -> send_time:int -> int)
+      (** arbitrary (adversarial) delay oracle; result clamped to
+          [>= 1]. *)
+
+type 'r result = {
+  completions : 'r Engine.completion list;
+      (** [round] is the event time of completion. *)
+  finish_time : int;  (** time of the last event. *)
+  messages : int;
+}
+
+val run :
+  graph:Countq_topology.Graph.t ->
+  delay:delay_model ->
+  ?wakeups:(int * int) list ->
+  ?max_events:int ->
+  protocol:('s, 'm, 'r) Engine.protocol ->
+  unit ->
+  'r result
+(** [run ~graph ~delay ~protocol ()] executes to quiescence.
+    [wakeups] is a list of [(time, node)] pairs: at each, the
+    protocol's [on_tick] (if any) fires for that node — the
+    asynchronous counterpart of the synchronous engine's per-round
+    ticks, used for staggered arrivals. [max_events] (default 10M)
+    guards against livelock.
+    @raise Invalid_argument on a bad delay model or wakeups. *)

@@ -1,0 +1,231 @@
+(* Synchronous simulator for the Section 2.1 model. See engine.mli. *)
+
+module Graph = Countq_topology.Graph
+
+type arbiter =
+  | Round_robin
+  | Lowest_sender_first
+  | Custom of (round:int -> node:int -> candidates:int list -> int)
+
+type config = {
+  receive_capacity : int;
+  send_capacity : int;
+  arbiter : arbiter;
+  max_rounds : int;
+  min_rounds : int;
+}
+
+let default_config =
+  {
+    receive_capacity = 1;
+    send_capacity = 1;
+    arbiter = Round_robin;
+    max_rounds = 10_000_000;
+    min_rounds = 0;
+  }
+
+let config_with_capacity c =
+  if c < 1 then invalid_arg "Engine.config_with_capacity: c must be >= 1";
+  { default_config with receive_capacity = c; send_capacity = c }
+
+type ('m, 'r) action = Send of int * 'm | Complete of 'r
+
+type ('s, 'm, 'r) protocol = {
+  name : string;
+  initial_state : int -> 's;
+  on_start : node:int -> 's -> 's * ('m, 'r) action list;
+  on_receive :
+    round:int -> node:int -> src:int -> 'm -> 's -> 's * ('m, 'r) action list;
+  on_tick : (round:int -> node:int -> 's -> 's * ('m, 'r) action list) option;
+}
+
+let no_tick = None
+
+type 'r completion = { node : int; round : int; value : 'r }
+
+type 'r result = {
+  completions : 'r completion list;
+  rounds : int;
+  messages : int;
+  max_link_backlog : int;
+  expansion : int;
+}
+
+exception Not_a_neighbor of { node : int; dst : int }
+exception Round_limit_exceeded of int
+
+(* Per-node runtime: incoming FIFO queues indexed by the sender's
+   position in the receiver's sorted neighbour array, plus an outbox
+   drained at [send_capacity] messages per round. *)
+type 'm node_rt = {
+  nbrs : int array;
+  nbr_index : (int, int) Hashtbl.t; (* sender id -> incoming queue index *)
+  inq : 'm Queue.t array;
+  outbox : (int * 'm) Queue.t;
+  mutable rr_pointer : int;
+  mutable pending : int;
+}
+
+let total_delay res =
+  List.fold_left (fun acc (c : _ completion) -> acc + c.round) 0 res.completions
+
+let max_delay res =
+  List.fold_left (fun acc (c : _ completion) -> max acc c.round) 0 res.completions
+
+let completion_count res = List.length res.completions
+
+let run ~graph ~config ~protocol =
+  if config.receive_capacity < 1 || config.send_capacity < 1 then
+    invalid_arg "Engine.run: capacities must be >= 1";
+  let n = Graph.n graph in
+  let states = Array.init n protocol.initial_state in
+  let rt =
+    Array.init n (fun v ->
+        let nbrs = Graph.neighbors graph v in
+        let nbr_index = Hashtbl.create (max 1 (Array.length nbrs)) in
+        Array.iteri (fun i u -> Hashtbl.replace nbr_index u i) nbrs;
+        {
+          nbrs;
+          nbr_index;
+          inq = Array.init (Array.length nbrs) (fun _ -> Queue.create ());
+          outbox = Queue.create ();
+          rr_pointer = 0;
+          pending = 0;
+        })
+  in
+  let completions = ref [] in
+  let messages = ref 0 in
+  let max_backlog = ref 0 in
+  let outstanding_sends = ref 0 in
+  let queued_total = ref 0 in
+  let apply_actions v round actions =
+    List.iter
+      (fun action ->
+        match action with
+        | Send (dst, msg) ->
+            if not (Hashtbl.mem rt.(v).nbr_index dst) then
+              raise (Not_a_neighbor { node = v; dst });
+            Queue.push (dst, msg) rt.(v).outbox;
+            incr outstanding_sends
+        | Complete value ->
+            completions := { node = v; round; value } :: !completions)
+      actions
+  in
+  (* Time 0: the one-shot requests are issued; no communication yet. *)
+  for v = 0 to n - 1 do
+    let s, actions = protocol.on_start ~node:v states.(v) in
+    states.(v) <- s;
+    apply_actions v 0 actions
+  done;
+  (* Picks the sender whose queue head should be delivered next, per the
+     configured arbitration policy. Returns the incoming-queue index. *)
+  let pick nv t v =
+    let k = Array.length nv.inq in
+    match config.arbiter with
+    | Lowest_sender_first ->
+        let rec scan i =
+          if i >= k then None
+          else if not (Queue.is_empty nv.inq.(i)) then Some i
+          else scan (i + 1)
+        in
+        scan 0
+    | Round_robin ->
+        let rec scan steps =
+          if steps >= k then None
+          else begin
+            let idx = (nv.rr_pointer + steps) mod k in
+            if not (Queue.is_empty nv.inq.(idx)) then begin
+              nv.rr_pointer <- (idx + 1) mod k;
+              Some idx
+            end
+            else scan (steps + 1)
+          end
+        in
+        scan 0
+    | Custom f ->
+        let candidates = ref [] in
+        for i = k - 1 downto 0 do
+          if not (Queue.is_empty nv.inq.(i)) then
+            candidates := nv.nbrs.(i) :: !candidates
+        done;
+        if !candidates = [] then None
+        else begin
+          let src = f ~round:t ~node:v ~candidates:!candidates in
+          if not (List.mem src !candidates) then
+            invalid_arg "Engine.run: arbiter chose a non-candidate";
+          Some (Hashtbl.find nv.nbr_index src)
+        end
+  in
+  let round = ref 0 in
+  let last_active = ref 0 in
+  while
+    !outstanding_sends > 0 || !queued_total > 0 || !round < config.min_rounds
+  do
+    incr round;
+    if !round > config.max_rounds then raise (Round_limit_exceeded config.max_rounds);
+    let t = !round in
+    (* Send phase. *)
+    for v = 0 to n - 1 do
+      let nv = rt.(v) in
+      let budget = ref config.send_capacity in
+      while !budget > 0 && not (Queue.is_empty nv.outbox) do
+        let dst, msg = Queue.pop nv.outbox in
+        decr outstanding_sends;
+        decr budget;
+        last_active := t;
+        let nd = rt.(dst) in
+        let qi = Hashtbl.find nd.nbr_index v in
+        Queue.push msg nd.inq.(qi);
+        nd.pending <- nd.pending + 1;
+        incr queued_total;
+        max_backlog := max !max_backlog (Queue.length nd.inq.(qi))
+      done
+    done;
+    (* Receive phase. *)
+    for v = 0 to n - 1 do
+      let nv = rt.(v) in
+      if nv.pending > 0 then begin
+        let budget = ref (min config.receive_capacity nv.pending) in
+        while !budget > 0 do
+          match pick nv t v with
+          | None -> budget := 0
+          | Some qi ->
+              let src = nv.nbrs.(qi) in
+              let msg = Queue.pop nv.inq.(qi) in
+              nv.pending <- nv.pending - 1;
+              decr queued_total;
+              incr messages;
+              decr budget;
+              last_active := t;
+              let s, actions =
+                protocol.on_receive ~round:t ~node:v ~src msg states.(v)
+              in
+              states.(v) <- s;
+              apply_actions v t actions
+        done
+      end
+    done;
+    (* Tick phase: work issued at time [t] enters the network in round
+       [t + 1], mirroring the one-shot requests issued at time 0. *)
+    (match protocol.on_tick with
+    | None -> ()
+    | Some tick ->
+        for v = 0 to n - 1 do
+          let s, actions = tick ~round:t ~node:v states.(v) in
+          states.(v) <- s;
+          apply_actions v t actions
+        done)
+  done;
+  let completions =
+    List.sort
+      (fun (a : _ completion) (b : _ completion) ->
+        match compare a.round b.round with 0 -> compare a.node b.node | c -> c)
+      !completions
+  in
+  {
+    completions;
+    rounds = !last_active;
+    messages = !messages;
+    max_link_backlog = !max_backlog;
+    expansion = config.receive_capacity;
+  }

@@ -1,0 +1,119 @@
+(** Synchronous message-passing simulator implementing the paper's
+    model of computation (Section 2.1).
+
+    The distributed system is a connected undirected graph whose links
+    are reliable FIFO channels of delay one. In each round, every
+    processor may (in this order): send at most [send_capacity]
+    message(s) to neighbours, receive at most [receive_capacity]
+    message(s), and compute locally. The default capacities are 1/1 —
+    the paper's base model. Capacities [> 1] model the "expanded time
+    step" of Section 4 that lets a tree protocol absorb up to
+    degree-many concurrent messages; the paper notes a step of capacity
+    [c] is simulable by [c] base steps, so reported delays can be scaled
+    by {!field-expansion} to translate back.
+
+    Rounds are numbered from 1. A message handed to the engine during
+    round [t] (or at start) is transmitted in the send phase of some
+    round [t' > t] (first-come-first-served per sender) and received in
+    the receive phase of round [t']; each hop therefore costs exactly
+    one time unit, so information travels distance [d] in [d] rounds —
+    the latency semantics used by Theorem 3.6.
+
+    When several neighbours have messages pending for the same node,
+    an {!arbiter} admits [receive_capacity] of them per round and the
+    rest wait on their FIFO links: this queueing is the network
+    contention that makes the star graph cost Θ(n²) (Section 5). *)
+
+type arbiter =
+  | Round_robin
+      (** Cycle fairly over incoming links (deterministic default). *)
+  | Lowest_sender_first
+      (** Always prefer the smallest sender id (starves high ids;
+          useful as an adversarial schedule in tests). *)
+  | Custom of (round:int -> node:int -> candidates:int list -> int)
+      (** [candidates] is the non-empty list of sender ids with a
+          deliverable message, in increasing order; return the chosen
+          sender (must be a member). *)
+
+type config = {
+  receive_capacity : int;  (** messages processed per node per round. *)
+  send_capacity : int;  (** messages emitted per node per round. *)
+  arbiter : arbiter;
+  max_rounds : int;  (** safety cut-off; exceeded runs raise. *)
+  min_rounds : int;
+      (** Run at least this many rounds even if the network is quiescent
+          — needed by protocols whose [on_tick] injects work at later
+          rounds (the long-lived scenario of Kuhn–Wattenhofer). *)
+}
+
+val default_config : config
+(** Capacities 1/1, round-robin arbitration, [max_rounds = 10_000_000],
+    [min_rounds = 0]. *)
+
+val config_with_capacity : int -> config
+(** [config_with_capacity c] is {!default_config} with both capacities
+    set to [c] (an expanded step of width [c]). *)
+
+type ('m, 'r) action =
+  | Send of int * 'm
+      (** [Send (dst, msg)]: enqueue [msg] for neighbour [dst]. The
+          engine checks adjacency and raises on non-neighbours. *)
+  | Complete of 'r
+      (** Record an operation completion at this node, this round. *)
+
+type ('s, 'm, 'r) protocol = {
+  name : string;
+  initial_state : int -> 's;  (** per-node state before round 1. *)
+  on_start : node:int -> 's -> 's * ('m, 'r) action list;
+      (** Invoked once per node at time 0 (the instant the one-shot
+          requests are issued). Completions here have delay 0. *)
+  on_receive :
+    round:int -> node:int -> src:int -> 'm -> 's -> 's * ('m, 'r) action list;
+      (** Invoked for each delivered message. Multiple messages admitted
+          to a node in one round are processed sequentially, each seeing
+          the state left by the previous one (the paper's sequential
+          processing within an expanded step). *)
+  on_tick : (round:int -> node:int -> 's -> 's * ('m, 'r) action list) option;
+      (** If set, invoked for every node at the end of every round [t];
+          sends it produces are transmitted in round [t + 1], i.e. the
+          tick models an operation issued at time [t]. Use [None] for
+          one-shot protocols. *)
+}
+
+val no_tick : (round:int -> node:int -> 's -> 's * ('m, 'r) action list) option
+(** [None], for readability at protocol definition sites. *)
+
+type 'r completion = { node : int; round : int; value : 'r }
+
+type 'r result = {
+  completions : 'r completion list;  (** in chronological, then node, order. *)
+  rounds : int;  (** number of the last round with any activity. *)
+  messages : int;  (** total messages delivered. *)
+  max_link_backlog : int;  (** peak FIFO queue length: contention proxy. *)
+  expansion : int;  (** the [receive_capacity] the run used. *)
+}
+
+exception Not_a_neighbor of { node : int; dst : int }
+(** Raised when a protocol tries to send to a non-adjacent node. *)
+
+exception Round_limit_exceeded of int
+(** Raised when [max_rounds] elapses with messages still in flight. *)
+
+val run :
+  graph:Countq_topology.Graph.t ->
+  config:config ->
+  protocol:('s, 'm, 'r) protocol ->
+  'r result
+(** Execute the protocol to quiescence (no queued or in-flight
+    messages). Deterministic: same inputs, same result. *)
+
+val total_delay : 'r result -> int
+(** Sum of completion rounds — the paper's concurrent delay complexity
+    contribution of this run (Eq. (1)/(3)). *)
+
+val max_delay : 'r result -> int
+(** Largest completion round (the alternative metric discussed in
+    Section 2.2). *)
+
+val completion_count : 'r result -> int
+(** Number of completions recorded. *)

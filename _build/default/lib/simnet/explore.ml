@@ -1,0 +1,118 @@
+(* Exhaustive interleaving exploration. See explore.mli. *)
+
+module Graph = Countq_topology.Graph
+
+type stats = { explored : int; terminal : int; max_frontier : int }
+
+exception Violation of string
+
+(* An immutable configuration. Queues are lists with the head first;
+   everything inside must be hashable/comparable structurally, which
+   holds for the pure-state protocols this checker targets. *)
+type ('s, 'm, 'r) config = {
+  states : 's array;
+  outbox : (int * 'm) list array; (* per node, FIFO *)
+  links : ((int * int) * 'm list) list; (* sorted by key, FIFO per link *)
+  completions : 'r Engine.completion list; (* reverse order of occurrence *)
+}
+
+let link_get links key =
+  match List.assoc_opt key links with Some q -> q | None -> []
+
+let link_set links key q =
+  let without = List.remove_assoc key links in
+  if q = [] then without
+  else List.sort (fun (a, _) (b, _) -> compare a b) ((key, q) :: without)
+
+let run ~graph ~protocol ~check ?(max_configs = 1_000_000) () =
+  let n = Graph.n graph in
+  (* Initial configuration: on_start everywhere. *)
+  let states = Array.init n protocol.Engine.initial_state in
+  let outbox = Array.make n [] in
+  let completions = ref [] in
+  for v = 0 to n - 1 do
+    let s, actions = protocol.Engine.on_start ~node:v states.(v) in
+    states.(v) <- s;
+    List.iter
+      (fun action ->
+        match action with
+        | Engine.Send (dst, msg) ->
+            if not (Graph.has_edge graph v dst) then
+              raise (Engine.Not_a_neighbor { node = v; dst });
+            outbox.(v) <- outbox.(v) @ [ (dst, msg) ]
+        | Engine.Complete value ->
+            completions := { Engine.node = v; round = 0; value } :: !completions)
+      actions
+  done;
+  let initial = { states; outbox; links = []; completions = !completions } in
+  let visited = Hashtbl.create 4096 in
+  let explored = ref 0 and terminal = ref 0 and max_frontier = ref 0 in
+  let stack = Stack.create () in
+  Stack.push initial stack;
+  while not (Stack.is_empty stack) do
+    max_frontier := max !max_frontier (Stack.length stack);
+    let cfg = Stack.pop stack in
+    if not (Hashtbl.mem visited cfg) then begin
+      Hashtbl.replace visited cfg ();
+      incr explored;
+      if !explored > max_configs then
+        invalid_arg "Explore.run: max_configs exceeded";
+      (* Enumerate enabled events. *)
+      let successors = ref [] in
+      (* (a) transmit an outbox head onto its link. *)
+      for v = 0 to n - 1 do
+        match cfg.outbox.(v) with
+        | [] -> ()
+        | (dst, msg) :: rest ->
+            let outbox = Array.copy cfg.outbox in
+            outbox.(v) <- rest;
+            let key = (v, dst) in
+            let links = link_set cfg.links key (link_get cfg.links key @ [ msg ]) in
+            successors := { cfg with outbox; links } :: !successors
+      done;
+      (* (b) deliver a link head. *)
+      List.iter
+        (fun ((src, dst), q) ->
+          match q with
+          | [] -> ()
+          | msg :: rest ->
+              let links = link_set cfg.links (src, dst) rest in
+              let event_index =
+                List.length cfg.completions + List.length cfg.links
+              in
+              let s, actions =
+                protocol.Engine.on_receive ~round:event_index ~node:dst ~src msg
+                  cfg.states.(dst)
+              in
+              let states = Array.copy cfg.states in
+              states.(dst) <- s;
+              let outbox = Array.copy cfg.outbox in
+              let completions = ref cfg.completions in
+              List.iter
+                (fun action ->
+                  match action with
+                  | Engine.Send (d, m) ->
+                      if not (Graph.has_edge graph dst d) then
+                        raise (Engine.Not_a_neighbor { node = dst; dst = d });
+                      outbox.(dst) <- outbox.(dst) @ [ (d, m) ]
+                  | Engine.Complete value ->
+                      completions :=
+                        { Engine.node = dst; round = event_index; value }
+                        :: !completions)
+                actions;
+              successors :=
+                { states; outbox; links; completions = !completions }
+                :: !successors)
+        cfg.links;
+      match !successors with
+      | [] -> begin
+          (* Quiescent: apply the safety check. *)
+          incr terminal;
+          match check (List.rev cfg.completions) with
+          | Ok () -> ()
+          | Error msg -> raise (Violation msg)
+        end
+      | succs -> List.iter (fun c -> Stack.push c stack) succs
+    end
+  done;
+  { explored = !explored; terminal = !terminal; max_frontier = !max_frontier }

@@ -1,0 +1,46 @@
+(* Next-hop routing schemes. See route.mli. *)
+
+module Graph = Countq_topology.Graph
+module Tree = Countq_topology.Tree
+module Bfs = Countq_topology.Bfs
+
+type t = {
+  next : int -> int -> int;
+  dist : int -> int -> int option;
+}
+
+let next_hop r v dst = r.next v dst
+let distance_hint r u v = r.dist u v
+
+let of_tree tree =
+  {
+    next = (fun v dst -> Tree.next_hop tree v dst);
+    dist = (fun u v -> Some (Tree.dist tree u v));
+  }
+
+let of_table g =
+  let table = Bfs.next_hop_table g in
+  let dists = Array.init (Graph.n g) (fun v -> Bfs.distances g v) in
+  {
+    next = (fun v dst -> table.(v).(dst));
+    dist = (fun u v -> Some dists.(u).(v));
+  }
+
+let direct g =
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.has_edge g u v) then
+        invalid_arg "Route.direct: graph is not complete"
+    done
+  done;
+  {
+    next = (fun _v dst -> dst);
+    dist = (fun u v -> Some (if u = v then 0 else 1));
+  }
+
+let of_fun next = { next; dist = (fun _ _ -> None) }
+
+let auto g =
+  let n = Graph.n g in
+  if Graph.m g = n * (n - 1) / 2 then direct g else of_table g

@@ -1,0 +1,31 @@
+(** Execution tracing: wrap any protocol to record its events, and
+    render them as an ASCII timeline.
+
+    Tracing is protocol-level instrumentation (the engine itself stays
+    oblivious): {!instrument} returns a protocol that behaves
+    identically while logging every delivery, queued send and
+    completion. Intended for small runs — demos, debugging, and the
+    [countq trace] CLI subcommand that shows the arrow protocol's path
+    reversal happening round by round. *)
+
+type event =
+  | Received of { round : int; node : int; src : int }
+  | Queued_send of { round : int; node : int; dst : int }
+  | Completed of { round : int; node : int }
+
+val instrument :
+  ('s, 'm, 'r) Engine.protocol ->
+  ('s, 'm, 'r) Engine.protocol * (unit -> event list)
+(** [instrument p] is [(p', events)]: [p'] behaves exactly like [p];
+    [events ()] returns everything recorded so far in chronological
+    order. The recorder is shared mutable state — use one instrumented
+    protocol per run. *)
+
+val render : n:int -> event list -> string
+(** [render ~n events] draws a node-by-round timeline: rows are nodes
+    [0 .. n-1], columns are rounds; cell characters are [*] (completed),
+    [R] (received), [s] (queued a send), [+] (received and queued),
+    [.] (idle). Multiple events in one cell favour the most
+    informative character. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/topology/bfs.ml: Array Graph Int64 List Queue

@@ -1,0 +1,1 @@
+lib/topology/bfs.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/gen.ml: Array Countq_util Graph Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/topology/gen.mli: Countq_util Graph

@@ -1,0 +1,1 @@
+lib/topology/hamilton.ml: Array Graph List Tree

@@ -1,0 +1,1 @@
+lib/topology/hamilton.mli: Graph Tree

@@ -1,0 +1,1 @@
+lib/topology/spanning.ml: Array Bfs Float Graph Hamilton List Stack Tree

@@ -1,0 +1,1 @@
+lib/topology/spanning.mli: Graph Tree

@@ -1,0 +1,101 @@
+(** Generators for the interconnection topologies studied in the paper.
+
+    The paper's separation results are stated for: the complete graph,
+    the list (path), the d-dimensional mesh, the hypercube, perfect
+    m-ary trees (Theorems 4.5–4.12), generic high-diameter
+    constant-degree graphs (Theorem 4.13), and the star (the Section 5
+    non-separation). Random trees and Erdős–Rényi graphs support the
+    property tests and the Rosenkrantz approximation study. *)
+
+val complete : int -> Graph.t
+(** [complete n] is K_n. @raise Invalid_argument if [n < 1]. *)
+
+val path : int -> Graph.t
+(** [path n] is the list graph [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the ring on [n >= 3] vertices. *)
+
+val star : int -> Graph.t
+(** [star n] has centre [0] and leaves [1 .. n-1]; the Section 5
+    topology where counting and queuing are both Θ(n²). *)
+
+val mesh : dims:int list -> Graph.t
+(** [mesh ~dims:[d1; …; dk]] is the k-dimensional mesh with side
+    lengths [di]; vertices are numbered in row-major order.
+    @raise Invalid_argument if any side is [< 1] or the list is empty. *)
+
+val square_mesh : int -> Graph.t
+(** [square_mesh s] is the two-dimensional s × s mesh. *)
+
+val torus : dims:int list -> Graph.t
+(** Like {!mesh} with wrap-around edges (sides of length 2 collapse to
+    a single edge, not a double edge). *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] is the d-dimensional hypercube on [2^d] vertices
+    ([d >= 1]); vertex ids are the bit strings. *)
+
+val perfect_tree : arity:int -> height:int -> Graph.t
+(** [perfect_tree ~arity ~height] is the perfect m-ary tree in which
+    every internal vertex has exactly [arity] children and all leaves
+    are at depth [height]. Vertices are numbered in BFS order with the
+    root at [0]. @raise Invalid_argument if [arity < 1 || height < 0]. *)
+
+val perfect_tree_root : int
+(** The root vertex id of {!perfect_tree} (always 0). *)
+
+val perfect_tree_size : arity:int -> height:int -> int
+(** Number of vertices of the corresponding perfect tree. *)
+
+val balanced_tree_on : arity:int -> int -> Graph.t
+(** [balanced_tree_on ~arity n] is the complete m-ary tree on exactly
+    [n] vertices in BFS numbering (leaf depths differ by at most 1) —
+    the "perfect m-ary tree" in the paper's relaxed sense. *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** A path of [spine] vertices, each with [legs] pendant leaves: a
+    high-diameter, constant-degree family for Theorem 4.13. *)
+
+val random_tree : Countq_util.Rng.t -> int -> Graph.t
+(** A uniformly random labelled tree on [n] vertices via a random
+    Prüfer sequence ([n >= 1]). *)
+
+val random_binary_tree : Countq_util.Rng.t -> int -> Graph.t
+(** A random tree with maximum degree 3 (random recursive attachment
+    constrained to degree < 3): constant-degree spanning trees for
+    Corollary 4.2 experiments. *)
+
+val erdos_renyi : Countq_util.Rng.t -> n:int -> p:float -> Graph.t
+(** G(n, p) conditioned on connectivity: edges are resampled (with
+    fresh randomness) until the graph is connected.
+    @raise Invalid_argument if [p < 0. || p > 1.], and if [p] is so
+    small that connectivity is hopeless ([p * (n-1) < 0.5] for n > 1) . *)
+
+val lollipop : clique:int -> tail:int -> Graph.t
+(** A clique of size [clique] attached to a path of [tail] vertices —
+    mixed-diameter stress topology. *)
+
+val de_bruijn : int -> Graph.t
+(** [de_bruijn d] is the undirected binary de Bruijn graph on [2^d]
+    vertices ([d >= 1]): vertex [v] is adjacent to [2v mod n],
+    [2v + 1 mod n] and their shift-in predecessors. Degree <= 4 and
+    diameter [d] — a classic constant-degree, low-diameter
+    interconnection network. *)
+
+val cube_connected_cycles : int -> Graph.t
+(** [cube_connected_cycles d] is CCC(d) for [d >= 3]: each hypercube
+    vertex is replaced by a [d]-cycle whose [i]-th node also connects
+    across dimension [i]. [d * 2^d] vertices, 3-regular, diameter
+    [Θ(d)]. *)
+
+val butterfly : int -> Graph.t
+(** [butterfly d] is the [d]-dimensional (unwrapped) butterfly:
+    [(d+1) * 2^d] vertices in levels [0..d]; level [i] node [w]
+    connects to level [i+1] nodes [w] and [w lxor 2^i]. Degree <= 4. *)
+
+val random_regular : Countq_util.Rng.t -> n:int -> degree:int -> Graph.t
+(** A random [degree]-regular simple connected graph on [n] vertices
+    via the configuration model with rejection ([n * degree] must be
+    even, [degree >= 2], [n > degree]). Retries until simple and
+    connected. *)

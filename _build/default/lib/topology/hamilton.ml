@@ -1,0 +1,91 @@
+(* Hamilton-path constructions (Lemma 4.6). See hamilton.mli. *)
+
+let complete n =
+  if n < 1 then invalid_arg "Hamilton.complete: n must be >= 1";
+  Array.init n (fun i -> i)
+
+(* Snake order by induction on the dimension: a d-dimensional mesh is a
+   stack of (d-1)-dimensional meshes; traverse each layer's Hamilton
+   path, alternating direction so consecutive layers join on adjacent
+   vertices (Lemma 4.6). *)
+let mesh ~dims =
+  if dims = [] then invalid_arg "Hamilton.mesh: empty dimension list";
+  List.iter (fun d -> if d < 1 then invalid_arg "Hamilton.mesh: side must be >= 1") dims;
+  let rec build dims =
+    match dims with
+    | [] -> assert false
+    | [ d ] -> (Array.init d (fun i -> i), d)
+    | d :: rest ->
+        let sub, subn = build rest in
+        let total = d * subn in
+        let out = Array.make total (-1) in
+        let idx = ref 0 in
+        for layer = 0 to d - 1 do
+          let base = layer * subn in
+          if layer mod 2 = 0 then
+            Array.iter
+              (fun v ->
+                out.(!idx) <- base + v;
+                incr idx)
+              sub
+          else
+            for i = subn - 1 downto 0 do
+              out.(!idx) <- base + sub.(i);
+              incr idx
+            done
+        done;
+        (out, total)
+  in
+  fst (build dims)
+
+let hypercube d =
+  if d < 1 || d > 24 then invalid_arg "Hamilton.hypercube: bad dimension";
+  let n = 1 lsl d in
+  Array.init n (fun i -> i lxor (i lsr 1))
+
+let is_hamilton_path g order =
+  let n = Graph.n g in
+  Array.length order = n
+  && begin
+       let seen = Array.make n false in
+       let ok = ref true in
+       Array.iter
+         (fun v ->
+           if v < 0 || v >= n || seen.(v) then ok := false
+           else seen.(v) <- true)
+         order;
+       if !ok then
+         for i = 0 to n - 2 do
+           if not (Graph.has_edge g order.(i) order.(i + 1)) then ok := false
+         done;
+       !ok
+     end
+
+let find g =
+  let n = Graph.n g in
+  let order = Array.make n (-1) in
+  let used = Array.make n false in
+  let exception Found in
+  let rec extend pos v =
+    order.(pos) <- v;
+    used.(v) <- true;
+    if pos = n - 1 then raise Found;
+    Graph.iter_neighbors g v (fun w -> if not used.(w) then extend (pos + 1) w);
+    used.(v) <- false
+  in
+  try
+    for start = 0 to n - 1 do
+      extend 0 start
+    done;
+    None
+  with Found -> Some (Array.copy order)
+
+let path_tree order =
+  let n = Array.length order in
+  if n = 0 then invalid_arg "Hamilton.path_tree: empty order";
+  let parent = Array.make n (-1) in
+  parent.(order.(0)) <- order.(0);
+  for i = 1 to n - 1 do
+    parent.(order.(i)) <- order.(i - 1)
+  done;
+  Tree.of_parents ~root:order.(0) parent

@@ -1,0 +1,33 @@
+(** Hamilton-path constructions for Lemma 4.6.
+
+    Theorem 4.5 needs a Hamilton path of [G] to use as the arrow
+    protocol's spanning tree: with the list as spanning tree the
+    nearest-neighbour TSP costs at most [3n] (Lemma 4.3), giving
+    [C_Q(G) = O(n)]. This module constructs explicit Hamilton paths for
+    the three families of Lemma 4.6 (complete graph, d-dimensional
+    mesh, hypercube) and verifies candidate paths on arbitrary graphs. *)
+
+val complete : int -> int array
+(** Hamilton path of K_n: the identity order [0, 1, …, n-1]. *)
+
+val mesh : dims:int list -> int array
+(** Boustrophedon ("snake") Hamilton path of the d-dimensional mesh,
+    by induction on the dimension exactly as in Lemma 4.6's proof. *)
+
+val hypercube : int -> int array
+(** Hamilton path of the d-dimensional hypercube: the binary reflected
+    Gray code. *)
+
+val is_hamilton_path : Graph.t -> int array -> bool
+(** [is_hamilton_path g order] checks that [order] visits every vertex
+    exactly once and that consecutive vertices are adjacent in [g]. *)
+
+val find : Graph.t -> int array option
+(** Exhaustive Hamilton-path search with pruning; exponential, intended
+    for small test graphs only ([n <= 20] or so). Returns [None] when no
+    Hamilton path exists. *)
+
+val path_tree : int array -> Tree.t
+(** [path_tree order] is the Hamilton path viewed as a spanning tree
+    (a rooted list, rooted at [order.(0)]) — the tree handed to the
+    arrow protocol in Theorem 4.5. *)

@@ -1,0 +1,21 @@
+(* Cartesian graph products. See product.mli. *)
+
+let cartesian g h =
+  let ng = Graph.n g and nh = Graph.n h in
+  let id u v = (u * nh) + v in
+  let edges = ref [] in
+  (* Edges within each copy of h (fix u), and across copies (fix v). *)
+  for u = 0 to ng - 1 do
+    for v = 0 to nh - 1 do
+      Graph.iter_neighbors h v (fun v' ->
+          if v < v' then edges := (id u v, id u v') :: !edges);
+      Graph.iter_neighbors g u (fun u' ->
+          if u < u' then edges := (id u v, id u' v) :: !edges)
+    done
+  done;
+  Graph.create ~n:(ng * nh) !edges
+
+let power g k =
+  if k < 1 then invalid_arg "Product.power: k must be >= 1";
+  let rec go acc i = if i = 1 then acc else go (cartesian acc g) (i - 1) in
+  go g k

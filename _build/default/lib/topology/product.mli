@@ -1,0 +1,21 @@
+(** Cartesian graph products.
+
+    The paper's mesh and torus families are products of paths and
+    cycles, and the hypercube is an iterated product of edges; building
+    them generically both deduplicates the generators and gives the
+    test suite a strong cross-check (the generator's mesh must be
+    isomorphic to [path × path] — same size, degree profile and
+    diameter). *)
+
+val cartesian : Graph.t -> Graph.t -> Graph.t
+(** [cartesian g h] is the Cartesian product [g □ h]: vertices are
+    pairs [(u, v)] numbered [u * n_h + v]; [(u, v)] and [(u', v')] are
+    adjacent iff [u = u'] and [v ~ v'] in [h], or [v = v'] and
+    [u ~ u'] in [g]. [n = n_g · n_h],
+    [m = n_g · m_h + n_h · m_g]; the product of connected graphs is
+    connected, and distances add coordinate-wise. *)
+
+val power : Graph.t -> int -> Graph.t
+(** [power g k] is the iterated product [g □ g □ … □ g] ([k] copies,
+    [k >= 1]). [power (path 2) d] is the [d]-dimensional hypercube up
+    to vertex numbering. *)

@@ -1,0 +1,82 @@
+(* Spanning-tree constructions. See spanning.mli. *)
+
+let bfs g ~root =
+  let parent = Bfs.parents g root in
+  Array.iteri
+    (fun v p ->
+      if v <> root && p = v then invalid_arg "Spanning.bfs: disconnected graph")
+    parent;
+  Tree.of_parents ~root parent
+
+let dfs g ~root =
+  let n = Graph.n g in
+  let parent = Array.init n (fun v -> v) in
+  let seen = Array.make n false in
+  let stack = Stack.create () in
+  Stack.push (root, root) stack;
+  while not (Stack.is_empty stack) do
+    let v, p = Stack.pop stack in
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if v <> root then parent.(v) <- p;
+      let nbrs = Graph.neighbors g v in
+      for i = Array.length nbrs - 1 downto 0 do
+        if not seen.(nbrs.(i)) then Stack.push (nbrs.(i), v) stack
+      done
+    end
+  done;
+  if Array.exists (fun s -> not s) seen then
+    invalid_arg "Spanning.dfs: disconnected graph";
+  Tree.of_parents ~root parent
+
+let of_hamilton_path = Hamilton.path_tree
+
+let degree_stats t =
+  let n = Tree.n t in
+  let sum = ref 0 and maxd = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Tree.degree t v in
+    sum := !sum + d;
+    maxd := max !maxd d
+  done;
+  (!maxd, float_of_int !sum /. float_of_int n)
+
+(* Candidate Hamilton orders to try against a given graph: the known
+   constructions of Lemma 4.6 under our generators' vertex numbering. *)
+let hamilton_candidates g =
+  let n = Graph.n g in
+  let candidates = ref [] in
+  (* K_n and the path graph both admit the identity order. *)
+  candidates := Hamilton.complete n :: !candidates;
+  (* Hypercube: n a power of two, Gray-code order. *)
+  let is_pow2 = n > 0 && n land (n - 1) = 0 in
+  if is_pow2 then begin
+    let rec log2 k acc = if k = 1 then acc else log2 (k / 2) (acc + 1) in
+    let d = log2 n 0 in
+    if d >= 1 && d <= 24 then candidates := Hamilton.hypercube d :: !candidates
+  end;
+  (* Square mesh: n a perfect square, snake order. *)
+  let s = int_of_float (Float.round (sqrt (float_of_int n))) in
+  if s >= 1 && s * s = n then
+    candidates := Hamilton.mesh ~dims:[ s; s ] :: !candidates;
+  (* 3-D cube mesh. *)
+  let c = int_of_float (Float.round (Float.cbrt (float_of_int n))) in
+  if c >= 1 && c * c * c = n then
+    candidates := Hamilton.mesh ~dims:[ c; c; c ] :: !candidates;
+  !candidates
+
+let best_for_arrow g =
+  let n = Graph.n g in
+  if Graph.m g = n - 1 then
+    (* Already a tree: use it as is, rooted at a low-degree vertex. *)
+    Tree.of_graph g ~root:0
+  else
+    match
+      List.find_opt (fun order -> Hamilton.is_hamilton_path g order)
+        (hamilton_candidates g)
+    with
+    | Some order -> Hamilton.path_tree order
+    | None ->
+        let td = dfs g ~root:0 in
+        let tb = bfs g ~root:0 in
+        if Tree.max_degree td <= Tree.max_degree tb then td else tb

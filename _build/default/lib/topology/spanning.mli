@@ -1,0 +1,30 @@
+(** Spanning-tree constructions.
+
+    The arrow protocol's initialisation step (free, per Section 2.2)
+    chooses a spanning tree [T] of the network; all of Section 4's upper
+    bounds are parameterised by the tree: a Hamilton path for
+    Theorem 4.5, the perfect m-ary tree for Theorem 4.12, any
+    constant-degree spanning tree for Corollary 4.2 / Theorem 4.13. *)
+
+val bfs : Graph.t -> root:int -> Tree.t
+(** Breadth-first spanning tree (minimises depth).
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val dfs : Graph.t -> root:int -> Tree.t
+(** Depth-first spanning tree (tends to be deep and low-degree). *)
+
+val of_hamilton_path : int array -> Tree.t
+(** Alias of {!Hamilton.path_tree}: a Hamilton path as a (degree ≤ 2)
+    spanning tree. *)
+
+val best_for_arrow : Graph.t -> Tree.t
+(** The spanning tree the paper's Section 4 would pick for the arrow
+    protocol on this graph: a Hamilton path when one of the known
+    constructions applies (the graph equals K_n, a mesh, or a
+    hypercube up to our generators' numbering — detected structurally),
+    the graph itself when it is already a tree, otherwise a DFS tree
+    (degree tends to be small) with the BFS tree as fallback if the DFS
+    tree's degree is larger. *)
+
+val degree_stats : Tree.t -> int * float
+(** [(max_degree, mean_degree)] of the undirected tree. *)

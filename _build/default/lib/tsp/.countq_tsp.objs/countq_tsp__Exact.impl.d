@@ -1,0 +1,1 @@
+lib/tsp/exact.ml: Array Countq_topology Hashtbl List Nn

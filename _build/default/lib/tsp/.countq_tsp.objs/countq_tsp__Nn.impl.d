@@ -1,0 +1,1 @@
+lib/tsp/nn.ml: Array Countq_topology Hashtbl List

@@ -1,0 +1,1 @@
+lib/tsp/nn.mli: Countq_topology

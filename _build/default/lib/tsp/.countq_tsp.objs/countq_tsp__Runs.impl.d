@@ -1,0 +1,1 @@
+lib/tsp/runs.ml: Array Format List

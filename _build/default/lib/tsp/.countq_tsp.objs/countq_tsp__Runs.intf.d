@@ -1,0 +1,1 @@
+lib/tsp/runs.mli: Format

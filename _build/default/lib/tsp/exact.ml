@@ -1,0 +1,71 @@
+(* Held-Karp exact minimum TSP paths. See exact.mli. *)
+
+module Tree = Countq_topology.Tree
+module Graph = Countq_topology.Graph
+module Bfs = Countq_topology.Bfs
+
+let min_path ~dist ~start ~requests =
+  let pts = Array.of_list requests in
+  let k = Array.length pts in
+  if k = 0 then 0
+  else if k > 22 then invalid_arg "Exact.min_path: too many requests (> 22)"
+  else begin
+    (* dp.(mask).(i) = cheapest path from start visiting exactly the
+       set [mask] and ending at point i (i in mask). *)
+    let full = (1 lsl k) - 1 in
+    let inf = max_int / 4 in
+    let dp = Array.make_matrix (full + 1) k inf in
+    let d = Array.make_matrix k k 0 in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        d.(i).(j) <- dist pts.(i) pts.(j)
+      done;
+      dp.(1 lsl i).(i) <- dist start pts.(i)
+    done;
+    for mask = 1 to full do
+      for last = 0 to k - 1 do
+        if mask land (1 lsl last) <> 0 && dp.(mask).(last) < inf then begin
+          let base = dp.(mask).(last) in
+          for next = 0 to k - 1 do
+            if mask land (1 lsl next) = 0 then begin
+              let mask' = mask lor (1 lsl next) in
+              let cand = base + d.(last).(next) in
+              if cand < dp.(mask').(next) then dp.(mask').(next) <- cand
+            end
+          done
+        end
+      done
+    done;
+    let best = ref inf in
+    for last = 0 to k - 1 do
+      if dp.(full).(last) < !best then best := dp.(full).(last)
+    done;
+    !best
+  end
+
+let min_path_on_tree t ~start ~requests =
+  min_path ~dist:(fun u v -> Tree.dist t u v) ~start ~requests
+
+let min_path_on_graph g ~start ~requests =
+  let cache = Hashtbl.create 16 in
+  let dist u v =
+    let row =
+      match Hashtbl.find_opt cache u with
+      | Some row -> row
+      | None ->
+          let row = Bfs.distances g u in
+          Hashtbl.replace cache u row;
+          row
+    in
+    row.(v)
+  in
+  min_path ~dist ~start ~requests
+
+let nn_ratio ~dist ~start ~requests =
+  let n =
+    1 + List.fold_left max start requests
+    (* oracle-based: any n larger than every id works. *)
+  in
+  let tour = Nn.on_metric ~dist ~n ~start ~requests in
+  let opt = min_path ~dist ~start ~requests in
+  if opt = 0 then 1.0 else float_of_int tour.cost /. float_of_int opt

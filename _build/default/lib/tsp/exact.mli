@@ -1,0 +1,31 @@
+(** Exact minimum travelling-salesperson paths (Held–Karp dynamic
+    programming) for small instances.
+
+    Rosenkrantz, Stearns and Lewis proved the nearest-neighbour
+    heuristic is a [log k] approximation on triangle-inequality
+    metrics — the result Corollary 4.2 leans on. Comparing {!Nn}
+    tours against these exact optima measures the actual ratio on the
+    trees we care about. Exponential in [|R|]; intended for
+    [|R| <= 20]. *)
+
+val min_path :
+  dist:(int -> int -> int) -> start:int -> requests:int list -> int
+(** [min_path ~dist ~start ~requests] is the minimum total distance of
+    a path that starts at [start] and visits every request exactly once
+    (no return to start — the open tour the nearest-neighbour cost
+    model uses).
+    @raise Invalid_argument if [requests] has more than 22 elements or
+    is empty-with-negative semantics (an empty list costs 0). *)
+
+val min_path_on_tree :
+  Countq_topology.Tree.t -> start:int -> requests:int list -> int
+(** {!min_path} over tree-path distances. *)
+
+val min_path_on_graph :
+  Countq_topology.Graph.t -> start:int -> requests:int list -> int
+(** {!min_path} over BFS shortest-path distances. *)
+
+val nn_ratio :
+  dist:(int -> int -> int) -> start:int -> requests:int list -> float
+(** Nearest-neighbour cost divided by the optimum (1.0 when the
+    optimum is 0). *)

@@ -1,0 +1,113 @@
+(* Nearest-neighbour TSP tours. See nn.mli. *)
+
+module Tree = Countq_topology.Tree
+module Graph = Countq_topology.Graph
+module Bfs = Countq_topology.Bfs
+
+type tour = { order : int array; legs : int array; cost : int }
+
+let check_requests n requests name =
+  let seen = Array.make n false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg (name ^ ": request out of range");
+      if seen.(v) then invalid_arg (name ^ ": duplicate request");
+      seen.(v) <- true)
+    requests
+
+(* Greedy tour over an arbitrary distance oracle. At each step scan the
+   unvisited requests for the closest one (smallest id on ties). *)
+let greedy ~dist ~start ~requests =
+  let k = List.length requests in
+  let remaining = Array.of_list (List.sort compare requests) in
+  let alive = Array.make k true in
+  let order = Array.make k (-1) in
+  let legs = Array.make k 0 in
+  let cost = ref 0 in
+  let current = ref start in
+  for step = 0 to k - 1 do
+    let best = ref (-1) in
+    let best_d = ref max_int in
+    for i = 0 to k - 1 do
+      if alive.(i) then begin
+        let d = dist !current remaining.(i) in
+        if d < !best_d then begin
+          best_d := d;
+          best := i
+        end
+      end
+    done;
+    alive.(!best) <- false;
+    order.(step) <- remaining.(!best);
+    legs.(step) <- !best_d;
+    cost := !cost + !best_d;
+    current := remaining.(!best)
+  done;
+  { order; legs; cost = !cost }
+
+let on_tree t ~start ~requests =
+  let n = Tree.n t in
+  if start < 0 || start >= n then invalid_arg "Nn.on_tree: start out of range";
+  check_requests n requests "Nn.on_tree";
+  greedy ~dist:(fun u v -> Tree.dist t u v) ~start ~requests
+
+(* BFS from the current position at every step: O(|R| (n + m)) total,
+   and exact on any connected graph. *)
+let on_graph g ~start ~requests =
+  let n = Graph.n g in
+  if start < 0 || start >= n then invalid_arg "Nn.on_graph: start out of range";
+  check_requests n requests "Nn.on_graph";
+  let cache = Hashtbl.create 16 in
+  let dist u v =
+    let row =
+      match Hashtbl.find_opt cache u with
+      | Some row -> row
+      | None ->
+          let row = Bfs.distances g u in
+          Hashtbl.replace cache u row;
+          row
+    in
+    if row.(v) < 0 then invalid_arg "Nn.on_graph: disconnected graph"
+    else row.(v)
+  in
+  greedy ~dist ~start ~requests
+
+let on_metric ~dist ~n ~start ~requests =
+  if start < 0 || start >= n then invalid_arg "Nn.on_metric: start out of range";
+  check_requests n requests "Nn.on_metric";
+  greedy ~dist ~start ~requests
+
+let worst_case_on_list ~n =
+  if n < 2 then invalid_arg "Nn.worst_case_on_list: n must be >= 2";
+  let start = n / 2 in
+  (* Place requests on alternating sides of [start] at Fibonacci-like
+     offsets, so each greedy choice crosses the whole visited span
+     (runs of length 1 — the extreme of Lemma 4.4's recurrence). *)
+  let requests = ref [] in
+  let left = ref start and right = ref start in
+  let gap = ref 1 in
+  let side = ref true in
+  let continue = ref true in
+  while !continue do
+    if !side then begin
+      let p = !right + !gap in
+      if p <= n - 1 then begin
+        requests := p :: !requests;
+        right := p
+      end
+      else continue := false
+    end
+    else begin
+      let p = !left - !gap in
+      if p >= 0 then begin
+        requests := p :: !requests;
+        left := p
+      end
+      else continue := false
+    end;
+    (* Next gap must exceed the whole current span so the opposite
+       frontier stays the nearest unvisited point. *)
+    gap := !right - !left + 1;
+    side := not !side
+  done;
+  (start, List.sort compare !requests)

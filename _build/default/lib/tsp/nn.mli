@@ -1,0 +1,43 @@
+(** Nearest-neighbour travelling-salesperson tours.
+
+    Herlihy, Tirthapura and Wattenhofer bound the arrow protocol's
+    one-shot concurrent cost by twice the cost of the nearest-neighbour
+    TSP on the spanning tree visiting the request set (the paper's
+    Theorem 4.1); Section 4 then bounds that tour on specific trees
+    (list: [<= 3n], Lemma 4.3; perfect m-ary tree: [O(n)], Theorem 4.7;
+    any tree: [O(n log n)] via Rosenkrantz's [log k] bound). This
+    module computes the tours those theorems reason about. *)
+
+type tour = {
+  order : int array;  (** the visit order; [order.(0)] is the start. *)
+  legs : int array;  (** [legs.(i)] = distance from visit [i-1] (or the
+                         start for [i=0]) to visit [i]. *)
+  cost : int;  (** total distance travelled = sum of legs. *)
+}
+
+val on_tree :
+  Countq_topology.Tree.t -> start:int -> requests:int list -> tour
+(** [on_tree t ~start ~requests] runs the greedy nearest-neighbour tour
+    on tree-path distances: from the current position, visit the
+    closest unvisited request (ties broken toward the smallest vertex
+    id), starting from [start]. [start] itself is not visited unless it
+    is in [requests] (if it is, it is visited first at distance 0).
+    O(|R|² log n). @raise Invalid_argument on out-of-range requests. *)
+
+val on_graph :
+  Countq_topology.Graph.t -> start:int -> requests:int list -> tour
+(** Same greedy tour measured with shortest-path (BFS) distances on an
+    arbitrary connected graph; used by the Rosenkrantz approximation
+    study. O(|R| · (n + m)). *)
+
+val on_metric :
+  dist:(int -> int -> int) -> n:int -> start:int -> requests:int list -> tour
+(** Generic variant over an arbitrary metric oracle on points
+    [0 .. n-1]. *)
+
+val worst_case_on_list : n:int -> (int * int list)
+(** [(start, requests)] on the list [0 .. n-1] built to make the greedy
+    tour zigzag around a central start (the Fibonacci-like run
+    structure of Lemma 4.4): successive gaps grow so each next-nearest
+    choice alternates sides, driving the tour cost toward the [3n]
+    ceiling of Lemma 4.3. *)

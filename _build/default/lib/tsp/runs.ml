@@ -1,0 +1,84 @@
+(* Run decomposition on the list (Lemma 4.3/4.4). See runs.mli. *)
+
+type run = { first : int; last : int; length : int }
+
+type certificate = {
+  runs : run list;
+  xs : int array;
+  lemma44_holds : bool;
+  cost : int;
+  bound_3n : int;
+}
+
+let decompose ~start:_ order =
+  let k = Array.length order in
+  if k = 0 then []
+  else begin
+    let runs = ref [] in
+    let run_start = ref 0 in
+    let dir = ref 0 in
+    (* dir: 0 unknown, +1 increasing, -1 decreasing. *)
+    let flush last_index =
+      let first = order.(!run_start) in
+      let last = order.(last_index) in
+      runs := { first; last; length = last_index - !run_start + 1 } :: !runs
+    in
+    for i = 1 to k - 1 do
+      let step = compare order.(i) order.(i - 1) in
+      if !dir = 0 then dir := step
+      else if step <> !dir then begin
+        flush (i - 1);
+        run_start := i;
+        dir := 0
+      end
+    done;
+    flush (k - 1);
+    List.rev !runs
+  end
+
+let certify ~n ~start order =
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Runs.certify: position out of range")
+    order;
+  if start < 0 || start >= n then invalid_arg "Runs.certify: start out of range";
+  let runs = decompose ~start order in
+  let lasts = List.map (fun r -> r.last) runs in
+  let xs =
+    let prev = ref start in
+    Array.of_list
+      (List.map
+         (fun last ->
+           let x = abs (last - !prev) in
+           prev := last;
+           x)
+         lasts)
+  in
+  let m = Array.length xs in
+  let lemma44_holds =
+    let ok = ref true in
+    if m >= 2 && xs.(1) < xs.(0) then ok := false;
+    for i = 2 to m - 1 do
+      if xs.(i) < xs.(i - 1) + xs.(i - 2) then ok := false
+    done;
+    !ok
+  in
+  let cost =
+    let c = ref 0 and prev = ref start in
+    Array.iter
+      (fun v ->
+        c := !c + abs (v - !prev);
+        prev := v)
+      order;
+    !c
+  in
+  { runs; xs; lemma44_holds; cost; bound_3n = 3 * n }
+
+let pp_certificate ppf c =
+  Format.fprintf ppf
+    "@[<v>runs=%d cost=%d bound=3n=%d lemma4.4=%b@,xs=[%a]@]"
+    (List.length c.runs) c.cost c.bound_3n c.lemma44_holds
+    (Format.pp_print_seq
+       ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+       Format.pp_print_int)
+    (Array.to_seq c.xs)

@@ -1,0 +1,37 @@
+(** Run decomposition of nearest-neighbour tours on the list — the
+    combinatorial core of Lemma 4.3.
+
+    The lemma writes the greedy visit order [π] as a concatenation of
+    maximal monotone "runs" [π₁ π₂ … π_m] (consecutive visits moving in
+    one direction along the list). With [x_i] the distance from the
+    last vertex of run [i-1] to the last vertex of run [i] (and [x_1]
+    measured from the start), Lemma 4.4 proves [x_i >= x_{i-1} + x_{i-2}],
+    whence the total cost telescopes to [<= 3n]. This module extracts
+    the runs and checks both inequalities on actual tours, turning the
+    paper's proof into an executable certificate. *)
+
+type run = { first : int; last : int; length : int }
+(** A maximal monotone segment of the visit order: [first] and [last]
+    are list positions (vertex ids), [length] the number of visits. *)
+
+type certificate = {
+  runs : run list;  (** the decomposition [π₁ … π_m]. *)
+  xs : int array;  (** [xs.(i-1) = x_i] of Lemma 4.3 (1-based in the
+                       paper). *)
+  lemma44_holds : bool;
+      (** [x_i >= x_{i-1} + x_{i-2}] for all [i >= 3]. *)
+  cost : int;  (** tour cost recomputed from list positions. *)
+  bound_3n : int;  (** [3n], the Lemma 4.3 ceiling. *)
+}
+
+val decompose : start:int -> int array -> run list
+(** [decompose ~start order] splits the visit order into maximal
+    monotone runs. A single visit forms a run of length 1; direction
+    changes end runs. *)
+
+val certify : n:int -> start:int -> int array -> certificate
+(** [certify ~n ~start order] builds the full Lemma 4.3 certificate for
+    a visit order on the list [0 .. n-1].
+    @raise Invalid_argument on out-of-range positions. *)
+
+val pp_certificate : Format.formatter -> certificate -> unit

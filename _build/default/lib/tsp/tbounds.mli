@@ -1,0 +1,34 @@
+(** Closed-form bounds from Section 4, made executable so experiments
+    can print measured-vs-proved columns. *)
+
+val list_bound : int -> int
+(** Lemma 4.3: a nearest-neighbour tour on the list of [n] vertices
+    costs at most [3n], for any request set and start. *)
+
+val f : int -> int
+(** The recurrence of Theorem 4.7: [f 0 = 0],
+    [f k = 2 f (k-1) + 2k]. *)
+
+val f_bound : int -> int
+(** Lemma 4.8: [f k < 2^(k+2)]. *)
+
+val perfect_binary_bound : n:int -> int
+(** Theorem 4.7's explicit ceiling for the perfect binary tree on [n]
+    vertices: [2d(d+1) + 8n] with [d = floor(log2 n)] — i.e. the
+    [Θ(n)] bound with the paper's constants. *)
+
+val rosenkrantz_ratio : int -> float
+(** Rosenkrantz–Stearns–Lewis: the nearest-neighbour tour on any
+    [k]-point triangle-inequality metric costs at most
+    [(ceil(log2 k) + 1) / 2] times the optimum (clamped below at 1.0,
+    where nearest-neighbour is exactly optimal). *)
+
+val constant_degree_tree_bound : n:int -> k:int -> int
+(** Corollary 4.2's shape: on any tree with [n] vertices the
+    nearest-neighbour tour over [k] requests costs
+    [O(n log k)] — concretely [n * (ceil(log2 k) + 1)], since the
+    optimal tour costs at most [2n] (an Euler tour) and the
+    Rosenkrantz factor applies. *)
+
+val log2_ceil : int -> int
+(** [ceil(log2 k)] for [k >= 1]. *)

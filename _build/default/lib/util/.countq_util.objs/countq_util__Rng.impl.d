@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Int Int64 Set

@@ -1,0 +1,41 @@
+(* Fork-join parallel map over domains. See parallel.mli. *)
+
+type 'b outcome = Value of 'b | Failed of exn
+
+let map ~jobs f xs =
+  if jobs < 1 then invalid_arg "Parallel.map: jobs must be >= 1";
+  if jobs = 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let k = Array.length items in
+    let results = Array.make k None in
+    let next = Atomic.make 0 in
+    (* Work-stealing by atomic counter: each domain claims the next
+       unprocessed index until none remain. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < k then begin
+          let r = try Value (f items.(i)) with e -> Failed e in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min (jobs - 1) (max 0 (k - 1))) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (fun cell ->
+           match cell with
+           | Some (Value v) -> v
+           | Some (Failed e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)

@@ -1,0 +1,18 @@
+(** Minimal deterministic fork–join parallelism over OCaml 5 domains.
+
+    Experiments are pure functions of their seeds, so they can be
+    evaluated on separate domains with no shared state; results come
+    back in input order regardless of completion order. Used by the
+    benchmark harness's [--jobs] option. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] evaluates [f] on every element using at most
+    [jobs] domains (plus the caller). Results are in input order. If
+    [f] raises on some element, the exception is re-raised in the
+    caller after all domains are joined (the first failing index
+    wins). [jobs <= 1] degrades to [List.map f xs].
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1 — a sensible
+    default for [--jobs]. *)

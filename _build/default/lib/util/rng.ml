@@ -1,0 +1,71 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. Small state, splittable, excellent quality
+   for simulation workloads. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.logxor seed 0x5851f42d4c957f2dL) }
+let copy r = { state = r.state }
+
+let int64 r =
+  r.state <- Int64.add r.state golden;
+  mix r.state
+
+let split r =
+  let s = int64 r in
+  { state = mix s }
+
+let bits30 r = Int64.to_int (Int64.logand (int64 r) 0x3fffffffL)
+
+let below r n =
+  if n <= 0 then invalid_arg "Rng.below: n must be positive";
+  if n = 1 then 0
+  else begin
+    (* Rejection sampling on 62 usable bits for exact uniformity. *)
+    let mask = 0x3fffffffffffffffL in
+    let bound = Int64.to_int (Int64.logand Int64.max_int mask) in
+    let limit = bound - (bound mod n) in
+    let rec draw () =
+      let x = Int64.to_int (Int64.logand (int64 r) mask) in
+      if x >= limit then draw () else x mod n
+    in
+    draw ()
+  end
+
+let float r =
+  let x = Int64.shift_right_logical (int64 r) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let bool r = Int64.logand (int64 r) 1L = 1L
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = below r (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation r n =
+  let a = Array.init n (fun i -> i) in
+  shuffle r a;
+  a
+
+let sample r ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample: need 0 <= k <= n";
+  (* Floyd's algorithm: O(k) expected insertions. *)
+  let module S = Set.Make (Int) in
+  let chosen = ref S.empty in
+  for j = n - k to n - 1 do
+    let t = below r (j + 1) in
+    if S.mem t !chosen then chosen := S.add j !chosen
+    else chosen := S.add t !chosen
+  done;
+  S.elements !chosen

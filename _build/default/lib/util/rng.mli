@@ -1,0 +1,48 @@
+(** Deterministic splittable pseudo-random numbers (splitmix64).
+
+    Every simulation in this repository is a pure function of
+    (topology, request set, seed); this module is the only source of
+    randomness. It is deliberately not [Stdlib.Random]: splitmix64 has a
+    tiny, explicit state that can be split into independent streams, so
+    concurrent experiments and property tests are exactly replayable. *)
+
+type t
+(** A mutable generator. *)
+
+val create : int64 -> t
+(** [create seed] makes a generator from a 64-bit seed. Generators with
+    distinct seeds produce independent-looking streams. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val split : t -> t
+(** [split r] advances [r] and returns a new generator whose stream is
+    independent of the remainder of [r]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** Next 30 uniformly random bits as a non-negative [int]. *)
+
+val below : t -> int -> int
+(** [below r n] is uniform in [0 .. n-1]. Uses rejection sampling, so it
+    is exactly uniform. @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> k:int -> n:int -> int list
+(** [sample r ~k ~n] draws a uniformly random [k]-subset of
+    [0 .. n-1], returned sorted. @raise Invalid_argument if
+    [k < 0 || k > n]. *)
+
+val permutation : t -> int -> int array
+(** [permutation r n] is a uniformly random permutation of [0 .. n-1]. *)

@@ -1,0 +1,51 @@
+(* Descriptive statistics. See stats.mli. *)
+
+type summary = {
+  count : int;
+  total : int;
+  mean : float;
+  median : float;
+  p95 : float;
+  min : int;
+  max : int;
+  stddev : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty input";
+  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q outside [0, 1]";
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize samples =
+  if samples = [] then invalid_arg "Stats.summarize: empty sample list";
+  let a = Array.of_list (List.map float_of_int samples) in
+  Array.sort compare a;
+  let count = Array.length a in
+  let total = List.fold_left ( + ) 0 samples in
+  let mean = float_of_int total /. float_of_int count in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a
+    /. float_of_int count
+  in
+  {
+    count;
+    total;
+    mean;
+    median = percentile a 0.5;
+    p95 = percentile a 0.95;
+    min = int_of_float a.(0);
+    max = int_of_float a.(count - 1);
+    stddev = sqrt var;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f median=%.1f p95=%.1f max=%d" s.count
+    s.mean s.median s.p95 s.max

@@ -1,0 +1,27 @@
+(** Small descriptive statistics over integer samples (delays, message
+    counts) — used by the long-lived experiments and the multicast
+    reports. *)
+
+type summary = {
+  count : int;
+  total : int;
+  mean : float;
+  median : float;
+  p95 : float;  (** 95th percentile (nearest-rank on the sorted data,
+                    interpolated between neighbours). *)
+  min : int;
+  max : int;
+  stddev : float;  (** population standard deviation. *)
+}
+
+val summarize : int list -> summary
+(** [summarize samples] computes all fields in one pass over a sorted
+    copy. @raise Invalid_argument on an empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [[0, 1]]: linear interpolation
+    between closest ranks of an already-sorted array.
+    @raise Invalid_argument on empty input or [q] outside [[0, 1]]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line rendering: count/mean/median/p95/max. *)

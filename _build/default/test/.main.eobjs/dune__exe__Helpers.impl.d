@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Countq_topology Countq_util Int64 List Printf QCheck2 QCheck_alcotest String

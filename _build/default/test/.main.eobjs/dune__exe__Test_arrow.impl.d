@@ -1,0 +1,1 @@
+test/test_arrow.ml: Alcotest Array Countq_arrow Countq_simnet Countq_topology Countq_tsp Countq_util Format Hashtbl Helpers List Printf QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Countq_arrow Countq_counting Countq_simnet Countq_topology Helpers List Printf QCheck2 Result

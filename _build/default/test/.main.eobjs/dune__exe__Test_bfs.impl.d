@@ -1,0 +1,1 @@
+test/test_bfs.ml: Alcotest Array Countq_topology Helpers List QCheck2

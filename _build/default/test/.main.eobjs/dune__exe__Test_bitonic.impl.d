@@ -1,0 +1,1 @@
+test/test_bitonic.ml: Alcotest Array Countq_counting Countq_util Helpers Int64 List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Countq_bounds Countq_tsp Helpers List Printf QCheck2

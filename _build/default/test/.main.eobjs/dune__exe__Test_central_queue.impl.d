@@ -1,0 +1,1 @@
+test/test_central_queue.ml: Alcotest Countq_arrow Countq_counting Countq_queuing Countq_topology Format Helpers List Printf QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Countq Countq_topology Format Helpers List Printf String

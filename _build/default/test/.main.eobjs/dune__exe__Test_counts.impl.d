@@ -1,0 +1,1 @@
+test/test_counts.ml: Alcotest Countq_counting Result

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Countq_topology Countq_tsp Countq_util Helpers Int64 List QCheck2

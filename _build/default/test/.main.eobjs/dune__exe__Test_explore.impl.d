@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Countq_arrow Countq_counting Countq_simnet Countq_topology Format List String

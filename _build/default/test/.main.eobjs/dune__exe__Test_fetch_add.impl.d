@@ -1,0 +1,1 @@
+test/test_fetch_add.ml: Alcotest Countq_counting Countq_topology Countq_util Format Helpers List Printf QCheck2 Result

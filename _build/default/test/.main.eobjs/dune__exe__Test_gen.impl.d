@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Countq_topology Countq_util Helpers List QCheck2

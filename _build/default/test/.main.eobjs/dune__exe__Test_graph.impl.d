@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Countq_topology Helpers QCheck2

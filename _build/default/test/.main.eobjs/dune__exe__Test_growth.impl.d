@@ -1,0 +1,1 @@
+test/test_growth.ml: Alcotest Countq Countq_tsp Countq_util Helpers List Printf QCheck2

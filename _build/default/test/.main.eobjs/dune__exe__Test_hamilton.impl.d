@@ -1,0 +1,1 @@
+test/test_hamilton.ml: Alcotest Countq_topology Helpers List Printf QCheck2 String

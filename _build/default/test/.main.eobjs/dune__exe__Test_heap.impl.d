@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Countq_util Helpers List QCheck2

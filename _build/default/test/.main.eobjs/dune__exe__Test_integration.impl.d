@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Countq Countq_arrow Countq_counting Countq_simnet Countq_topology Countq_tsp Countq_util Helpers List Printf Result

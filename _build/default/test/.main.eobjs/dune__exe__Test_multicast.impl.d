@@ -1,0 +1,1 @@
+test/test_multicast.ml: Alcotest Countq_multicast Countq_topology Countq_util Format Helpers Int64 List Printf QCheck2

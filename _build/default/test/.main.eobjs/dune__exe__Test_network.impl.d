@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Countq_counting Countq_topology Countq_util Format Helpers Int64 List Printf QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Countq_topology Countq_tsp Countq_util Helpers Int64 List QCheck2

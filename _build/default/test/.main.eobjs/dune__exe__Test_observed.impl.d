@@ -1,0 +1,1 @@
+test/test_observed.ml: Alcotest Array Countq_arrow Countq_bounds Countq_simnet Countq_topology Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Countq_arrow Countq_util Format Helpers Int64 List QCheck2

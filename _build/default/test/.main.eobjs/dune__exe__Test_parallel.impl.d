@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Countq_util Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_product.ml: Alcotest Countq_topology Helpers List QCheck2

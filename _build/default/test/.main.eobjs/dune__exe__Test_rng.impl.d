@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Countq_util Fun Helpers List QCheck2

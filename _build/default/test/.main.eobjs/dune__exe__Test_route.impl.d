@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Countq_simnet Countq_topology List

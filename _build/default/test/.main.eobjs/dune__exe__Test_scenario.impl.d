@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Countq Countq_topology Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Countq_util Helpers QCheck2

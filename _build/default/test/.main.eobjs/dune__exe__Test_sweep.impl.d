@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Array Countq_bounds Countq_counting Countq_topology Format Helpers List Printf QCheck2 Result

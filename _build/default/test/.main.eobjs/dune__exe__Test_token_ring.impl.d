@@ -1,0 +1,1 @@
+test/test_token_ring.ml: Alcotest Countq_arrow Countq_queuing Countq_topology Format Helpers List Printf QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Countq_simnet Countq_topology Format List String

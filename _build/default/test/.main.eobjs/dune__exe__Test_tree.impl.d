@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Countq_topology Countq_util Helpers Int64 QCheck2

@@ -1,0 +1,72 @@
+(* Shared helpers for the test suites. *)
+
+module Rng = Countq_util.Rng
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+module Tree = Countq_topology.Tree
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* A deterministic RNG per test, derived from a fixed master seed so
+   failures replay exactly. *)
+let rng () = Rng.create 0xdeadbeefL
+
+let all_nodes n = List.init n (fun i -> i)
+
+(* QCheck generator: a small connected topology from the paper's zoo,
+   tagged with a printable name. *)
+let topology_gen =
+  let open QCheck2.Gen in
+  let* pick = int_range 0 6 in
+  match pick with
+  | 0 ->
+      let* n = int_range 1 40 in
+      return (Printf.sprintf "complete-%d" n, Gen.complete n)
+  | 1 ->
+      let* n = int_range 1 60 in
+      return (Printf.sprintf "path-%d" n, Gen.path n)
+  | 2 ->
+      let* n = int_range 2 40 in
+      return (Printf.sprintf "star-%d" n, Gen.star n)
+  | 3 ->
+      let* s = int_range 2 7 in
+      return (Printf.sprintf "mesh-%dx%d" s s, Gen.square_mesh s)
+  | 4 ->
+      let* d = int_range 1 5 in
+      return (Printf.sprintf "hypercube-%d" d, Gen.hypercube d)
+  | 5 ->
+      let* h = int_range 0 4 in
+      return
+        (Printf.sprintf "pbt-2-%d" h, Gen.perfect_tree ~arity:2 ~height:h)
+  | _ ->
+      let* n = int_range 1 50 in
+      let* seed = int_range 0 10_000 in
+      return
+        ( Printf.sprintf "rtree-%d-%d" n seed,
+          Gen.random_tree (Rng.create (Int64.of_int seed)) n )
+
+let topology_print (name, _) = name
+
+(* A topology together with a (possibly empty) request subset. *)
+let instance_gen =
+  let open QCheck2.Gen in
+  let* name, g = topology_gen in
+  let n = Graph.n g in
+  let* mask = list_size (return n) bool in
+  let requests =
+    List.filteri (fun i _ -> List.nth mask i) (all_nodes n)
+  in
+  return (name, g, requests)
+
+let instance_print (name, g, requests) =
+  Printf.sprintf "%s (n=%d) R={%s}" name (Graph.n g)
+    (String.concat "," (List.map string_of_int requests))
+
+(* A non-empty request instance. *)
+let nonempty_instance_gen =
+  let open QCheck2.Gen in
+  let* name, g, requests = instance_gen in
+  if requests = [] then return (name, g, [ 0 ]) else return (name, g, requests)
+
+let check_sorted_ints msg l =
+  Alcotest.(check (list int)) msg (List.sort compare l) l

@@ -1,0 +1,43 @@
+(* Alcotest runner aggregating every suite. *)
+
+let () =
+  Alcotest.run "countq"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("heap", Test_heap.suite);
+      ("parallel", Test_parallel.suite);
+      ("graph", Test_graph.suite);
+      ("gen", Test_gen.suite);
+      ("product", Test_product.suite);
+      ("bfs", Test_bfs.suite);
+      ("tree", Test_tree.suite);
+      ("hamilton", Test_hamilton.suite);
+      ("engine", Test_engine.suite);
+      ("route", Test_route.suite);
+      ("async", Test_async.suite);
+      ("trace", Test_trace.suite);
+      ("explore", Test_explore.suite);
+      ("order", Test_order.suite);
+      ("arrow", Test_arrow.suite);
+      ("counts", Test_counts.suite);
+      ("counting", Test_counting.suite);
+      ("bitonic", Test_bitonic.suite);
+      ("network", Test_network.suite);
+      ("sweep", Test_sweep.suite);
+      ("fetch-add", Test_fetch_add.suite);
+      ("periodic", Test_periodic.suite);
+      ("central-queue", Test_central_queue.suite);
+      ("token-ring", Test_token_ring.suite);
+      ("nn", Test_nn.suite);
+      ("runs", Test_runs.suite);
+      ("exact", Test_exact.suite);
+      ("bounds", Test_bounds.suite);
+      ("observed", Test_observed.suite);
+      ("multicast", Test_multicast.suite);
+      ("growth", Test_growth.suite);
+      ("scenario", Test_scenario.suite);
+      ("core", Test_core.suite);
+      ("integration", Test_integration.suite);
+      ("printers", Test_printers.suite);
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the bitonic counting network structure: sizes, the step
+   property under sequential and adversarial token orders, and the
+   count-set property. *)
+
+module Bitonic = Countq_counting.Bitonic
+module Rng = Countq_util.Rng
+
+let test_width_validation () =
+  Alcotest.check_raises "width 3"
+    (Invalid_argument "Bitonic.create: width must be a power of two >= 1")
+    (fun () -> ignore (Bitonic.create ~width:3));
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Bitonic.create: width must be a power of two >= 1")
+    (fun () -> ignore (Bitonic.create ~width:0))
+
+let test_sizes () =
+  (* |Bitonic[w]| = w log w (log w + 1) / 4. *)
+  List.iter
+    (fun (w, expect_size, expect_depth) ->
+      let net = Bitonic.create ~width:w in
+      Alcotest.(check int) (Printf.sprintf "size w=%d" w) expect_size
+        (Bitonic.size net);
+      Alcotest.(check int) (Printf.sprintf "depth w=%d" w) expect_depth
+        (Bitonic.depth net))
+    [ (1, 0, 0); (2, 1, 1); (4, 6, 3); (8, 24, 6); (16, 80, 10); (32, 240, 15) ]
+
+let test_balancer_layers_consistent () =
+  let net = Bitonic.create ~width:16 in
+  Array.iter
+    (fun (b : Bitonic.balancer) ->
+      let check_succ = function
+        | Bitonic.To_output w ->
+            Alcotest.(check bool) "output wire in range" true (w >= 0 && w < 16)
+        | Bitonic.To_balancer id ->
+            let next = (Bitonic.balancers net).(id) in
+            Alcotest.(check bool) "layers increase" true (next.layer > b.layer)
+      in
+      check_succ b.succ_top;
+      check_succ b.succ_bot)
+    (Bitonic.balancers net)
+
+let test_make_validation () =
+  Alcotest.check_raises "dangling id"
+    (Invalid_argument "Bitonic.make: dangling id") (fun () ->
+      ignore
+        (Bitonic.make ~width:2
+           ~succ:[| (Bitonic.To_balancer 5, Bitonic.To_output 0) |]
+           ~entry:[| Bitonic.To_balancer 0; Bitonic.To_balancer 0 |]));
+  Alcotest.check_raises "bad wire"
+    (Invalid_argument "Bitonic.make: bad output wire") (fun () ->
+      ignore
+        (Bitonic.make ~width:2
+           ~succ:[| (Bitonic.To_output 7, Bitonic.To_output 0) |]
+           ~entry:[| Bitonic.To_balancer 0; Bitonic.To_balancer 0 |]));
+  Alcotest.check_raises "entry size" (Invalid_argument "Bitonic.make: entry size")
+    (fun () ->
+      ignore
+        (Bitonic.make ~width:2 ~succ:[||] ~entry:[| Bitonic.To_output 0 |]))
+
+let test_width1_passthrough () =
+  let net = Bitonic.create ~width:1 in
+  let st = Bitonic.State.create net in
+  Alcotest.(check int) "exit wire 0" 0 (Bitonic.State.push st ~wire:0);
+  Alcotest.(check (array int)) "counted" [| 1 |] (Bitonic.State.exit_counts st)
+
+let test_width2_alternates () =
+  let net = Bitonic.create ~width:2 in
+  let st = Bitonic.State.create net in
+  let outs = List.init 4 (fun i -> Bitonic.State.push st ~wire:(i mod 2)) in
+  Alcotest.(check (list int)) "alternating exits" [ 0; 1; 0; 1 ] outs
+
+let step_and_counts net m next_wire =
+  let st = Bitonic.State.create net in
+  let counts = ref [] in
+  for t = 0 to m - 1 do
+    let out = Bitonic.State.push st ~wire:(next_wire t) in
+    let nth = (Bitonic.State.exit_counts st).(out) - 1 in
+    counts :=
+      Bitonic.count_of_exit ~width:(Bitonic.width net) ~wire:out ~nth :: !counts
+  done;
+  (Bitonic.State.has_step_property st, List.sort compare !counts)
+
+let test_step_property_all_widths () =
+  List.iter
+    (fun w ->
+      let net = Bitonic.create ~width:w in
+      List.iter
+        (fun m ->
+          let step, counts = step_and_counts net m (fun t -> (t * 5) mod w) in
+          Alcotest.(check bool) (Printf.sprintf "step w=%d m=%d" w m) true step;
+          Alcotest.(check (list int))
+            (Printf.sprintf "counts w=%d m=%d" w m)
+            (List.init m (fun i -> i + 1))
+            counts)
+        [ 0; 1; 2; 3; 7; 16; 33; 100 ])
+    [ 1; 2; 4; 8; 16 ]
+
+let test_skewed_inputs_still_count () =
+  (* All tokens entering one wire is the worst skew. *)
+  let net = Bitonic.create ~width:8 in
+  let step, counts = step_and_counts net 50 (fun _ -> 3) in
+  Alcotest.(check bool) "step under skew" true step;
+  Alcotest.(check (list int)) "counts" (List.init 50 (fun i -> i + 1)) counts
+
+let prop_random_input_order =
+  QCheck2.Test.make
+    ~name:"bitonic: step property + exact count set for random inputs"
+    ~count:100
+    QCheck2.Gen.(
+      pair (int_range 0 6 >|= fun e -> 1 lsl e) (pair (int_range 0 120) (int_range 0 1_000_000)))
+    (fun (w, (m, seed)) ->
+      let net = Bitonic.create ~width:w in
+      let rng = Rng.create (Int64.of_int seed) in
+      let step, counts = step_and_counts net m (fun _ -> Rng.below rng w) in
+      step && counts = List.init m (fun i -> i + 1))
+
+let suite =
+  [
+    Alcotest.test_case "width validation" `Quick test_width_validation;
+    Alcotest.test_case "sizes and depths" `Quick test_sizes;
+    Alcotest.test_case "layer monotonicity" `Quick test_balancer_layers_consistent;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "width 1 passthrough" `Quick test_width1_passthrough;
+    Alcotest.test_case "width 2 alternates" `Quick test_width2_alternates;
+    Alcotest.test_case "step property (all widths)" `Quick
+      test_step_property_all_widths;
+    Alcotest.test_case "skewed inputs" `Quick test_skewed_inputs_still_count;
+    Helpers.qcheck prop_random_input_order;
+  ]

@@ -1,0 +1,201 @@
+(* Tests for the central and combining-tree counting protocols:
+   specification compliance everywhere, and the delay shapes the paper
+   predicts (serialisation at the root, DFS rank order, star
+   quadratics). *)
+
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+module Tree = Countq_topology.Tree
+module Spanning = Countq_topology.Spanning
+module Central = Countq_counting.Central
+module Combining = Countq_counting.Combining
+module Counts = Countq_counting.Counts
+
+let check_valid msg (r : Counts.run_result) =
+  match r.valid with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%s: %a" msg Counts.pp_error e)
+
+(* ---- central counter ---- *)
+
+let test_central_no_requests () =
+  let r = Central.run ~graph:(Gen.path 4) ~requests:[] () in
+  Alcotest.(check int) "no outcomes" 0 (List.length r.outcomes)
+
+let test_central_root_requests_free () =
+  let r = Central.run ~graph:(Gen.path 4) ~requests:[ 0 ] () in
+  check_valid "root only" r;
+  Alcotest.(check int) "zero delay" 0 r.total_delay
+
+let test_central_counts_in_arrival_order () =
+  (* On a star with round-robin arbitration, counts are assigned in
+     arbitration order; the count set must be exactly 1..k anyway. *)
+  let n = 8 in
+  let r = Central.run ~graph:(Gen.star n) ~requests:(Helpers.all_nodes n) () in
+  check_valid "star all" r;
+  Alcotest.(check int) "k outcomes" n (List.length r.outcomes)
+
+let test_central_star_quadratic () =
+  (* Section 5: the star's total counting delay is Theta(n^2): requests
+     serialise into the centre and replies serialise out. *)
+  let total n =
+    (Central.run ~graph:(Gen.star n) ~requests:(Helpers.all_nodes n) ())
+      .total_delay
+  in
+  let t32 = total 32 and t64 = total 64 in
+  let growth = float_of_int t64 /. float_of_int t32 in
+  Alcotest.(check bool)
+    (Printf.sprintf "quadratic growth (x%.2f)" growth)
+    true
+    (growth > 3.0 && growth < 5.0)
+
+let test_central_path_delay_includes_distance () =
+  (* A single request at the far end of a path pays 2 * distance. *)
+  let n = 10 in
+  let r = Central.run ~graph:(Gen.path n) ~requests:[ n - 1 ] () in
+  check_valid "far request" r;
+  Alcotest.(check int) "2(n-1)" (2 * (n - 1)) r.total_delay
+
+let test_central_custom_root () =
+  let n = 10 in
+  let r = Central.run ~root:(n - 1) ~graph:(Gen.path n) ~requests:[ n - 1 ] () in
+  check_valid "custom root" r;
+  Alcotest.(check int) "local" 0 r.total_delay
+
+let test_central_rejects_bad_requests () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Central.run: request out of range") (fun () ->
+      ignore (Central.run ~graph:(Gen.path 3) ~requests:[ 5 ] ()));
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Central.run: duplicate request node") (fun () ->
+      ignore (Central.run ~graph:(Gen.path 3) ~requests:[ 1; 1 ] ()))
+
+(* ---- combining tree ---- *)
+
+let combining_on g requests =
+  Combining.run ~tree:(Spanning.bfs g ~root:0) ~requests ()
+
+let test_combining_ranks_are_dfs_order () =
+  (* On a rooted path 0-1-2-3 with everyone requesting, DFS order is
+     0,1,2,3, so ranks must be 1,2,3,4 in node order. *)
+  let g = Gen.path 4 in
+  let r = combining_on g (Helpers.all_nodes 4) in
+  check_valid "path all" r;
+  List.iter
+    (fun (o : Counts.outcome) ->
+      Alcotest.(check int) "rank = node + 1" (o.node + 1) o.count)
+    r.outcomes
+
+let test_combining_subset () =
+  let g = Gen.perfect_tree ~arity:2 ~height:3 in
+  let r = combining_on g [ 14; 3; 7 ] in
+  check_valid "subset" r;
+  Alcotest.(check int) "three outcomes" 3 (List.length r.outcomes)
+
+let test_combining_empty () =
+  let r = combining_on (Gen.perfect_tree ~arity:2 ~height:2) [] in
+  Alcotest.(check int) "silent" 0 (List.length r.outcomes);
+  Alcotest.(check int) "no messages besides reports" r.messages r.messages;
+  check_valid "empty" r
+
+let test_combining_root_only () =
+  let r = combining_on (Gen.path 5) [ 0 ] in
+  check_valid "root only" r;
+  (* The root still needs its child's (empty) report before it can
+     assign rank 1 to itself: delay equals the upsweep time. *)
+  match r.outcomes with
+  | [ o ] -> Alcotest.(check int) "rank 1" 1 o.count
+  | _ -> Alcotest.fail "one outcome"
+
+let test_combining_deep_path_linear_delay () =
+  (* On a path rooted at one end the upsweep travels n-1 hops, so even
+     one request at the root has delay ~ n. *)
+  let n = 20 in
+  let r = combining_on (Gen.path n) [ 0 ] in
+  check_valid "deep path" r;
+  Alcotest.(check bool) "delay >= n-1" true (r.max_delay >= n - 1)
+
+let test_combining_expansion_recorded () =
+  let g = Gen.star 8 in
+  let r = combining_on g (Helpers.all_nodes 8) in
+  check_valid "star combining" r;
+  Alcotest.(check int) "expansion = tree degree" 7 r.expansion
+
+let test_central_long_lived () =
+  let g = Gen.square_mesh 4 in
+  let arrivals = [ (3, 0); (3, 0); (9, 2); (14, 5); (3, 5) ] in
+  let r = Central.run_long_lived ~graph:g ~arrivals () in
+  Alcotest.(check int) "five ops" 5 (List.length r.outcomes);
+  Alcotest.(check bool) "counts exact" true r.counts_exact;
+  List.iter
+    (fun (o : Central.long_lived_outcome) ->
+      Alcotest.(check bool) "delay non-negative" true (o.delay >= 0))
+    r.outcomes
+
+let prop_central_long_lived_counts_exact =
+  QCheck2.Test.make ~name:"long-lived central counter ranks are {1..m}"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 1_000_000))
+    (fun (side, seed) ->
+      let g = Gen.square_mesh side in
+      let n = side * side in
+      let rng = Countq_util.Rng.create (Int64.of_int seed) in
+      let m = Countq_util.Rng.below rng 25 in
+      let arrivals =
+        List.init m (fun _ ->
+            (Countq_util.Rng.below rng n, Countq_util.Rng.below rng 15))
+      in
+      let r = Central.run_long_lived ~graph:g ~arrivals () in
+      r.counts_exact && List.length r.outcomes = m)
+
+let prop_central_spec =
+  QCheck2.Test.make ~name:"central counter meets the counting spec" ~count:120
+    ~print:Helpers.instance_print Helpers.instance_gen
+    (fun (_, g, requests) ->
+      let r = Central.run ~graph:g ~requests () in
+      Result.is_ok r.valid)
+
+let prop_combining_spec =
+  QCheck2.Test.make ~name:"combining tree meets the counting spec" ~count:120
+    ~print:Helpers.instance_print Helpers.instance_gen
+    (fun (_, g, requests) ->
+      let r = combining_on g requests in
+      Result.is_ok r.valid)
+
+let prop_combining_message_frugal =
+  (* The combining tree sends at most 2 messages per tree edge
+     (one report up, at most one range down). *)
+  QCheck2.Test.make ~name:"combining tree uses <= 2(n-1) messages" ~count:100
+    ~print:Helpers.instance_print Helpers.instance_gen
+    (fun (_, g, requests) ->
+      let r = combining_on g requests in
+      r.messages <= 2 * (Graph.n g - 1))
+
+let suite =
+  [
+    Alcotest.test_case "central: no requests" `Quick test_central_no_requests;
+    Alcotest.test_case "central: root request free" `Quick
+      test_central_root_requests_free;
+    Alcotest.test_case "central: arrival order" `Quick
+      test_central_counts_in_arrival_order;
+    Alcotest.test_case "central: star quadratic" `Quick test_central_star_quadratic;
+    Alcotest.test_case "central: distance charged" `Quick
+      test_central_path_delay_includes_distance;
+    Alcotest.test_case "central: custom root" `Quick test_central_custom_root;
+    Alcotest.test_case "central: bad requests" `Quick
+      test_central_rejects_bad_requests;
+    Alcotest.test_case "central: long-lived" `Quick test_central_long_lived;
+    Alcotest.test_case "combining: DFS ranks" `Quick
+      test_combining_ranks_are_dfs_order;
+    Alcotest.test_case "combining: subset" `Quick test_combining_subset;
+    Alcotest.test_case "combining: empty" `Quick test_combining_empty;
+    Alcotest.test_case "combining: root only" `Quick test_combining_root_only;
+    Alcotest.test_case "combining: deep path" `Quick
+      test_combining_deep_path_linear_delay;
+    Alcotest.test_case "combining: expansion" `Quick
+      test_combining_expansion_recorded;
+    Helpers.qcheck prop_central_spec;
+    Helpers.qcheck prop_central_long_lived_counts_exact;
+    Helpers.qcheck prop_combining_spec;
+    Helpers.qcheck prop_combining_message_frugal;
+  ]

@@ -1,0 +1,56 @@
+(* Tests for the counting-output validator. *)
+
+module Counts = Countq_counting.Counts
+
+let o node count round = { Counts.node; count; round }
+
+let test_valid () =
+  let outcomes = [ o 3 2 5; o 1 1 2; o 7 3 9 ] in
+  Alcotest.(check bool) "valid" true
+    (Result.is_ok (Counts.validate ~requests:[ 1; 3; 7 ] outcomes))
+
+let test_empty () =
+  Alcotest.(check bool) "empty valid" true
+    (Result.is_ok (Counts.validate ~requests:[] []))
+
+let test_unrequested () =
+  match Counts.validate ~requests:[ 1 ] [ o 1 1 1; o 2 2 1 ] with
+  | Error (Counts.Unrequested_count 2) -> ()
+  | _ -> Alcotest.fail "expected Unrequested_count 2"
+
+let test_duplicate_node () =
+  match Counts.validate ~requests:[ 1; 2 ] [ o 1 1 1; o 1 2 1 ] with
+  | Error (Counts.Duplicate_node 1) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_node"
+
+let test_missing_node () =
+  match Counts.validate ~requests:[ 1; 2 ] [ o 1 1 1 ] with
+  | Error (Counts.Missing_node 2) -> ()
+  | _ -> Alcotest.fail "expected Missing_node"
+
+let test_bad_count_set_gap () =
+  match Counts.validate ~requests:[ 1; 2 ] [ o 1 1 1; o 2 3 1 ] with
+  | Error Counts.Bad_count_set -> ()
+  | _ -> Alcotest.fail "expected Bad_count_set (gap)"
+
+let test_bad_count_set_zero () =
+  match Counts.validate ~requests:[ 1 ] [ o 1 0 1 ] with
+  | Error Counts.Bad_count_set -> ()
+  | _ -> Alcotest.fail "expected Bad_count_set (zero)"
+
+let test_bad_count_set_duplicate_count () =
+  match Counts.validate ~requests:[ 1; 2 ] [ o 1 1 1; o 2 1 1 ] with
+  | Error Counts.Bad_count_set -> ()
+  | _ -> Alcotest.fail "expected Bad_count_set (duplicate)"
+
+let suite =
+  [
+    Alcotest.test_case "valid" `Quick test_valid;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "unrequested" `Quick test_unrequested;
+    Alcotest.test_case "duplicate node" `Quick test_duplicate_node;
+    Alcotest.test_case "missing node" `Quick test_missing_node;
+    Alcotest.test_case "count gap" `Quick test_bad_count_set_gap;
+    Alcotest.test_case "count zero" `Quick test_bad_count_set_zero;
+    Alcotest.test_case "count duplicate" `Quick test_bad_count_set_duplicate_count;
+  ]

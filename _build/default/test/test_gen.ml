@@ -1,0 +1,235 @@
+(* Tests for the topology generators: vertex/edge counts, degree
+   profiles, structural properties of each family. *)
+
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+module Bfs = Countq_topology.Bfs
+module Rng = Countq_util.Rng
+
+let test_complete () =
+  let g = Gen.complete 6 in
+  Alcotest.(check int) "n" 6 (Graph.n g);
+  Alcotest.(check int) "m" 15 (Graph.m g);
+  Alcotest.(check int) "deg" 5 (Graph.max_degree g);
+  Alcotest.(check int) "diam" 1 (Bfs.diameter g)
+
+let test_complete_k1 () =
+  let g = Gen.complete 1 in
+  Alcotest.(check int) "m" 0 (Graph.m g)
+
+let test_path () =
+  let g = Gen.path 10 in
+  Alcotest.(check int) "m" 9 (Graph.m g);
+  Alcotest.(check int) "diam" 9 (Bfs.diameter g);
+  Alcotest.(check int) "endpoint degree" 1 (Graph.degree g 0);
+  Alcotest.(check int) "inner degree" 2 (Graph.degree g 5)
+
+let test_cycle () =
+  let g = Gen.cycle 8 in
+  Alcotest.(check int) "m" 8 (Graph.m g);
+  Alcotest.(check int) "diam" 4 (Bfs.diameter g);
+  Alcotest.(check int) "regular" 2 (Graph.max_degree g)
+
+let test_cycle_too_small () =
+  Alcotest.check_raises "n=2" (Invalid_argument "Gen.cycle: n must be >= 3")
+    (fun () -> ignore (Gen.cycle 2))
+
+let test_star () =
+  let g = Gen.star 9 in
+  Alcotest.(check int) "m" 8 (Graph.m g);
+  Alcotest.(check int) "centre degree" 8 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 3);
+  Alcotest.(check int) "diam" 2 (Bfs.diameter g)
+
+let test_mesh_2d () =
+  let g = Gen.square_mesh 4 in
+  Alcotest.(check int) "n" 16 (Graph.n g);
+  Alcotest.(check int) "m" 24 (Graph.m g);
+  (* 2*4*3 *)
+  Alcotest.(check int) "diam" 6 (Bfs.diameter g);
+  Alcotest.(check int) "corner degree" 2 (Graph.degree g 0)
+
+let test_mesh_3d () =
+  let g = Gen.mesh ~dims:[ 3; 3; 3 ] in
+  Alcotest.(check int) "n" 27 (Graph.n g);
+  Alcotest.(check int) "m" 54 (Graph.m g);
+  (* 3 * (2*3*3) = 54 *)
+  Alcotest.(check int) "diam" 6 (Bfs.diameter g)
+
+let test_mesh_degenerate () =
+  let g = Gen.mesh ~dims:[ 1; 5 ] in
+  Alcotest.(check int) "n" 5 (Graph.n g);
+  Alcotest.(check int) "m" 4 (Graph.m g)
+
+let test_torus () =
+  let g = Gen.torus ~dims:[ 4; 4 ] in
+  Alcotest.(check int) "m" 32 (Graph.m g);
+  Alcotest.(check int) "regular" 4 (Graph.max_degree g);
+  Alcotest.(check int) "diam" 4 (Bfs.diameter g)
+
+let test_torus_side2_no_doubled_edge () =
+  let g = Gen.torus ~dims:[ 2; 3 ] in
+  (* sides of length 2 collapse wrap edges: each column pair single edge *)
+  Alcotest.(check int) "m" 9 (Graph.m g)
+
+let test_hypercube () =
+  let g = Gen.hypercube 4 in
+  Alcotest.(check int) "n" 16 (Graph.n g);
+  Alcotest.(check int) "m" 32 (Graph.m g);
+  Alcotest.(check int) "diam" 4 (Bfs.diameter g);
+  Alcotest.(check int) "regular" 4 (Graph.max_degree g)
+
+let test_perfect_tree_size () =
+  Alcotest.(check int) "binary h=3" 15
+    (Gen.perfect_tree_size ~arity:2 ~height:3);
+  Alcotest.(check int) "ternary h=2" 13
+    (Gen.perfect_tree_size ~arity:3 ~height:2);
+  Alcotest.(check int) "unary h=4" 5 (Gen.perfect_tree_size ~arity:1 ~height:4)
+
+let test_perfect_tree () =
+  let g = Gen.perfect_tree ~arity:2 ~height:3 in
+  Alcotest.(check int) "n" 15 (Graph.n g);
+  Alcotest.(check int) "m" 14 (Graph.m g);
+  Alcotest.(check int) "root degree" 2 (Graph.degree g Gen.perfect_tree_root);
+  Alcotest.(check int) "max degree" 3 (Graph.max_degree g);
+  Alcotest.(check int) "diam" 6 (Bfs.diameter g)
+
+let test_balanced_tree_on () =
+  let g = Gen.balanced_tree_on ~arity:3 10 in
+  Alcotest.(check int) "n" 10 (Graph.n g);
+  Alcotest.(check int) "m" 9 (Graph.m g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_caterpillar () =
+  let g = Gen.caterpillar ~spine:5 ~legs:2 in
+  Alcotest.(check int) "n" 15 (Graph.n g);
+  Alcotest.(check int) "m" 14 (Graph.m g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "diam" 6 (Bfs.diameter g);
+  (* leaf - spine0 .. spine4 - leaf *)
+  Alcotest.(check int) "max degree" 4 (Graph.max_degree g)
+
+let test_random_tree () =
+  let rng = Helpers.rng () in
+  for n = 1 to 30 do
+    let g = Gen.random_tree rng n in
+    Alcotest.(check int) "m = n-1" (n - 1) (Graph.m g);
+    Alcotest.(check bool) "connected" true (Graph.is_connected g)
+  done
+
+let test_random_binary_tree_degree () =
+  let rng = Helpers.rng () in
+  for _ = 1 to 10 do
+    let g = Gen.random_binary_tree rng 50 in
+    Alcotest.(check int) "m" 49 (Graph.m g);
+    Alcotest.(check bool) "connected" true (Graph.is_connected g);
+    Alcotest.(check bool) "degree <= 3" true (Graph.max_degree g <= 3)
+  done
+
+let test_erdos_renyi () =
+  let rng = Helpers.rng () in
+  let g = Gen.erdos_renyi rng ~n:30 ~p:0.3 in
+  Alcotest.(check int) "n" 30 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_erdos_renyi_p_too_small () =
+  let rng = Helpers.rng () in
+  Alcotest.check_raises "hopeless p"
+    (Invalid_argument "Gen.erdos_renyi: p too small for connectivity")
+    (fun () -> ignore (Gen.erdos_renyi rng ~n:100 ~p:0.001))
+
+let test_de_bruijn () =
+  let g = Gen.de_bruijn 4 in
+  Alcotest.(check int) "n" 16 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check bool) "degree <= 4" true (Graph.max_degree g <= 4);
+  Alcotest.(check int) "diameter = d" 4 (Bfs.diameter g)
+
+let test_cube_connected_cycles () =
+  let d = 3 in
+  let g = Gen.cube_connected_cycles d in
+  Alcotest.(check int) "n = d 2^d" 24 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "3-regular" 3 (Graph.max_degree g);
+  Alcotest.(check int) "m = 3n/2" 36 (Graph.m g)
+
+let test_butterfly () =
+  let d = 3 in
+  let g = Gen.butterfly d in
+  Alcotest.(check int) "n = (d+1) 2^d" 32 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check bool) "degree <= 4" true (Graph.max_degree g <= 4);
+  Alcotest.(check int) "m = d 2^(d+1)" 48 (Graph.m g)
+
+let test_random_regular () =
+  let rng = Helpers.rng () in
+  List.iter
+    (fun (n, degree) ->
+      let g = Gen.random_regular rng ~n ~degree in
+      Alcotest.(check bool) "connected" true (Graph.is_connected g);
+      for v = 0 to n - 1 do
+        Alcotest.(check int) "regular" degree (Graph.degree g v)
+      done)
+    [ (10, 3); (16, 4); (21, 4) ]
+
+let test_random_regular_validation () =
+  let rng = Helpers.rng () in
+  Alcotest.check_raises "odd sum"
+    (Invalid_argument "Gen.random_regular: n * degree must be even") (fun () ->
+      ignore (Gen.random_regular rng ~n:5 ~degree:3))
+
+let test_lollipop () =
+  let g = Gen.lollipop ~clique:5 ~tail:4 in
+  Alcotest.(check int) "n" 9 (Graph.n g);
+  Alcotest.(check int) "m" 14 (Graph.m g);
+  (* C(5,2)=10 + 4 *)
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "diam" 5 (Bfs.diameter g)
+
+let prop_generators_connected =
+  QCheck2.Test.make ~name:"every generated topology is connected" ~count:150
+    ~print:Helpers.topology_print Helpers.topology_gen
+    (fun (_, g) -> Graph.is_connected g)
+
+let prop_prufer_uniformish =
+  QCheck2.Test.make ~name:"random trees vary with the seed" ~count:10
+    QCheck2.Gen.(int_range 5 30)
+    (fun n ->
+      let g1 = Gen.random_tree (Rng.create 1L) n in
+      let g2 = Gen.random_tree (Rng.create 2L) n in
+      (* For n >= 5 two fixed seeds virtually never coincide; equality
+         would indicate the seed is ignored. *)
+      n < 5 || not (Graph.equal g1 g2))
+
+let suite =
+  [
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "complete K1" `Quick test_complete_k1;
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "cycle too small" `Quick test_cycle_too_small;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "mesh 2d" `Quick test_mesh_2d;
+    Alcotest.test_case "mesh 3d" `Quick test_mesh_3d;
+    Alcotest.test_case "mesh degenerate" `Quick test_mesh_degenerate;
+    Alcotest.test_case "torus" `Quick test_torus;
+    Alcotest.test_case "torus side 2" `Quick test_torus_side2_no_doubled_edge;
+    Alcotest.test_case "hypercube" `Quick test_hypercube;
+    Alcotest.test_case "perfect tree size" `Quick test_perfect_tree_size;
+    Alcotest.test_case "perfect tree" `Quick test_perfect_tree;
+    Alcotest.test_case "balanced tree on n" `Quick test_balanced_tree_on;
+    Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+    Alcotest.test_case "random tree" `Quick test_random_tree;
+    Alcotest.test_case "random binary tree" `Quick test_random_binary_tree_degree;
+    Alcotest.test_case "erdos renyi" `Quick test_erdos_renyi;
+    Alcotest.test_case "erdos renyi p too small" `Quick test_erdos_renyi_p_too_small;
+    Alcotest.test_case "de bruijn" `Quick test_de_bruijn;
+    Alcotest.test_case "cube-connected cycles" `Quick test_cube_connected_cycles;
+    Alcotest.test_case "butterfly" `Quick test_butterfly;
+    Alcotest.test_case "random regular" `Quick test_random_regular;
+    Alcotest.test_case "random regular validation" `Quick
+      test_random_regular_validation;
+    Alcotest.test_case "lollipop" `Quick test_lollipop;
+    Helpers.qcheck prop_generators_connected;
+    Helpers.qcheck prop_prufer_uniformish;
+  ]

@@ -1,0 +1,82 @@
+(* Tests for the power-law growth fitter. *)
+
+module Growth = Countq.Growth
+
+let series f ns = List.map (fun n -> (n, f n)) ns
+
+let test_linear () =
+  let fit = Growth.fit_power_law (series (fun n -> 3 * n) [ 8; 16; 32; 64 ]) in
+  Alcotest.(check bool) "e ~ 1" true (abs_float (fit.exponent -. 1.0) < 1e-9);
+  Alcotest.(check bool) "c ~ 3" true (abs_float (fit.coefficient -. 3.0) < 1e-6);
+  Alcotest.(check bool) "perfect fit" true (fit.r_squared > 0.999999)
+
+let test_quadratic () =
+  let fit = Growth.fit_power_law (series (fun n -> n * n) [ 4; 8; 16; 32 ]) in
+  Alcotest.(check bool) "e ~ 2" true (abs_float (fit.exponent -. 2.0) < 1e-9)
+
+let test_constant_series () =
+  let fit = Growth.fit_power_law (series (fun _ -> 7) [ 2; 4; 8 ]) in
+  Alcotest.(check bool) "e ~ 0" true (abs_float fit.exponent < 1e-9);
+  Alcotest.(check bool) "r2 defined" true (fit.r_squared >= 0.999)
+
+let test_nlogn_between_1_and_2 () =
+  let f n = n * Countq_tsp.Tbounds.log2_ceil n in
+  let fit = Growth.fit_power_law (series f [ 16; 64; 256; 1024 ]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 < e=%.2f < 1.5" fit.exponent)
+    true
+    (fit.exponent > 1.0 && fit.exponent < 1.5)
+
+let test_drops_nonpositive_points () =
+  let fit =
+    Growth.fit_power_law [ (0, 5); (4, 0); (8, 64); (16, 256); (-3, 9) ]
+  in
+  Alcotest.(check int) "two usable" 2 fit.points;
+  Alcotest.(check bool) "e ~ 2" true (abs_float (fit.exponent -. 2.0) < 1e-9)
+
+let test_too_few_points () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Growth.fit_power_law: need at least two positive points")
+    (fun () -> ignore (Growth.fit_power_law [ (4, 16) ]))
+
+let test_degenerate_same_n () =
+  Alcotest.check_raises "same n"
+    (Invalid_argument "Growth.fit_power_law: all points share one n")
+    (fun () -> ignore (Growth.fit_power_law [ (4, 16); (4, 32) ]))
+
+let test_noise_tolerated () =
+  (* Mild multiplicative noise must not move the exponent much. *)
+  let rng = Helpers.rng () in
+  let pts =
+    List.map
+      (fun n ->
+        let noise = 0.9 +. (0.2 *. Countq_util.Rng.float rng) in
+        (n, int_of_float (float_of_int (n * n) *. noise)))
+      [ 8; 16; 32; 64; 128 ]
+  in
+  let fit = Growth.fit_power_law pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "e=%.2f near 2" fit.exponent)
+    true
+    (abs_float (fit.exponent -. 2.0) < 0.15)
+
+let prop_exact_power_laws_recovered =
+  QCheck2.Test.make ~name:"exact power laws are recovered" ~count:50
+    QCheck2.Gen.(pair (int_range 1 3) (int_range 1 5))
+    (fun (e, c) ->
+      let f n = c * int_of_float (float_of_int n ** float_of_int e) in
+      let fit = Growth.fit_power_law (series f [ 4; 8; 16; 32 ]) in
+      abs_float (fit.exponent -. float_of_int e) < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "linear" `Quick test_linear;
+    Alcotest.test_case "quadratic" `Quick test_quadratic;
+    Alcotest.test_case "constant" `Quick test_constant_series;
+    Alcotest.test_case "n log n" `Quick test_nlogn_between_1_and_2;
+    Alcotest.test_case "nonpositive dropped" `Quick test_drops_nonpositive_points;
+    Alcotest.test_case "too few points" `Quick test_too_few_points;
+    Alcotest.test_case "degenerate n" `Quick test_degenerate_same_n;
+    Alcotest.test_case "noise tolerated" `Quick test_noise_tolerated;
+    Helpers.qcheck prop_exact_power_laws_recovered;
+  ]

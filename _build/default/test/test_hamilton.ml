@@ -1,0 +1,129 @@
+(* Tests for Hamilton-path constructions (Lemma 4.6) and spanning-tree
+   selection. *)
+
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+module Hamilton = Countq_topology.Hamilton
+module Tree = Countq_topology.Tree
+module Spanning = Countq_topology.Spanning
+
+let test_complete_order () =
+  let order = Hamilton.complete 5 in
+  Alcotest.(check (array int)) "identity" [| 0; 1; 2; 3; 4 |] order;
+  Alcotest.(check bool) "valid on K5" true
+    (Hamilton.is_hamilton_path (Gen.complete 5) order)
+
+let test_mesh_snake_2d () =
+  let dims = [ 3; 4 ] in
+  let order = Hamilton.mesh ~dims in
+  Alcotest.(check bool) "valid" true
+    (Hamilton.is_hamilton_path (Gen.mesh ~dims) order);
+  Alcotest.(check (array int)) "snake shape"
+    [| 0; 1; 2; 3; 7; 6; 5; 4; 8; 9; 10; 11 |]
+    order
+
+let test_mesh_snake_higher_dims () =
+  List.iter
+    (fun dims ->
+      let order = Hamilton.mesh ~dims in
+      Alcotest.(check bool)
+        (Printf.sprintf "valid on %s"
+           (String.concat "x" (List.map string_of_int dims)))
+        true
+        (Hamilton.is_hamilton_path (Gen.mesh ~dims) order))
+    [ [ 5 ]; [ 2; 2 ]; [ 4; 5 ]; [ 3; 3; 3 ]; [ 2; 3; 4 ]; [ 2; 2; 2; 2 ] ]
+
+let test_hypercube_gray () =
+  for d = 1 to 8 do
+    let order = Hamilton.hypercube d in
+    Alcotest.(check bool)
+      (Printf.sprintf "valid on Q%d" d)
+      true
+      (Hamilton.is_hamilton_path (Gen.hypercube d) order)
+  done
+
+let test_is_hamilton_rejects () =
+  let g = Gen.path 4 in
+  Alcotest.(check bool) "wrong length" false
+    (Hamilton.is_hamilton_path g [| 0; 1; 2 |]);
+  Alcotest.(check bool) "repeat" false
+    (Hamilton.is_hamilton_path g [| 0; 1; 1; 2 |]);
+  Alcotest.(check bool) "non-edge jump" false
+    (Hamilton.is_hamilton_path g [| 0; 2; 1; 3 |]);
+  Alcotest.(check bool) "valid" true
+    (Hamilton.is_hamilton_path g [| 0; 1; 2; 3 |])
+
+let test_find_small () =
+  (match Hamilton.find (Gen.cycle 6) with
+  | Some order ->
+      Alcotest.(check bool) "cycle has hamilton path" true
+        (Hamilton.is_hamilton_path (Gen.cycle 6) order)
+  | None -> Alcotest.fail "cycle should have a Hamilton path");
+  (* The star on >= 4 vertices has no Hamilton path. *)
+  Alcotest.(check bool) "star has none" true (Hamilton.find (Gen.star 5) = None)
+
+let test_path_tree () =
+  let order = [| 2; 0; 1; 3 |] in
+  let t = Hamilton.path_tree order in
+  Alcotest.(check int) "root" 2 (Tree.root t);
+  Alcotest.(check int) "max degree" 2 (Tree.max_degree t);
+  Alcotest.(check int) "depth of last" 3 (Tree.depth t 3)
+
+let test_best_for_arrow_uses_hamilton () =
+  List.iter
+    (fun (name, g) ->
+      let t = Spanning.best_for_arrow g in
+      Alcotest.(check int) (name ^ ": degree 2 tree") 2 (Tree.max_degree t);
+      Alcotest.(check int) (name ^ ": spans") (Graph.n g) (Tree.n t))
+    [
+      ("K16", Gen.complete 16);
+      ("mesh 5x5", Gen.square_mesh 5);
+      ("hypercube 4", Gen.hypercube 4);
+      ("path 17", Gen.path 17);
+    ]
+
+let test_best_for_arrow_on_tree_graph () =
+  let g = Gen.perfect_tree ~arity:3 ~height:2 in
+  let t = Spanning.best_for_arrow g in
+  (* The graph is its own spanning tree. *)
+  Alcotest.(check int) "n" (Graph.n g) (Tree.n t);
+  Alcotest.(check int) "root" 0 (Tree.root t)
+
+let test_best_for_arrow_fallback () =
+  (* A graph with no cheap Hamilton construction: bounded-degree tree
+     fallback must still span. *)
+  let rng = Helpers.rng () in
+  let g = Gen.erdos_renyi rng ~n:24 ~p:0.25 in
+  let t = Spanning.best_for_arrow g in
+  Alcotest.(check int) "spans" 24 (Tree.n t)
+
+let test_degree_stats () =
+  let t = Hamilton.path_tree [| 0; 1; 2; 3; 4 |] in
+  let maxd, mean = Spanning.degree_stats t in
+  Alcotest.(check int) "max" 2 maxd;
+  Alcotest.(check bool) "mean = 2(n-1)/n" true (abs_float (mean -. 1.6) < 1e-9)
+
+let prop_mesh_snake_all_sizes =
+  QCheck2.Test.make ~name:"snake order valid on random meshes" ~count:50
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 1 6))
+    (fun (a, b) ->
+      let dims = [ a; b ] in
+      Hamilton.is_hamilton_path (Gen.mesh ~dims) (Hamilton.mesh ~dims))
+
+let suite =
+  [
+    Alcotest.test_case "complete order" `Quick test_complete_order;
+    Alcotest.test_case "mesh snake 2d" `Quick test_mesh_snake_2d;
+    Alcotest.test_case "mesh snake higher dims" `Quick test_mesh_snake_higher_dims;
+    Alcotest.test_case "hypercube gray code" `Quick test_hypercube_gray;
+    Alcotest.test_case "is_hamilton_path rejects" `Quick test_is_hamilton_rejects;
+    Alcotest.test_case "exhaustive find" `Quick test_find_small;
+    Alcotest.test_case "path tree" `Quick test_path_tree;
+    Alcotest.test_case "best_for_arrow finds Hamilton trees" `Quick
+      test_best_for_arrow_uses_hamilton;
+    Alcotest.test_case "best_for_arrow on tree graphs" `Quick
+      test_best_for_arrow_on_tree_graph;
+    Alcotest.test_case "best_for_arrow fallback" `Quick test_best_for_arrow_fallback;
+    Alcotest.test_case "degree stats" `Quick test_degree_stats;
+    Helpers.qcheck prop_mesh_snake_all_sizes;
+  ]

@@ -1,0 +1,81 @@
+(* Tests for the binary min-heap. *)
+
+module Heap = Countq_util.Heap
+
+let test_empty () =
+  let h : (int, string) Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k k) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) ->
+        out := k :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (List.rev !out)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h 7 "first";
+  Heap.push h 7 "second";
+  Heap.push h 7 "third";
+  Alcotest.(check (option (pair int string))) "peek first" (Some (7, "first"))
+    (Heap.peek h);
+  Alcotest.(check string) "1" "first" (snd (Heap.pop_exn h));
+  Alcotest.(check string) "2" "second" (snd (Heap.pop_exn h));
+  Alcotest.(check string) "3" "third" (snd (Heap.pop_exn h))
+
+let test_interleaved_push_pop () =
+  let h = Heap.create () in
+  Heap.push h 3 ();
+  Heap.push h 1 ();
+  Alcotest.(check int) "pop 1" 1 (fst (Heap.pop_exn h));
+  Heap.push h 2 ();
+  Heap.push h 0 ();
+  Alcotest.(check int) "pop 0" 0 (fst (Heap.pop_exn h));
+  Alcotest.(check int) "pop 2" 2 (fst (Heap.pop_exn h));
+  Alcotest.(check int) "pop 3" 3 (fst (Heap.pop_exn h))
+
+let test_pop_exn_empty () =
+  let h : (int, unit) Heap.t = Heap.create () in
+  Alcotest.check_raises "empty" Not_found (fun () -> ignore (Heap.pop_exn h))
+
+let test_growth () =
+  let h = Heap.create () in
+  for i = 1000 downto 1 do
+    Heap.push h i i
+  done;
+  Alcotest.(check int) "size" 1000 (Heap.size h);
+  Alcotest.(check int) "min" 1 (fst (Heap.pop_exn h))
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains any multiset in sorted order"
+    ~count:200
+    QCheck2.Gen.(list (int_range 0 100))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with Some (k, ()) -> drain (k :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
+    Alcotest.test_case "pop_exn empty" `Quick test_pop_exn_empty;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Helpers.qcheck prop_heap_sorts;
+  ]

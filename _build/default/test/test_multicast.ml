@@ -1,0 +1,144 @@
+(* Tests for ordered multicast: order agreement, delivery monotonicity,
+   and the queuing-vs-counting comparison at scale. *)
+
+module Gen = Countq_topology.Gen
+module Ordered = Countq_multicast.Ordered
+
+let schemes =
+  [
+    Ordered.Via_queuing `Arrow;
+    Ordered.Via_queuing `Central;
+    Ordered.Via_counting `Central;
+    Ordered.Via_counting `Combining;
+    Ordered.Via_counting `Network;
+  ]
+
+let test_positions_are_permutation () =
+  let g = Gen.square_mesh 4 in
+  let senders = [ 0; 5; 10; 15 ] in
+  List.iter
+    (fun scheme ->
+      let r = Ordered.run ~graph:g ~senders scheme in
+      let positions =
+        List.sort compare
+          (List.map (fun (m : Ordered.message_stat) -> m.position) r.messages)
+      in
+      Alcotest.(check (list int))
+        (Format.asprintf "%a positions" Ordered.pp_scheme scheme)
+        [ 1; 2; 3; 4 ] positions;
+      let ss =
+        List.sort compare
+          (List.map (fun (m : Ordered.message_stat) -> m.sender) r.messages)
+      in
+      Alcotest.(check (list int)) "senders covered" senders ss)
+    schemes
+
+let test_single_sender () =
+  let g = Gen.path 8 in
+  let r = Ordered.run ~graph:g ~senders:[ 3 ] (Ordered.Via_queuing `Arrow) in
+  Alcotest.(check int) "one message" 1 (List.length r.messages);
+  (* Sole sender's flood reaches the far end of the path: makespan at
+     least the eccentricity of node 3. *)
+  Alcotest.(check bool) "dissemination spans" true (r.dissemination_rounds >= 4)
+
+let test_no_senders () =
+  let g = Gen.path 4 in
+  let r = Ordered.run ~graph:g ~senders:[] (Ordered.Via_counting `Central) in
+  Alcotest.(check int) "nothing" 0 (List.length r.messages);
+  Alcotest.(check int) "no latency" 0 r.total_delivery_latency
+
+let test_metrics_consistent () =
+  let g = Gen.square_mesh 4 in
+  let senders = [ 1; 6; 11 ] in
+  List.iter
+    (fun scheme ->
+      let r = Ordered.run ~graph:g ~senders scheme in
+      Alcotest.(check bool) "max >= mean" true
+        (float_of_int r.max_delivery_latency >= r.mean_delivery_latency);
+      Alcotest.(check bool) "coord makespan <= coord total or trivial" true
+        (r.coordination_makespan <= r.coordination_total
+        || List.length senders = 1);
+      Alcotest.(check bool) "messages positive" true (r.network_messages > 0))
+    schemes
+
+let test_duplicate_sender_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Ordered.run: duplicate sender")
+    (fun () ->
+      ignore
+        (Ordered.run ~graph:(Gen.path 4) ~senders:[ 1; 1 ]
+           (Ordered.Via_counting `Central)))
+
+let test_queuing_beats_counting_at_scale () =
+  (* The paper's Section 1 claim, measured: with every node sending on
+     a mesh, arrow-based coordination is cheaper than central
+     counting, and end-to-end delivery is no worse. *)
+  let g = Gen.square_mesh 10 in
+  let senders = Helpers.all_nodes 100 in
+  let arrow = Ordered.run ~graph:g ~senders (Ordered.Via_queuing `Arrow) in
+  let central = Ordered.run ~graph:g ~senders (Ordered.Via_counting `Central) in
+  Alcotest.(check bool)
+    (Printf.sprintf "coordination %d < %d" arrow.coordination_total
+       central.coordination_total)
+    true
+    (arrow.coordination_total < central.coordination_total);
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery %.1f <= %.1f" arrow.mean_delivery_latency
+       central.mean_delivery_latency)
+    true
+    (arrow.mean_delivery_latency <= central.mean_delivery_latency)
+
+let test_positions_agree_between_queue_schemes () =
+  (* Under every scheme the agreed positions are exactly 1, 2, …, k
+     with no gaps — receivers can rely on contiguity to deliver. *)
+  let g = Gen.square_mesh 5 in
+  let senders = [ 0; 7; 13; 21; 24 ] in
+  List.iter
+    (fun scheme ->
+      let r = Ordered.run ~graph:g ~senders scheme in
+      let sorted =
+        List.sort
+          (fun (a : Ordered.message_stat) b -> compare a.position b.position)
+          r.messages
+      in
+      Alcotest.(check bool) "positions start at 1" true
+        ((List.hd sorted).position = 1);
+      (* positions strictly increase by 1 *)
+      ignore
+        (List.fold_left
+           (fun prev (m : Ordered.message_stat) ->
+             Alcotest.(check int) "consecutive" (prev + 1) m.position;
+             m.position)
+           0 sorted))
+    schemes
+
+let prop_all_schemes_agree_on_message_count =
+  QCheck2.Test.make ~name:"every scheme orders every message exactly once"
+    ~count:30
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 1_000_000))
+    (fun (side, seed) ->
+      let g = Gen.square_mesh side in
+      let n = side * side in
+      let rng = Countq_util.Rng.create (Int64.of_int seed) in
+      let k = 1 + Countq_util.Rng.below rng n in
+      let senders = Countq_util.Rng.sample rng ~k ~n in
+      List.for_all
+        (fun scheme ->
+          let r = Ordered.run ~graph:g ~senders scheme in
+          List.length r.messages = k)
+        schemes)
+
+let suite =
+  [
+    Alcotest.test_case "positions are a permutation" `Quick
+      test_positions_are_permutation;
+    Alcotest.test_case "single sender" `Quick test_single_sender;
+    Alcotest.test_case "no senders" `Quick test_no_senders;
+    Alcotest.test_case "metrics consistent" `Quick test_metrics_consistent;
+    Alcotest.test_case "duplicate sender rejected" `Quick
+      test_duplicate_sender_rejected;
+    Alcotest.test_case "queuing beats counting at scale" `Quick
+      test_queuing_beats_counting_at_scale;
+    Alcotest.test_case "positions consecutive per scheme" `Quick
+      test_positions_agree_between_queue_schemes;
+    Helpers.qcheck prop_all_schemes_agree_on_message_count;
+  ]

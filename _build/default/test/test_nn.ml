@@ -1,0 +1,135 @@
+(* Tests for nearest-neighbour tours. *)
+
+module Gen = Countq_topology.Gen
+module Tree = Countq_topology.Tree
+module Nn = Countq_tsp.Nn
+module Tbounds = Countq_tsp.Tbounds
+
+let path_tree n = Tree.of_graph (Gen.path n) ~root:0
+
+let test_empty_requests () =
+  let tour = Nn.on_tree (path_tree 5) ~start:2 ~requests:[] in
+  Alcotest.(check int) "zero cost" 0 tour.cost;
+  Alcotest.(check (array int)) "empty order" [||] tour.order
+
+let test_start_in_requests_first () =
+  let tour = Nn.on_tree (path_tree 5) ~start:2 ~requests:[ 0; 2; 4 ] in
+  Alcotest.(check int) "start visited first at distance 0" 2 tour.order.(0);
+  Alcotest.(check int) "first leg 0" 0 tour.legs.(0)
+
+let test_greedy_picks_nearest () =
+  let tour = Nn.on_tree (path_tree 10) ~start:3 ~requests:[ 0; 5 ] in
+  (* 5 is at distance 2, 0 at distance 3. *)
+  Alcotest.(check (array int)) "order" [| 5; 0 |] tour.order;
+  Alcotest.(check int) "cost 2 + 5" 7 tour.cost
+
+let test_tie_break_smallest_id () =
+  let tour = Nn.on_tree (path_tree 7) ~start:3 ~requests:[ 1; 5 ] in
+  (* both at distance 2: pick vertex 1. *)
+  Alcotest.(check (array int)) "order" [| 1; 5 |] tour.order
+
+let test_legs_sum_to_cost () =
+  let rng = Helpers.rng () in
+  let tree = Tree.of_graph (Gen.random_tree rng 40) ~root:0 in
+  let requests = Countq_util.Rng.sample rng ~k:15 ~n:40 in
+  let tour = Nn.on_tree tree ~start:0 ~requests in
+  Alcotest.(check int) "sum legs = cost"
+    (Array.fold_left ( + ) 0 tour.legs)
+    tour.cost
+
+let test_visits_exactly_requests () =
+  let tour = Nn.on_tree (path_tree 12) ~start:0 ~requests:[ 11; 2; 7 ] in
+  Alcotest.(check (list int)) "visited set" [ 2; 7; 11 ]
+    (List.sort compare (Array.to_list tour.order))
+
+let test_on_graph_matches_on_tree_for_trees () =
+  let rng = Helpers.rng () in
+  for _ = 1 to 10 do
+    let g = Gen.random_tree rng 30 in
+    let tree = Tree.of_graph g ~root:0 in
+    let requests = Countq_util.Rng.sample rng ~k:10 ~n:30 in
+    let a = Nn.on_tree tree ~start:0 ~requests in
+    let b = Nn.on_graph g ~start:0 ~requests in
+    Alcotest.(check int) "same cost" a.cost b.cost;
+    Alcotest.(check (array int)) "same order" a.order b.order
+  done
+
+let test_on_metric () =
+  (* Points on a line via an explicit metric. *)
+  let dist u v = abs (u - v) in
+  let tour = Nn.on_metric ~dist ~n:100 ~start:50 ~requests:[ 10; 55; 90 ] in
+  Alcotest.(check (array int)) "order" [| 55; 90; 10 |] tour.order;
+  Alcotest.(check int) "cost" (5 + 35 + 80) tour.cost
+
+let test_rejects_bad_requests () =
+  Alcotest.check_raises "range" (Invalid_argument "Nn.on_tree: request out of range")
+    (fun () -> ignore (Nn.on_tree (path_tree 3) ~start:0 ~requests:[ 5 ]));
+  Alcotest.check_raises "dup" (Invalid_argument "Nn.on_tree: duplicate request")
+    (fun () -> ignore (Nn.on_tree (path_tree 3) ~start:0 ~requests:[ 1; 1 ]))
+
+let test_worst_case_construction () =
+  List.iter
+    (fun n ->
+      let start, requests = Nn.worst_case_on_list ~n in
+      Alcotest.(check bool) "start in range" true (start >= 0 && start < n);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "request in range" true (v >= 0 && v < n))
+        requests;
+      let tour = Nn.on_tree (path_tree n) ~start ~requests in
+      (* The zigzag pays strictly more than one sweep of the request
+         span, and respects the 3n ceiling. *)
+      let span =
+        List.fold_left max 0 requests - List.fold_left min n requests
+      in
+      Alcotest.(check bool) "cost > span" true (tour.cost > span);
+      Alcotest.(check bool) "cost <= 3n" true
+        (tour.cost <= Tbounds.list_bound n))
+    [ 16; 64; 256; 1000 ]
+
+let prop_list_cost_within_3n =
+  QCheck2.Test.make ~name:"Lemma 4.3: any list tour costs <= 3n" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 2 80) (pair (int_range 0 1_000_000) (int_range 0 79)))
+    (fun (n, (seed, start)) ->
+      let start = start mod n in
+      let rng = Countq_util.Rng.create (Int64.of_int seed) in
+      let k = 1 + Countq_util.Rng.below rng n in
+      let requests = Countq_util.Rng.sample rng ~k ~n in
+      let tour = Nn.on_tree (path_tree n) ~start ~requests in
+      tour.cost <= Tbounds.list_bound n)
+
+let prop_tour_legs_are_distances =
+  QCheck2.Test.make ~name:"tour legs equal tree distances between visits"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 2 40) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Countq_util.Rng.create (Int64.of_int seed) in
+      let tree = Tree.of_graph (Gen.random_tree rng n) ~root:0 in
+      let k = 1 + Countq_util.Rng.below rng n in
+      let requests = Countq_util.Rng.sample rng ~k ~n in
+      let tour = Nn.on_tree tree ~start:0 ~requests in
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          let prev = if i = 0 then 0 else tour.order.(i - 1) in
+          if tour.legs.(i) <> Tree.dist tree prev v then ok := false)
+        tour.order;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "empty requests" `Quick test_empty_requests;
+    Alcotest.test_case "start visited first" `Quick test_start_in_requests_first;
+    Alcotest.test_case "greedy picks nearest" `Quick test_greedy_picks_nearest;
+    Alcotest.test_case "tie break" `Quick test_tie_break_smallest_id;
+    Alcotest.test_case "legs sum to cost" `Quick test_legs_sum_to_cost;
+    Alcotest.test_case "visits exactly requests" `Quick test_visits_exactly_requests;
+    Alcotest.test_case "graph matches tree" `Quick
+      test_on_graph_matches_on_tree_for_trees;
+    Alcotest.test_case "custom metric" `Quick test_on_metric;
+    Alcotest.test_case "bad requests" `Quick test_rejects_bad_requests;
+    Alcotest.test_case "worst case construction" `Quick test_worst_case_construction;
+    Helpers.qcheck prop_list_cost_within_3n;
+    Helpers.qcheck prop_tour_legs_are_distances;
+  ]

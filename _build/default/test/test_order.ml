@@ -1,0 +1,135 @@
+(* Tests for the queuing total-order validator. *)
+
+module Types = Countq_arrow.Types
+module Order = Countq_arrow.Order
+
+let op origin = { Types.origin; seq = 0 }
+
+let outcome ?(round = 1) ~pred origin =
+  { Types.op = op origin; pred; found_at = 0; round }
+
+let test_empty_chain () =
+  Alcotest.(check bool) "empty is valid" true (Order.is_valid []);
+  (match Order.chain [] with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty chain should be Ok []")
+
+let test_singleton () =
+  let outcomes = [ outcome ~pred:Types.Init 4 ] in
+  match Order.chain outcomes with
+  | Ok [ o ] -> Alcotest.(check int) "origin" 4 o.origin
+  | _ -> Alcotest.fail "singleton chain"
+
+let test_valid_chain_order () =
+  let outcomes =
+    [
+      outcome ~pred:(Types.Op (op 2)) 7;
+      outcome ~pred:Types.Init 2;
+      outcome ~pred:(Types.Op (op 7)) 5;
+    ]
+  in
+  match Order.chain outcomes with
+  | Ok ops ->
+      Alcotest.(check (list int)) "order" [ 2; 7; 5 ]
+        (List.map (fun (o : Types.op) -> o.origin) ops)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Order.pp_error e)
+
+let test_duplicate_op () =
+  let outcomes = [ outcome ~pred:Types.Init 1; outcome ~pred:(Types.Op (op 1)) 1 ] in
+  match Order.chain outcomes with
+  | Error (Order.Duplicate_op o) -> Alcotest.(check int) "dup" 1 o.origin
+  | _ -> Alcotest.fail "expected Duplicate_op"
+
+let test_duplicate_pred () =
+  let outcomes =
+    [
+      outcome ~pred:Types.Init 1;
+      outcome ~pred:(Types.Op (op 1)) 2;
+      outcome ~pred:(Types.Op (op 1)) 3;
+    ]
+  in
+  match Order.chain outcomes with
+  | Error (Order.Duplicate_pred _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_pred"
+
+let test_two_heads () =
+  let outcomes = [ outcome ~pred:Types.Init 1; outcome ~pred:Types.Init 2 ] in
+  match Order.chain outcomes with
+  | Error (Order.Duplicate_pred Types.Init) -> ()
+  | _ -> Alcotest.fail "expected duplicate Init"
+
+let test_missing_pred () =
+  let outcomes = [ outcome ~pred:(Types.Op (op 9)) 1 ] in
+  match Order.chain outcomes with
+  | Error (Order.Missing_op o) -> Alcotest.(check int) "missing" 9 o.origin
+  | _ -> Alcotest.fail "expected Missing_op"
+
+let test_no_head () =
+  (* A 2-cycle: 1 <- 2 and 2 <- 1. *)
+  let outcomes =
+    [ outcome ~pred:(Types.Op (op 2)) 1; outcome ~pred:(Types.Op (op 1)) 2 ]
+  in
+  match Order.chain outcomes with
+  | Error Order.No_head -> ()
+  | _ -> Alcotest.fail "expected No_head"
+
+let test_broken_chain () =
+  (* Head plus a separate 2-cycle. *)
+  let outcomes =
+    [
+      outcome ~pred:Types.Init 0;
+      outcome ~pred:(Types.Op (op 2)) 1;
+      outcome ~pred:(Types.Op (op 1)) 2;
+    ]
+  in
+  match Order.chain outcomes with
+  | Error (Order.Broken_chain { covered; total }) ->
+      Alcotest.(check int) "covered" 1 covered;
+      Alcotest.(check int) "total" 3 total
+  | _ -> Alcotest.fail "expected Broken_chain"
+
+let test_delay_metrics () =
+  let outcomes =
+    [
+      outcome ~round:5 ~pred:Types.Init 1;
+      outcome ~round:2 ~pred:(Types.Op (op 1)) 2;
+    ]
+  in
+  Alcotest.(check int) "total" 7 (Order.total_delay outcomes);
+  Alcotest.(check int) "max" 5 (Order.max_delay outcomes)
+
+let prop_random_permutation_chains =
+  (* Build a random valid chain and check the validator reconstructs it. *)
+  QCheck2.Test.make ~name:"validator reconstructs arbitrary valid chains"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 1_000_000))
+    (fun (k, seed) ->
+      let rng = Countq_util.Rng.create (Int64.of_int seed) in
+      let perm = Countq_util.Rng.permutation rng k in
+      let outcomes =
+        List.init k (fun i ->
+            let pred =
+              if i = 0 then Types.Init else Types.Op (op perm.(i - 1))
+            in
+            outcome ~pred perm.(i))
+      in
+      match Order.chain outcomes with
+      | Ok ops ->
+          List.map (fun (o : Types.op) -> o.origin) ops
+          = Array.to_list perm
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "empty chain" `Quick test_empty_chain;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "valid chain order" `Quick test_valid_chain_order;
+    Alcotest.test_case "duplicate op" `Quick test_duplicate_op;
+    Alcotest.test_case "duplicate pred" `Quick test_duplicate_pred;
+    Alcotest.test_case "two heads" `Quick test_two_heads;
+    Alcotest.test_case "missing pred" `Quick test_missing_pred;
+    Alcotest.test_case "no head" `Quick test_no_head;
+    Alcotest.test_case "broken chain" `Quick test_broken_chain;
+    Alcotest.test_case "delay metrics" `Quick test_delay_metrics;
+    Helpers.qcheck prop_random_permutation_chains;
+  ]

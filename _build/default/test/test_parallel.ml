@@ -1,0 +1,70 @@
+(* Tests for the domain-based parallel map. *)
+
+module Parallel = Countq_util.Parallel
+
+let test_matches_sequential () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "same as List.map" (List.map f xs)
+    (Parallel.map ~jobs:4 f xs)
+
+let test_order_preserved_under_skew () =
+  (* Uneven work must not reorder results. *)
+  let xs = List.init 40 (fun i -> i) in
+  let f x =
+    let spin = if x mod 7 = 0 then 200_000 else 10 in
+    let acc = ref 0 in
+    for i = 1 to spin do
+      acc := !acc + (i mod 3)
+    done;
+    ignore !acc;
+    x * 2
+  in
+  Alcotest.(check (list int)) "ordered" (List.map f xs) (Parallel.map ~jobs:4 f xs)
+
+let test_jobs_one_sequential () =
+  Alcotest.(check (list int)) "jobs=1" [ 2; 4; 6 ]
+    (Parallel.map ~jobs:1 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:8 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Parallel.map ~jobs:8 (fun x -> x) [ 9 ])
+
+let test_more_jobs_than_items () =
+  Alcotest.(check (list int)) "jobs > items" [ 1; 2 ]
+    (Parallel.map ~jobs:16 (fun x -> x) [ 1; 2 ])
+
+let test_exception_propagates () =
+  Alcotest.check_raises "re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~jobs:4
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 10 (fun i -> i))))
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs=0" (Invalid_argument "Parallel.map: jobs must be >= 1")
+    (fun () -> ignore (Parallel.map ~jobs:0 (fun x -> x) [ 1 ]))
+
+let test_recommended_positive () =
+  Alcotest.(check bool) "at least 1" true (Parallel.recommended_jobs () >= 1)
+
+let prop_equivalent_to_map =
+  QCheck2.Test.make ~name:"parallel map = sequential map" ~count:50
+    QCheck2.Gen.(pair (list (int_range 0 1000)) (int_range 1 8))
+    (fun (xs, jobs) ->
+      Parallel.map ~jobs (fun x -> (3 * x) - 7) xs
+      = List.map (fun x -> (3 * x) - 7) xs)
+
+let suite =
+  [
+    Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+    Alcotest.test_case "order under skew" `Quick test_order_preserved_under_skew;
+    Alcotest.test_case "jobs=1" `Quick test_jobs_one_sequential;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+    Alcotest.test_case "recommended jobs" `Quick test_recommended_positive;
+    Helpers.qcheck prop_equivalent_to_map;
+  ]

@@ -1,0 +1,143 @@
+(* Coverage for the pretty-printers and small formatting surfaces —
+   these strings are the library's user interface in logs and the CLI,
+   so pin them down. *)
+
+module Gen = Countq_topology.Gen
+module Graph = Countq_topology.Graph
+module Tree = Countq_topology.Tree
+module Types = Countq_arrow.Types
+module Order = Countq_arrow.Order
+module Counts = Countq_counting.Counts
+module FA = Countq_counting.Fetch_add
+module Stats = Countq_util.Stats
+module Tow = Countq_bounds.Tow
+
+let str pp v = Format.asprintf "%a" pp v
+
+let test_graph_pp () =
+  Alcotest.(check string) "compact" "graph(n=5, m=4)"
+    (str Graph.pp (Gen.path 5));
+  let full = str Graph.pp_full (Gen.path 3) in
+  Alcotest.(check bool) "full lists adjacency" true
+    (String.length full > 20)
+
+let test_tree_pp () =
+  let t = Tree.of_graph (Gen.path 4) ~root:0 in
+  Alcotest.(check string) "tree" "tree(n=4, root=0, height=3)" (str Tree.pp t)
+
+let test_op_printers () =
+  let op = { Types.origin = 3; seq = 2 } in
+  Alcotest.(check string) "op" "3.2" (str Types.pp_op op);
+  Alcotest.(check string) "pred op" "3.2" (str Types.pp_pred (Types.Op op));
+  Alcotest.(check string) "pred init" "\xe2\x8a\xa5"
+    (str Types.pp_pred Types.Init);
+  let outcome = { Types.op; pred = Types.Init; found_at = 1; round = 7 } in
+  Alcotest.(check bool) "outcome mentions round" true
+    (String.length (str Types.pp_outcome outcome) > 10)
+
+let test_order_errors_pp () =
+  let op = { Types.origin = 4; seq = 0 } in
+  List.iter
+    (fun (e, frag) ->
+      let s = str Order.pp_error e in
+      let contains =
+        let nh = String.length s and nn = String.length frag in
+        let rec go i = i + nn <= nh && (String.sub s i nn = frag || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (frag ^ " in message") true contains)
+    [
+      (Order.Duplicate_op op, "two outcomes");
+      (Order.Duplicate_pred (Types.Op op), "share predecessor");
+      (Order.Missing_op op, "not a queued operation");
+      (Order.No_head, "Init");
+      (Order.Broken_chain { covered = 2; total = 5 }, "2 of 5");
+    ]
+
+let test_counts_errors_pp () =
+  List.iter
+    (fun e -> Alcotest.(check bool) "non-empty" true (String.length (str Counts.pp_error e) > 5))
+    [
+      Counts.Unrequested_count 3;
+      Counts.Duplicate_node 1;
+      Counts.Missing_node 9;
+      Counts.Bad_count_set;
+    ]
+
+let test_counts_outcome_pp () =
+  Alcotest.(check string) "outcome" "node 4 count 2 (round 9)"
+    (str Counts.pp_outcome { Counts.node = 4; count = 2; round = 9 })
+
+let test_fetch_add_errors_pp () =
+  List.iter
+    (fun e -> Alcotest.(check bool) "non-empty" true (String.length (str FA.pp_error e) > 5))
+    [
+      FA.Unrequested 1;
+      FA.Duplicate_node 2;
+      FA.Missing_node 3;
+      FA.Wrong_increment 4;
+      FA.Inconsistent_prefixes;
+    ]
+
+let test_tower_pp () =
+  Alcotest.(check string) "finite" "16" (str Tow.pp_tower (Tow.tow 3));
+  (match Tow.tow 6 with
+  | Tow.Huge _ as h ->
+      Alcotest.(check bool) "huge marked" true
+        (String.length (str Tow.pp_tower h) > 3)
+  | Tow.Finite _ -> Alcotest.fail "tow 6 should be huge")
+
+let test_stats_pp () =
+  let s = Stats.summarize [ 1; 2; 3; 4 ] in
+  let rendered = str Stats.pp_summary s in
+  Alcotest.(check bool) "mentions n=4" true
+    (String.length rendered > 10 && String.sub rendered 0 3 = "n=4")
+
+let test_growth_pp () =
+  let fit = Countq.Growth.fit_power_law [ (2, 4); (4, 16); (8, 64) ] in
+  Alcotest.(check string) "fit" "n^2.00 (R2=1.000)"
+    (str Countq.Growth.pp_fit fit)
+
+let test_scheme_pp () =
+  let module M = Countq_multicast.Ordered in
+  List.iter
+    (fun (scheme, expect) ->
+      Alcotest.(check string) expect expect (str M.pp_scheme scheme))
+    [
+      (M.Via_queuing `Arrow, "queuing/arrow");
+      (M.Via_queuing `Central, "queuing/central");
+      (M.Via_counting `Central, "counting/central");
+      (M.Via_counting `Combining, "counting/combining");
+      (M.Via_counting `Network, "counting/network");
+    ]
+
+let test_runs_certificate_pp () =
+  let c = Countq_tsp.Runs.certify ~n:10 ~start:0 [| 3; 1; 7 |] in
+  let s = str Countq_tsp.Runs.pp_certificate c in
+  Alcotest.(check bool) "mentions cost" true (String.length s > 20)
+
+let test_trace_event_pp () =
+  let module T = Countq_simnet.Trace in
+  Alcotest.(check string) "received" "t=3 node 1 received from 0"
+    (str T.pp_event (T.Received { round = 3; node = 1; src = 0 }));
+  Alcotest.(check string) "queued" "t=2 node 0 queued a send to 1"
+    (str T.pp_event (T.Queued_send { round = 2; node = 0; dst = 1 }));
+  Alcotest.(check string) "completed" "t=5 node 4 completed"
+    (str T.pp_event (T.Completed { round = 5; node = 4 }))
+
+let suite =
+  [
+    Alcotest.test_case "graph" `Quick test_graph_pp;
+    Alcotest.test_case "tree" `Quick test_tree_pp;
+    Alcotest.test_case "ops and outcomes" `Quick test_op_printers;
+    Alcotest.test_case "order errors" `Quick test_order_errors_pp;
+    Alcotest.test_case "counts errors" `Quick test_counts_errors_pp;
+    Alcotest.test_case "counts outcome" `Quick test_counts_outcome_pp;
+    Alcotest.test_case "fetch&add errors" `Quick test_fetch_add_errors_pp;
+    Alcotest.test_case "towers" `Quick test_tower_pp;
+    Alcotest.test_case "stats summary" `Quick test_stats_pp;
+    Alcotest.test_case "growth fit" `Quick test_growth_pp;
+    Alcotest.test_case "multicast schemes" `Quick test_scheme_pp;
+    Alcotest.test_case "runs certificate" `Quick test_runs_certificate_pp;
+    Alcotest.test_case "trace events" `Quick test_trace_event_pp;
+  ]

@@ -1,0 +1,87 @@
+(* Tests for Cartesian graph products. *)
+
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+module Bfs = Countq_topology.Bfs
+module Product = Countq_topology.Product
+
+let degree_profile g =
+  let n = Graph.n g in
+  let profile = List.init n (fun v -> Graph.degree g v) in
+  List.sort compare profile
+
+let test_sizes () =
+  let g = Product.cartesian (Gen.path 3) (Gen.path 5) in
+  Alcotest.(check int) "n" 15 (Graph.n g);
+  (* m = ng * mh + nh * mg = 3*4 + 5*2 = 22 *)
+  Alcotest.(check int) "m" 22 (Graph.m g)
+
+let test_path_product_is_mesh () =
+  let a = Product.cartesian (Gen.path 4) (Gen.path 6) in
+  let b = Gen.mesh ~dims:[ 4; 6 ] in
+  Alcotest.(check int) "same n" (Graph.n b) (Graph.n a);
+  Alcotest.(check int) "same m" (Graph.m b) (Graph.m a);
+  Alcotest.(check (list int)) "same degree profile" (degree_profile b)
+    (degree_profile a);
+  Alcotest.(check int) "same diameter" (Bfs.diameter b) (Bfs.diameter a);
+  (* With our row-major numbering the product IS the mesh exactly. *)
+  Alcotest.(check bool) "identical graphs" true (Graph.equal a b)
+
+let test_cycle_product_is_torus () =
+  let a = Product.cartesian (Gen.cycle 4) (Gen.cycle 5) in
+  let b = Gen.torus ~dims:[ 4; 5 ] in
+  Alcotest.(check int) "same n" (Graph.n b) (Graph.n a);
+  Alcotest.(check int) "same m" (Graph.m b) (Graph.m a);
+  Alcotest.(check (list int)) "same degree profile" (degree_profile b)
+    (degree_profile a);
+  Alcotest.(check int) "same diameter" (Bfs.diameter b) (Bfs.diameter a)
+
+let test_edge_power_is_hypercube () =
+  let a = Product.power (Gen.path 2) 5 in
+  let b = Gen.hypercube 5 in
+  Alcotest.(check int) "same n" (Graph.n b) (Graph.n a);
+  Alcotest.(check int) "same m" (Graph.m b) (Graph.m a);
+  Alcotest.(check (list int)) "same degree profile" (degree_profile b)
+    (degree_profile a);
+  Alcotest.(check int) "same diameter" (Bfs.diameter b) (Bfs.diameter a)
+
+let test_distances_add () =
+  let g = Gen.path 5 and h = Gen.cycle 6 in
+  let p = Product.cartesian g h in
+  let nh = Graph.n h in
+  let ok = ref true in
+  for u = 0 to Graph.n g - 1 do
+    for v = 0 to nh - 1 do
+      let du = Bfs.distance g 0 u and dv = Bfs.distance h 0 v in
+      if Bfs.distance p 0 ((u * nh) + v) <> du + dv then ok := false
+    done
+  done;
+  Alcotest.(check bool) "d((0,0),(u,v)) = d(u) + d(v)" true !ok
+
+let test_power_one_is_identity () =
+  let g = Gen.cycle 7 in
+  Alcotest.(check bool) "k=1" true (Graph.equal g (Product.power g 1))
+
+let test_power_invalid () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Product.power: k must be >= 1")
+    (fun () -> ignore (Product.power (Gen.path 2) 0))
+
+let prop_product_connected =
+  QCheck2.Test.make ~name:"products of connected graphs are connected"
+    ~count:40
+    QCheck2.Gen.(pair Helpers.topology_gen Helpers.topology_gen)
+    (fun ((_, g), (_, h)) ->
+      Graph.n g * Graph.n h > 400
+      || Graph.is_connected (Product.cartesian g h))
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "path x path = mesh" `Quick test_path_product_is_mesh;
+    Alcotest.test_case "cycle x cycle = torus" `Quick test_cycle_product_is_torus;
+    Alcotest.test_case "K2^d = hypercube" `Quick test_edge_power_is_hypercube;
+    Alcotest.test_case "distances add" `Quick test_distances_add;
+    Alcotest.test_case "power 1 = identity" `Quick test_power_one_is_identity;
+    Alcotest.test_case "power invalid" `Quick test_power_invalid;
+    Helpers.qcheck prop_product_connected;
+  ]

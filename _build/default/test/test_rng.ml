@@ -1,0 +1,156 @@
+(* Tests for Countq_util.Rng: determinism, uniformity sanity, split
+   independence, sampling invariants. *)
+
+module Rng = Countq_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_snapshots () =
+  let a = Rng.create 7L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_split_independent () =
+  let a = Rng.create 9L in
+  let b = Rng.split a in
+  let xs = List.init 32 (fun _ -> Rng.int64 a) in
+  let ys = List.init 32 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_below_range () =
+  let r = Helpers.rng () in
+  for _ = 1 to 1000 do
+    let x = Rng.below r 7 in
+    Alcotest.(check bool) "0 <= x < 7" true (x >= 0 && x < 7)
+  done
+
+let test_below_one () =
+  let r = Helpers.rng () in
+  Alcotest.(check int) "below 1 is 0" 0 (Rng.below r 1)
+
+let test_below_invalid () =
+  let r = Helpers.rng () in
+  Alcotest.check_raises "below 0 rejected"
+    (Invalid_argument "Rng.below: n must be positive") (fun () ->
+      ignore (Rng.below r 0))
+
+let test_below_covers_all () =
+  let r = Helpers.rng () in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.below r 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let r = Helpers.rng () in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "0 <= x < 1" true (x >= 0. && x < 1.)
+  done
+
+let test_float_mean () =
+  let r = Helpers.rng () in
+  let n = 10_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float r
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_bool_balanced () =
+  let r = Helpers.rng () in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool r then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "roughly fair" true (abs_float (frac -. 0.5) < 0.03)
+
+let test_shuffle_permutes () =
+  let r = Helpers.rng () in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted
+
+let test_permutation_valid () =
+  let r = Helpers.rng () in
+  let p = Rng.permutation r 64 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 64 (fun i -> i)) sorted
+
+let test_sample_invariants () =
+  let r = Helpers.rng () in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.below r 40 in
+    let k = Rng.below r (n + 1) in
+    let s = Rng.sample r ~k ~n in
+    Alcotest.(check int) "size k" k (List.length s);
+    Helpers.check_sorted_ints "sorted" s;
+    Alcotest.(check bool) "distinct in range" true
+      (List.for_all (fun x -> x >= 0 && x < n) s
+      && List.length (List.sort_uniq compare s) = k)
+  done
+
+let test_sample_full () =
+  let r = Helpers.rng () in
+  Alcotest.(check (list int)) "k = n samples everything" [ 0; 1; 2; 3 ]
+    (Rng.sample r ~k:4 ~n:4)
+
+let test_sample_invalid () =
+  let r = Helpers.rng () in
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Rng.sample: need 0 <= k <= n") (fun () ->
+      ignore (Rng.sample r ~k:5 ~n:4))
+
+let prop_sample_uniformish =
+  QCheck2.Test.make ~name:"sample hits every element eventually"
+    ~count:20
+    QCheck2.Gen.(int_range 1 12)
+    (fun n ->
+      let r = Helpers.rng () in
+      let hits = Array.make n 0 in
+      for _ = 1 to 200 do
+        List.iter (fun x -> hits.(x) <- hits.(x) + 1)
+          (Rng.sample r ~k:(max 1 (n / 2)) ~n)
+      done;
+      n = 1 || Array.for_all (fun h -> h > 0) hits)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+    Alcotest.test_case "copy snapshots" `Quick test_copy_snapshots;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "below range" `Quick test_below_range;
+    Alcotest.test_case "below 1" `Quick test_below_one;
+    Alcotest.test_case "below invalid" `Quick test_below_invalid;
+    Alcotest.test_case "below covers residues" `Quick test_below_covers_all;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "permutation valid" `Quick test_permutation_valid;
+    Alcotest.test_case "sample invariants" `Quick test_sample_invariants;
+    Alcotest.test_case "sample full" `Quick test_sample_full;
+    Alcotest.test_case "sample invalid" `Quick test_sample_invalid;
+    Helpers.qcheck prop_sample_uniformish;
+  ]

@@ -1,0 +1,101 @@
+(* Tests for the Lemma 4.3/4.4 run-decomposition certificates. *)
+
+module Gen = Countq_topology.Gen
+module Tree = Countq_topology.Tree
+module Nn = Countq_tsp.Nn
+module Runs = Countq_tsp.Runs
+
+let test_decompose_monotone () =
+  let runs = Runs.decompose ~start:0 [| 1; 3; 5; 9 |] in
+  match runs with
+  | [ r ] ->
+      Alcotest.(check int) "first" 1 r.first;
+      Alcotest.(check int) "last" 9 r.last;
+      Alcotest.(check int) "length" 4 r.length
+  | _ -> Alcotest.fail "one run expected"
+
+let test_decompose_zigzag () =
+  let runs = Runs.decompose ~start:5 [| 6; 3; 8; 1 |] in
+  (* 6,3 decreasing; 3,8 flips; 8,1 flips again => runs (6,3) (8) (1)?
+     maximal monotone: [6;3] [8] ... next step 8->1 starts a new run
+     from 8: [8;1]. Decomposition greedily extends: [6;3], [8;1]. *)
+  Alcotest.(check int) "two runs" 2 (List.length runs);
+  let lasts = List.map (fun (r : Runs.run) -> r.last) runs in
+  Alcotest.(check (list int)) "run ends" [ 3; 1 ] lasts
+
+let test_decompose_single () =
+  match Runs.decompose ~start:0 [| 4 |] with
+  | [ r ] ->
+      Alcotest.(check int) "singleton run" 1 r.length;
+      Alcotest.(check int) "first=last" r.first r.last
+  | _ -> Alcotest.fail "one run"
+
+let test_decompose_empty () =
+  Alcotest.(check int) "no runs" 0 (List.length (Runs.decompose ~start:0 [||]))
+
+let test_certificate_cost () =
+  let c = Runs.certify ~n:10 ~start:0 [| 3; 1; 7 |] in
+  Alcotest.(check int) "cost 3 + 2 + 6" 11 c.cost;
+  Alcotest.(check int) "bound" 30 c.bound_3n
+
+let test_certificate_xs () =
+  (* start 5; order 6,3,8,1: run ends 3 then 1; xs = |3-5|, |1-3|. *)
+  let c = Runs.certify ~n:10 ~start:5 [| 6; 3; 8; 1 |] in
+  Alcotest.(check (array int)) "xs" [| 2; 2 |] c.xs
+
+let test_lemma44_fails_on_non_greedy () =
+  (* An artificial order violating the recurrence: run ends at 1, 5, 7
+     give xs = (1, 4, 2), and 2 < 4 + 1. *)
+  let c = Runs.certify ~n:40 ~start:0 [| 20; 1; 15; 5; 7 |] in
+  Alcotest.(check bool) "violated" false c.lemma44_holds
+
+let test_range_validation () =
+  Alcotest.check_raises "bad position"
+    (Invalid_argument "Runs.certify: position out of range") (fun () ->
+      ignore (Runs.certify ~n:5 ~start:0 [| 7 |]))
+
+let prop_greedy_tours_satisfy_lemma44 =
+  QCheck2.Test.make
+    ~name:"Lemma 4.4 holds on every greedy list tour" ~count:300
+    QCheck2.Gen.(
+      pair (int_range 2 100) (pair (int_range 0 1_000_000) (int_range 0 99)))
+    (fun (n, (seed, start)) ->
+      let start = start mod n in
+      let rng = Countq_util.Rng.create (Int64.of_int seed) in
+      let k = 1 + Countq_util.Rng.below rng n in
+      let requests = Countq_util.Rng.sample rng ~k ~n in
+      let tree = Tree.of_graph (Gen.path n) ~root:0 in
+      let tour = Nn.on_tree tree ~start ~requests in
+      let cert = Runs.certify ~n ~start tour.order in
+      cert.lemma44_holds
+      && cert.cost = tour.cost
+      && cert.cost <= cert.bound_3n)
+
+let prop_runs_partition_order =
+  QCheck2.Test.make ~name:"runs partition the visit order" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 60) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Countq_util.Rng.create (Int64.of_int seed) in
+      let k = 1 + Countq_util.Rng.below rng n in
+      let requests = Countq_util.Rng.sample rng ~k ~n in
+      let tree = Tree.of_graph (Gen.path n) ~root:0 in
+      let tour = Nn.on_tree tree ~start:(n / 2) ~requests in
+      let runs = Runs.decompose ~start:(n / 2) tour.order in
+      List.fold_left (fun acc (r : Runs.run) -> acc + r.length) 0 runs
+      = Array.length tour.order)
+
+let suite =
+  [
+    Alcotest.test_case "monotone order" `Quick test_decompose_monotone;
+    Alcotest.test_case "zigzag order" `Quick test_decompose_zigzag;
+    Alcotest.test_case "singleton" `Quick test_decompose_single;
+    Alcotest.test_case "empty" `Quick test_decompose_empty;
+    Alcotest.test_case "certificate cost" `Quick test_certificate_cost;
+    Alcotest.test_case "certificate xs" `Quick test_certificate_xs;
+    Alcotest.test_case "lemma 4.4 fails on non-greedy" `Quick
+      test_lemma44_fails_on_non_greedy;
+    Alcotest.test_case "range validation" `Quick test_range_validation;
+    Helpers.qcheck prop_greedy_tours_satisfy_lemma44;
+    Helpers.qcheck prop_runs_partition_order;
+  ]

@@ -1,0 +1,107 @@
+(* Tests for scenario-string parsing. *)
+
+module Graph = Countq_topology.Graph
+module Scenario = Countq.Scenario
+
+let graph_of spec =
+  match Scenario.topology spec with
+  | Ok (name, g) -> (name, g)
+  | Error (`Msg m) -> Alcotest.fail (spec ^ ": " ^ m)
+
+let test_named_families () =
+  List.iter
+    (fun (spec, expect_name, expect_n) ->
+      let name, g = graph_of spec in
+      Alcotest.(check string) (spec ^ " name") expect_name name;
+      Alcotest.(check int) (spec ^ " n") expect_n (Graph.n g))
+    [
+      ("complete:32", "complete-32", 32);
+      ("path:10", "path-10", 10);
+      ("list:10", "path-10", 10);
+      ("mesh:256", "mesh-16x16", 256);
+      ("mesh:250", "mesh-16x16", 256);
+      ("hypercube:256", "hypercube-8", 256);
+      ("hypercube:200", "hypercube-8", 256);
+      ("torus:100", "torus-10x10", 100);
+      ("ccc:100", "ccc-5", 160);
+      ("butterfly:100", "butterfly-5", 192);
+      ("star:2", "star-2", 2);
+      ("binary-tree:20", "binary-tree-20", 20);
+    ]
+
+let test_default_size () =
+  let _, g = graph_of "complete" in
+  Alcotest.(check int) "default 64" 64 (Graph.n g)
+
+let test_whitespace_and_case () =
+  let name, _ = graph_of "  Mesh:16  " in
+  Alcotest.(check string) "normalised" "mesh-4x4" name
+
+let test_random_families_deterministic () =
+  let _, a = graph_of "random-tree:40" in
+  let _, b = graph_of "random-tree:40" in
+  Alcotest.(check bool) "same seed same graph" true (Graph.equal a b);
+  match Scenario.topology ~seed:9L "random-tree:40" with
+  | Ok (_, c) ->
+      Alcotest.(check bool) "other seed differs" false (Graph.equal a c)
+  | Error _ -> Alcotest.fail "seeded parse"
+
+let test_bad_topologies () =
+  List.iter
+    (fun spec ->
+      match Scenario.topology spec with
+      | Ok _ -> Alcotest.fail (spec ^ " should fail")
+      | Error (`Msg _) -> ())
+    [ "klein-bottle"; "mesh:zero"; "mesh:-4"; "complete:0" ]
+
+let requests_of ~n spec =
+  match Scenario.requests ~n spec with
+  | Ok r -> r
+  | Error (`Msg m) -> Alcotest.fail (spec ^ ": " ^ m)
+
+let test_request_patterns () =
+  Alcotest.(check int) "all" 20 (List.length (requests_of ~n:20 "all"));
+  Alcotest.(check int) "half" 10 (List.length (requests_of ~n:20 "half"));
+  Alcotest.(check int) "k" 7 (List.length (requests_of ~n:20 "k:7"));
+  Alcotest.(check int) "k clamps" 20 (List.length (requests_of ~n:20 "k:99"));
+  Alcotest.(check int) "density" 5 (List.length (requests_of ~n:20 "density:0.25"));
+  Alcotest.(check (list int)) "nodes" [ 1; 5; 19 ]
+    (requests_of ~n:20 "nodes:5,1,19,5")
+
+let test_request_validation () =
+  List.iter
+    (fun spec ->
+      match Scenario.requests ~n:10 spec with
+      | Ok _ -> Alcotest.fail (spec ^ " should fail")
+      | Error (`Msg _) -> ())
+    [ "k:-1"; "density:1.5"; "nodes:3,99"; "sometimes"; "k:x" ]
+
+let test_requests_in_range () =
+  List.iter
+    (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 33))
+    (requests_of ~n:33 "density:0.6")
+
+let prop_every_known_topology_parses =
+  QCheck2.Test.make ~name:"every known family parses at many sizes" ~count:60
+    QCheck2.Gen.(
+      pair
+        (oneofl Scenario.known_topologies)
+        (int_range 2 80))
+    (fun (name, n) ->
+      match Scenario.topology (Printf.sprintf "%s:%d" name n) with
+      | Ok (_, g) -> Graph.is_connected g
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "named families" `Quick test_named_families;
+    Alcotest.test_case "default size" `Quick test_default_size;
+    Alcotest.test_case "whitespace and case" `Quick test_whitespace_and_case;
+    Alcotest.test_case "random families deterministic" `Quick
+      test_random_families_deterministic;
+    Alcotest.test_case "bad topologies" `Quick test_bad_topologies;
+    Alcotest.test_case "request patterns" `Quick test_request_patterns;
+    Alcotest.test_case "request validation" `Quick test_request_validation;
+    Alcotest.test_case "requests in range" `Quick test_requests_in_range;
+    Helpers.qcheck prop_every_known_topology_parses;
+  ]

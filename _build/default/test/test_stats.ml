@@ -1,0 +1,65 @@
+(* Tests for Countq_util.Stats. *)
+
+module Stats = Countq_util.Stats
+
+let test_single () =
+  let s = Stats.summarize [ 7 ] in
+  Alcotest.(check int) "count" 1 s.count;
+  Alcotest.(check (float 0.)) "mean" 7. s.mean;
+  Alcotest.(check (float 0.)) "median" 7. s.median;
+  Alcotest.(check int) "min" 7 s.min;
+  Alcotest.(check int) "max" 7 s.max;
+  Alcotest.(check (float 0.)) "stddev" 0. s.stddev
+
+let test_basic () =
+  let s = Stats.summarize [ 4; 1; 3; 2 ] in
+  Alcotest.(check int) "total" 10 s.total;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "median" 2.5 s.median;
+  Alcotest.(check int) "min" 1 s.min;
+  Alcotest.(check int) "max" 4 s.max
+
+let test_stddev () =
+  let s = Stats.summarize [ 2; 4; 4; 4; 5; 5; 7; 9 ] in
+  Alcotest.(check (float 1e-9)) "classic example" 2.0 s.stddev
+
+let test_percentile_interpolation () =
+  let sorted = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile sorted 0.);
+  Alcotest.(check (float 1e-9)) "p100" 40. (Stats.percentile sorted 1.);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 25. (Stats.percentile sorted 0.5)
+
+let test_percentile_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty input")
+    (fun () -> ignore (Stats.percentile [||] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.percentile: q outside [0, 1]") (fun () ->
+      ignore (Stats.percentile [| 1. |] 1.5))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample list")
+    (fun () -> ignore (Stats.summarize []))
+
+let prop_bounds_hold =
+  QCheck2.Test.make ~name:"min <= median <= p95 <= max, mean in range"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 1000))
+    (fun samples ->
+      let s = Stats.summarize samples in
+      float_of_int s.min <= s.median
+      && s.median <= s.p95 +. 1e-9
+      && s.p95 <= float_of_int s.max +. 1e-9
+      && s.mean >= float_of_int s.min
+      && s.mean <= float_of_int s.max)
+
+let suite =
+  [
+    Alcotest.test_case "single" `Quick test_single;
+    Alcotest.test_case "basic" `Quick test_basic;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "percentile interpolation" `Quick
+      test_percentile_interpolation;
+    Alcotest.test_case "percentile validation" `Quick test_percentile_validation;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Helpers.qcheck prop_bounds_hold;
+  ]
