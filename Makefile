@@ -1,0 +1,23 @@
+.PHONY: all build test check clean examples report
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate: exactly what CI runs.
+check:
+	dune build @all
+	dune runtest
+
+examples:
+	dune build @examples/all
+
+report:
+	dune exec bin/countq_cli.exe -- report
+
+clean:
+	dune clean

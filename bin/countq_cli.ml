@@ -10,6 +10,7 @@
      series -t T --sizes N,…  -- CSV sweep of queuing vs counting
      verify -t T -n N         -- exhaustive schedule check (tiny n)
      report [-o FILE] [-j N]  -- regenerate the full markdown report
+     faults -t T -n N -p PLAN -- degradation under an injected fault plan
 *)
 
 open Cmdliner
@@ -340,6 +341,118 @@ let series_cmd =
          "Sweep n for one topology and emit a CSV series of queuing vs counting totals (for plotting).")
     Term.(const run $ topology_arg $ sizes_arg $ out_arg)
 
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let plan_arg =
+    Arg.(
+      value
+      & opt string "drop-first"
+      & info [ "plan"; "p" ] ~docv:"NAME"
+          ~doc:"Named fault plan (see --list-plans).")
+  in
+  let list_plans_arg =
+    Arg.(value & flag & info [ "list-plans" ] ~doc:"List the named fault plans and exit.")
+  in
+  let monitors_arg =
+    Arg.(
+      value & flag
+      & info [ "monitors" ] ~doc:"Also print every run's monitor verdicts.")
+  in
+  let run topology n req_spec seed plan_name list_plans show_monitors =
+    if list_plans then
+      List.iter
+        (fun (name, plan) ->
+          let crashes = Countq_simnet.Faults.crashes plan in
+          Printf.printf "%-14s %s\n" name
+            (if crashes = [] then "link faults only"
+             else Printf.sprintf "%d crash(es)" (List.length crashes)))
+        Countq_simnet.Faults.named
+    else
+      match Countq_simnet.Faults.find plan_name with
+      | None ->
+          Printf.eprintf "unknown fault plan %S; try --list-plans\n" plan_name;
+          exit 2
+      | Some plan -> (
+          match build_topology topology n with
+          | Error e ->
+              prerr_endline e;
+              exit 2
+          | Ok graph -> (
+              let n = Graph.n graph in
+              match
+                Countq.Scenario.requests ~seed:(Int64.of_int seed) ~n req_spec
+              with
+              | Error (`Msg m) ->
+                  prerr_endline m;
+                  exit 2
+              | Ok requests ->
+                  let k = List.length requests in
+                  let summaries =
+                    List.concat_map
+                      (fun protocol ->
+                        List.map
+                          (fun retry ->
+                            Run.run_faulty ~retry ~graph ~protocol ~plan
+                              ~requests ())
+                          [ false; true ])
+                      [ `Arrow; `Central_queue; `Central_count ]
+                  in
+                  let rows =
+                    List.map
+                      (fun (s : Run.fault_summary) ->
+                        [
+                          s.protocol;
+                          (if s.retry then "on" else "off");
+                          Printf.sprintf "%d/%d" s.completed s.expected;
+                          Table.cell_bool s.valid;
+                          Table.cell_int s.rounds;
+                          Table.cell_int s.extra_rounds;
+                          Table.cell_int s.messages;
+                          Table.cell_int s.extra_messages;
+                          Table.cell_int s.injected.dropped;
+                          Table.cell_int
+                            (s.injected.duplicated + s.injected.delayed);
+                          Table.cell_bool s.safe;
+                          Table.cell_bool s.live;
+                        ])
+                      summaries
+                  in
+                  Table.print
+                    (Table.make ~id:"faults"
+                       ~title:
+                         (Printf.sprintf
+                            "degradation under plan %S on %s (n=%d, k=%d)"
+                            plan_name topology n k)
+                       ~paper_ref:"robustness extension (beyond the paper's reliable model)"
+                       ~headers:
+                         [ "protocol"; "retry"; "done"; "valid"; "rounds";
+                           "+rounds"; "msgs"; "+msgs"; "drops"; "dup+delay";
+                           "safe"; "live" ]
+                       ~notes:
+                         [
+                           "+rounds/+msgs compare against the fault-free \
+                            baseline on the same instance.";
+                           "'safe' = no runtime safety monitor fired; 'live' \
+                            = completed and never stalled.";
+                         ]
+                       rows);
+                  if show_monitors then
+                    List.iter
+                      (fun (s : Run.fault_summary) ->
+                        Format.printf "@.%s (retry %s):@.%a@." s.protocol
+                          (if s.retry then "on" else "off")
+                          Countq_simnet.Monitor.pp_report s.monitors)
+                      summaries))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run the retrofitted protocols under a named fault plan, with and without the retransmit layer, and tabulate the degradation.")
+    Term.(
+      const run $ topology_arg $ n_arg $ requests_arg $ seed_arg $ plan_arg
+      $ list_plans_arg $ monitors_arg)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -388,4 +501,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; compare_cmd; topo_cmd; trace_cmd;
-            series_cmd; report_cmd; verify_cmd ]))
+            series_cmd; report_cmd; verify_cmd; faults_cmd ]))

@@ -2,6 +2,9 @@
 
 module Engine = Countq_simnet.Engine
 module Async = Countq_simnet.Async
+module Faults = Countq_simnet.Faults
+module Monitor = Countq_simnet.Monitor
+module Reliable = Countq_simnet.Reliable
 module Tree = Countq_topology.Tree
 
 type msg =
@@ -158,7 +161,7 @@ let run_one_shot ?config ?tail ?(notify = false) ~tree ~requests () =
     one_shot_setup ?config ?tail ~notify ~tree ~requests "Arrow.run_one_shot"
   in
   let graph = Tree.to_graph tree in
-  finish ~issue_time:(fun _ -> 0) (Engine.run ~graph ~config ~protocol)
+  finish ~issue_time:(fun _ -> 0) (Engine.run ~graph ~config ~protocol ())
 
 let run_one_shot_traced ?config ?tail ?(notify = false) ~tree ~requests () =
   let config, protocol =
@@ -168,9 +171,71 @@ let run_one_shot_traced ?config ?tail ?(notify = false) ~tree ~requests () =
   let protocol, events = Countq_simnet.Trace.instrument protocol in
   let graph = Tree.to_graph tree in
   let result =
-    finish ~issue_time:(fun _ -> 0) (Engine.run ~graph ~config ~protocol)
+    finish ~issue_time:(fun _ -> 0) (Engine.run ~graph ~config ~protocol ())
   in
   (result, events ())
+
+type fault_report = {
+  result : run_result;
+  injected : Faults.stats;
+  monitors : Monitor.report;
+  retry : Reliable.stats option;
+}
+
+(* Safety: the completions (op, pred) must form an injective
+   predecessor mapping with a single head — the online fragment of
+   Order.chain. Liveness: every request completes, and silence longer
+   than [budget] rounds is a stall. *)
+let one_shot_monitors ~budget ~expected =
+  [
+    Monitor.chain_consistent
+      ~op:(fun ((op : Types.op), _) -> (op.origin, op.seq))
+      ~pred:(fun (_, p) ->
+        match p with Types.Init -> None | Types.Op q -> Some (q.origin, q.seq));
+    Monitor.completes ~expected;
+    Monitor.progress ~budget ();
+  ]
+
+let default_progress_budget ~ack_timeout ~max_retries =
+  (* Longer than the worst legitimate silence: a full exponential
+     backoff ladder, with slack for round-trips. *)
+  max 512 (4 * ack_timeout * (1 lsl max_retries))
+
+let run_one_shot_faulty ?config ?tail ?(notify = false) ?(retry = false)
+    ?(ack_timeout = 8) ?(max_retries = 5) ?progress_budget ~plan ~tree
+    ~requests () =
+  let config, protocol =
+    one_shot_setup ?config ?tail ~notify ~tree ~requests
+      "Arrow.run_one_shot_faulty"
+  in
+  let budget =
+    match progress_budget with
+    | Some b -> b
+    | None -> default_progress_budget ~ack_timeout ~max_retries
+  in
+  let monitors =
+    one_shot_monitors ~budget ~expected:(List.length requests)
+  in
+  let observer = Monitor.observe monitors in
+  let fr = Faults.start plan in
+  let graph = Tree.to_graph tree in
+  let res, retry_stats =
+    if retry then begin
+      let protocol, h = Reliable.wrap ~ack_timeout ~max_retries protocol in
+      let res =
+        Engine.run ~faults:fr ~observer ~keep_alive:(Reliable.keep_alive h)
+          ~graph ~config ~protocol ()
+      in
+      (res, Some (Reliable.stats h))
+    end
+    else (Engine.run ~faults:fr ~observer ~graph ~config ~protocol (), None)
+  in
+  {
+    result = finish ~issue_time:(fun _ -> 0) res;
+    injected = Faults.stats fr;
+    monitors = Monitor.finalise monitors;
+    retry = retry_stats;
+  }
 
 let run_one_shot_async ?(delay = Async.Constant 1) ?tail ?(notify = false)
     ~tree ~requests () =
@@ -243,4 +308,4 @@ let run_long_lived ?config ?tail ?(notify = false) ~tree ~arrivals () =
       ~long_lived:true ~notify
   in
   let graph = Tree.to_graph tree in
-  finish ~issue_time (Engine.run ~graph ~config ~protocol)
+  finish ~issue_time (Engine.run ~graph ~config ~protocol ())

@@ -87,6 +87,41 @@ val run_one_shot_traced :
     (render it with [Countq_simnet.Trace.render]). Intended for small
     demonstrations of the path-reversal mechanics. *)
 
+type fault_report = {
+  result : run_result;  (** outcomes of whatever completed. *)
+  injected : Countq_simnet.Faults.stats;  (** what the plan actually did. *)
+  monitors : Countq_simnet.Monitor.report;
+      (** runtime verdicts: chain consistency (safety), full completion
+          and progress (liveness). *)
+  retry : Countq_simnet.Reliable.stats option;
+      (** retransmit-layer tally; [None] when [retry] was off. *)
+}
+
+val run_one_shot_faulty :
+  ?config:Countq_simnet.Engine.config ->
+  ?tail:int ->
+  ?notify:bool ->
+  ?retry:bool ->
+  ?ack_timeout:int ->
+  ?max_retries:int ->
+  ?progress_budget:int ->
+  plan:Countq_simnet.Faults.plan ->
+  tree:Countq_topology.Tree.t ->
+  requests:int list ->
+  unit ->
+  fault_report
+(** {!run_one_shot} on an unreliable substrate, with runtime invariant
+    monitors attached. [plan] is the fault schedule (see
+    {!Countq_simnet.Faults}); with [retry] (default [false]) every hop
+    runs under the {!Countq_simnet.Reliable} timeout-and-retransmit
+    layer ([ack_timeout] rounds before the first retransmit, default
+    8; [max_retries] with exponential backoff, default 5), which is
+    what lets a one-shot execution survive message drops. The progress
+    monitor halts a stalled run after [progress_budget] silent rounds
+    (default: comfortably above the retransmit layer's longest
+    backoff). With [plan = Faults.none] and [retry = false] the result
+    equals {!run_one_shot}'s. *)
+
 val run_one_shot_async :
   ?delay:Countq_simnet.Async.delay_model ->
   ?tail:int ->

@@ -99,6 +99,110 @@ let queuing ?tree ~graph ~protocol ~requests () =
     valid = Result.is_ok result.order;
   }
 
+module Faults = Countq_simnet.Faults
+module Monitor = Countq_simnet.Monitor
+
+type faulty_protocol = [ `Arrow | `Central_count | `Central_queue ]
+
+let faulty_protocol_name = function
+  | `Arrow -> "queue/arrow"
+  | `Central_count -> "count/central"
+  | `Central_queue -> "queue/central"
+
+type fault_summary = {
+  protocol : string;
+  plan : string;
+  retry : bool;
+  expected : int;
+  completed : int;
+  valid : bool;
+  rounds : int;
+  extra_rounds : int;
+  messages : int;
+  extra_messages : int;
+  injected : Faults.stats;
+  monitors : Monitor.report;
+  retry_stats : Countq_simnet.Reliable.stats option;
+  safe : bool;
+  live : bool;
+}
+
+let run_faulty ?tree ?(retry = false) ?ack_timeout ?max_retries
+    ?progress_budget ~graph ~protocol ~plan ~requests () =
+  let expected = List.length requests in
+  let spanning () =
+    match tree with Some t -> t | None -> Spanning.best_for_arrow graph
+  in
+  (* Fault-free baseline under the same configuration, so the extra_*
+     columns isolate what the faults (and the retry layer) cost. *)
+  let completed, valid, rounds, messages, injected, monitors, retry_stats,
+      base_rounds, base_messages =
+    match protocol with
+    | `Arrow ->
+        let tree = spanning () in
+        let r =
+          Arrow.Protocol.run_one_shot_faulty ~retry ?ack_timeout ?max_retries
+            ?progress_budget ~plan ~tree ~requests ()
+        in
+        let base = Arrow.Protocol.run_one_shot ~tree ~requests () in
+        ( List.length r.result.outcomes,
+          Result.is_ok r.result.order,
+          r.result.rounds,
+          r.result.messages,
+          r.injected,
+          r.monitors,
+          r.retry,
+          base.rounds,
+          base.messages )
+    | `Central_count ->
+        let r =
+          Counting.Central.run_faulty ~retry ?ack_timeout ?max_retries
+            ?progress_budget ~plan ~graph ~requests ()
+        in
+        let base = Counting.Central.run ~graph ~requests () in
+        ( List.length r.result.outcomes,
+          Result.is_ok r.result.valid,
+          r.result.rounds,
+          r.result.messages,
+          r.injected,
+          r.monitors,
+          r.retry,
+          base.rounds,
+          base.messages )
+    | `Central_queue ->
+        let r =
+          Queuing.Central_queue.run_faulty ~retry ?ack_timeout ?max_retries
+            ?progress_budget ~plan ~graph ~requests ()
+        in
+        let base = Queuing.Central_queue.run ~graph ~requests () in
+        ( List.length r.result.outcomes,
+          Result.is_ok r.result.order,
+          r.result.rounds,
+          r.result.messages,
+          r.injected,
+          r.monitors,
+          r.retry,
+          base.rounds,
+          base.messages )
+  in
+  {
+    protocol = faulty_protocol_name protocol;
+    plan = Faults.label plan;
+    retry;
+    expected;
+    completed;
+    valid;
+    rounds;
+    extra_rounds = rounds - base_rounds;
+    messages;
+    extra_messages = messages - base_messages;
+    injected;
+    monitors;
+    retry_stats;
+    safe = Monitor.safety_ok monitors;
+    live = Monitor.liveness_ok monitors;
+  }
+
 let best_counting ~graph ~requests =
   let candidates =
     List.map
@@ -106,8 +210,10 @@ let best_counting ~graph ~requests =
       [ `Central; `Combining; `Network; `Sweep ]
   in
   match
-    List.sort (fun a b -> compare a.normalized_delay b.normalized_delay)
-      (List.filter (fun s -> s.valid) candidates)
+    List.sort
+      (fun (a : summary) (b : summary) ->
+        compare a.normalized_delay b.normalized_delay)
+      (List.filter (fun (s : summary) -> s.valid) candidates)
   with
   | best :: _ -> best
   | [] -> invalid_arg "Run.best_counting: every counting protocol failed"

@@ -55,6 +55,50 @@ val queuing :
 (** Run a queuing protocol. [tree] (for the arrow variants and the
     token ring) defaults to [Spanning.best_for_arrow graph]. *)
 
+type faulty_protocol = [ `Arrow | `Central_count | `Central_queue ]
+(** The protocols retrofitted with fault-injection runners (the arrow
+    and the two centralised baselines). *)
+
+val faulty_protocol_name : faulty_protocol -> string
+
+type fault_summary = {
+  protocol : string;
+  plan : string;  (** the fault plan's label. *)
+  retry : bool;  (** whether the retransmit layer was on. *)
+  expected : int;  (** requests issued. *)
+  completed : int;  (** operations that completed. *)
+  valid : bool;  (** completed output met the problem spec. *)
+  rounds : int;
+  extra_rounds : int;  (** rounds minus the fault-free baseline's. *)
+  messages : int;
+  extra_messages : int;  (** messages minus the baseline's. *)
+  injected : Countq_simnet.Faults.stats;
+  monitors : Countq_simnet.Monitor.report;
+  retry_stats : Countq_simnet.Reliable.stats option;
+  safe : bool;  (** every safety monitor passed. *)
+  live : bool;  (** every liveness monitor passed. *)
+}
+(** Degradation report: the faulty run next to its fault-free baseline
+    on the same instance, plus the runtime monitor verdicts. *)
+
+val run_faulty :
+  ?tree:Countq_topology.Tree.t ->
+  ?retry:bool ->
+  ?ack_timeout:int ->
+  ?max_retries:int ->
+  ?progress_budget:int ->
+  graph:Countq_topology.Graph.t ->
+  protocol:faulty_protocol ->
+  plan:Countq_simnet.Faults.plan ->
+  requests:int list ->
+  unit ->
+  fault_summary
+(** Run [protocol] on [graph] under fault plan [plan] (with the
+    timeout-and-retransmit layer when [retry], default false), run the
+    fault-free baseline with identical parameters, and report the
+    degradation. [tree] (for [`Arrow]) defaults to
+    [Spanning.best_for_arrow graph]. *)
+
 val best_counting :
   graph:Countq_topology.Graph.t -> requests:int list -> summary
 (** The cheapest (by normalised total delay) of the counting portfolio

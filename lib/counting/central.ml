@@ -2,6 +2,9 @@
 
 module Engine = Countq_simnet.Engine
 module Async = Countq_simnet.Async
+module Faults = Countq_simnet.Faults
+module Monitor = Countq_simnet.Monitor
+module Reliable = Countq_simnet.Reliable
 module Route = Countq_simnet.Route
 module Graph = Countq_topology.Graph
 
@@ -170,7 +173,7 @@ let run_long_lived ?config ?(root = 0) ?route ~graph ~arrivals () =
       on_tick = Some (fun ~round ~node s -> drain_due round node s);
     }
   in
-  let res = Engine.run ~graph ~config ~protocol in
+  let res = Engine.run ~graph ~config ~protocol () in
   let outcomes =
     List.map
       (fun (c : _ Engine.completion) ->
@@ -188,7 +191,55 @@ let run_long_lived ?config ?(root = 0) ?route ~graph ~arrivals () =
 let run ?config ?(root = 0) ?route ~graph ~requests () =
   let protocol = prepare ~root ~route ~graph ~requests in
   let config = Option.value config ~default:Engine.default_config in
-  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol)
+  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ())
+
+type fault_report = {
+  result : Counts.run_result;
+  injected : Faults.stats;
+  monitors : Monitor.report;
+  retry : Reliable.stats option;
+}
+
+(* Safety: ranks are handed out once each, and nobody is counted
+   twice. Liveness: every requester learns a rank, without stalling. *)
+let counting_monitors ~budget ~expected =
+  [
+    Monitor.distinct_ranks ~rank:(fun ((_, count) : int * int) -> count);
+    Monitor.rank_monotonic ~rank:(fun ((_, count) : int * int) -> count);
+    Monitor.unique_completion ~node_of:(fun ~node:_ ((origin, _) : int * int) -> origin);
+    Monitor.completes ~expected;
+    Monitor.progress ~budget ();
+  ]
+
+let run_faulty ?config ?(root = 0) ?route ?(retry = false) ?(ack_timeout = 8)
+    ?(max_retries = 5) ?progress_budget ~plan ~graph ~requests () =
+  let protocol = prepare ~root ~route ~graph ~requests in
+  let config = Option.value config ~default:Engine.default_config in
+  let budget =
+    match progress_budget with
+    | Some b -> b
+    | None -> max 512 (4 * ack_timeout * (1 lsl max_retries))
+  in
+  let monitors = counting_monitors ~budget ~expected:(List.length requests) in
+  let observer = Monitor.observe monitors in
+  let fr = Faults.start plan in
+  let res, retry_stats =
+    if retry then begin
+      let protocol, h = Reliable.wrap ~ack_timeout ~max_retries protocol in
+      let res =
+        Engine.run ~faults:fr ~observer ~keep_alive:(Reliable.keep_alive h)
+          ~graph ~config ~protocol ()
+      in
+      (res, Some (Reliable.stats h))
+    end
+    else (Engine.run ~faults:fr ~observer ~graph ~config ~protocol (), None)
+  in
+  {
+    result = Counts.of_engine ~requests res;
+    injected = Faults.stats fr;
+    monitors = Monitor.finalise monitors;
+    retry = retry_stats;
+  }
 
 let run_async ?(delay = Async.Constant 1) ?(root = 0) ?route ~graph ~requests
     () =
@@ -199,5 +250,5 @@ let run_traced ?config ?(root = 0) ?route ~graph ~requests () =
   let protocol = prepare ~root ~route ~graph ~requests in
   let protocol, events = Countq_simnet.Trace.instrument protocol in
   let config = Option.value config ~default:Engine.default_config in
-  let result = Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol) in
+  let result = Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ()) in
   (result, events ())

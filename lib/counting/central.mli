@@ -24,6 +24,41 @@ val run :
     (capacities 1/1).
     @raise Invalid_argument on out-of-range or duplicate requests. *)
 
+type fault_report = {
+  result : Counts.run_result;  (** whatever completed (may be partial). *)
+  injected : Countq_simnet.Faults.stats;  (** what the plan actually did. *)
+  monitors : Countq_simnet.Monitor.report;
+      (** runtime verdicts: rank distinctness/monotonicity and
+          completion uniqueness (safety), full completion and progress
+          (liveness). *)
+  retry : Countq_simnet.Reliable.stats option;
+      (** retransmit-layer tally; [None] when [retry] was off. *)
+}
+
+val run_faulty :
+  ?config:Countq_simnet.Engine.config ->
+  ?root:int ->
+  ?route:Countq_simnet.Route.t ->
+  ?retry:bool ->
+  ?ack_timeout:int ->
+  ?max_retries:int ->
+  ?progress_budget:int ->
+  plan:Countq_simnet.Faults.plan ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  fault_report
+(** {!run} on an unreliable substrate, with runtime invariant monitors
+    attached. [plan] is the fault schedule (see
+    {!Countq_simnet.Faults}); with [retry] (default [false]) every hop
+    runs under the {!Countq_simnet.Reliable} timeout-and-retransmit
+    layer ([ack_timeout] rounds before the first retransmit, default 8;
+    [max_retries] with exponential backoff, default 5). The progress
+    monitor halts a stalled run after [progress_budget] silent rounds
+    (default: comfortably above the retransmit layer's longest
+    backoff). With [plan = Faults.none] and [retry = false] the result
+    equals {!run}'s. *)
+
 val run_async :
   ?delay:Countq_simnet.Async.delay_model ->
   ?root:int ->

@@ -89,7 +89,7 @@ let run ?config ~tree ~requests () =
     | None -> Engine.config_with_capacity (max 1 (Tree.max_degree tree))
   in
   let graph = Tree.to_graph tree in
-  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol)
+  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ())
 
 let run_async ?(delay = Async.Constant 1) ~tree ~requests () =
   let protocol = prepare ~tree ~requests "Combining.run_async" in

@@ -165,7 +165,7 @@ let run_central ?config ?(root = 0) ?route ~graph ~requests () =
       on_tick = Engine.no_tick;
     }
   in
-  of_engine ~requests (Engine.run ~graph ~config ~protocol)
+  of_engine ~requests (Engine.run ~graph ~config ~protocol ())
 
 (* ---- combining tree ---- *)
 
@@ -235,7 +235,7 @@ let run_combining ?config ~tree ~requests () =
     }
   in
   let graph = Tree.to_graph tree in
-  of_engine ~requests (Engine.run ~graph ~config ~protocol)
+  of_engine ~requests (Engine.run ~graph ~config ~protocol ())
 
 (* ---- token sweep ---- *)
 
@@ -287,4 +287,4 @@ let run_sweep ?config ~tree ~requests () =
     }
   in
   let graph = Tree.to_graph tree in
-  of_engine ~requests (Engine.run ~graph ~config ~protocol)
+  of_engine ~requests (Engine.run ~graph ~config ~protocol ())

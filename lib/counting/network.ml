@@ -203,7 +203,7 @@ let run_long_lived ?config ?width ?net ?placement ?route ~graph ~arrivals () =
       on_tick = Some (fun ~round ~node s -> (s, drain_due round node s));
     }
   in
-  let res = Engine.run ~graph ~config ~protocol in
+  let res = Engine.run ~graph ~config ~protocol () in
   let outcomes =
     List.map
       (fun (c : _ Engine.completion) ->
@@ -326,4 +326,4 @@ let run ?config ?width ?net ?placement ?route ~graph ~requests () =
       on_tick = Engine.no_tick;
     }
   in
-  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol)
+  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ())

@@ -103,7 +103,7 @@ let run ?config ~tree ~requests () =
   let protocol = prepare ~tree ~requests "Sweep.run" in
   let config = Option.value config ~default:Engine.default_config in
   let graph = Tree.to_graph tree in
-  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol)
+  Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ())
 
 let run_async ?(delay = Async.Constant 1) ~tree ~requests () =
   let protocol = prepare ~tree ~requests "Sweep.run_async" in

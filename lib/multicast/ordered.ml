@@ -152,7 +152,7 @@ let disseminate ~graph ~senders ~starts =
     }
   in
   let config = { Engine.default_config with min_rounds = horizon + 1 } in
-  let res = Engine.run ~graph ~config ~protocol in
+  let res = Engine.run ~graph ~config ~protocol () in
   let arrival = Array.make_matrix k n (-1) in
   List.iter
     (fun (c : _ Engine.completion) ->

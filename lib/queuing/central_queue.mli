@@ -20,3 +20,32 @@ val run :
     are served in root-arrival order. Results reuse the arrow library's
     outcome/validation types. [root] defaults to 0; [route] to
     all-pairs shortest-path routing; config to the base model. *)
+
+type fault_report = {
+  result : Countq_arrow.Protocol.run_result;
+      (** outcomes of whatever completed. *)
+  injected : Countq_simnet.Faults.stats;  (** what the plan actually did. *)
+  monitors : Countq_simnet.Monitor.report;
+      (** runtime verdicts: chain consistency (safety), full completion
+          and progress (liveness). *)
+  retry : Countq_simnet.Reliable.stats option;
+      (** retransmit-layer tally; [None] when [retry] was off. *)
+}
+
+val run_faulty :
+  ?config:Countq_simnet.Engine.config ->
+  ?root:int ->
+  ?route:Countq_simnet.Route.t ->
+  ?retry:bool ->
+  ?ack_timeout:int ->
+  ?max_retries:int ->
+  ?progress_budget:int ->
+  plan:Countq_simnet.Faults.plan ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  fault_report
+(** {!run} on an unreliable substrate with runtime invariant monitors
+    attached; same knobs and semantics as
+    {!Countq_counting.Central.run_faulty}. With [plan = Faults.none]
+    and [retry = false] the result equals {!run}'s. *)

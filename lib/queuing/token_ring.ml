@@ -58,7 +58,7 @@ let run ?config ~tree ~requests () =
     }
   in
   let graph = Tree.to_graph tree in
-  let res = Engine.run ~graph ~config ~protocol in
+  let res = Engine.run ~graph ~config ~protocol () in
   let outcomes =
     List.map
       (fun (c : _ Engine.completion) ->

@@ -30,7 +30,8 @@ let make_delay_fn = function
   | Per_message f ->
       fun ~src ~dst ~send_time -> Stdlib.max 1 (f ~src ~dst ~send_time)
 
-let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ~protocol () =
+let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
+    ~protocol () =
   let n = Graph.n graph in
   let delay_fn = make_delay_fn delay in
   let states = Array.init n protocol.Engine.initial_state in
@@ -45,6 +46,24 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ~protocol () =
   let messages = ref 0 in
   let finish = ref 0 in
   let events = ref 0 in
+  let crashed v time =
+    match faults with
+    | None -> false
+    | Some fr -> Faults.crashed fr ~node:v ~round:time
+  in
+  (* Schedule one copy of a message on the (FIFO) link, [extra] time
+     units after its fault-free arrival instant. *)
+  let schedule src dst msg ~send_time ~extra =
+    let raw_arrival = send_time + delay_fn ~src ~dst ~send_time + extra in
+    let key = (src, dst) in
+    let arrival =
+      match Hashtbl.find_opt link_last key with
+      | Some last -> max raw_arrival (last + 1)
+      | None -> raw_arrival
+    in
+    Hashtbl.replace link_last key arrival;
+    Heap.push heap arrival (Arrival { src; dst; msg })
+  in
   let emit src now actions =
     List.iter
       (fun action ->
@@ -57,15 +76,18 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ~protocol () =
               raise (Engine.Not_a_neighbor { node = src; dst });
             let s = max now (send_free.(src) + 1) in
             send_free.(src) <- s;
-            let raw_arrival = s + delay_fn ~src ~dst ~send_time:s in
-            let key = (src, dst) in
-            let arrival =
-              match Hashtbl.find_opt link_last key with
-              | Some last -> max raw_arrival (last + 1)
-              | None -> raw_arrival
+            let decision =
+              match faults with
+              | None -> Faults.Deliver
+              | Some fr -> Faults.decide fr ~src ~dst ~round:s
             in
-            Hashtbl.replace link_last key arrival;
-            Heap.push heap arrival (Arrival { src; dst; msg }))
+            (match decision with
+            | Faults.Deliver -> schedule src dst msg ~send_time:s ~extra:0
+            | Faults.Drop -> ()
+            | Faults.Duplicate ->
+                schedule src dst msg ~send_time:s ~extra:0;
+                schedule src dst msg ~send_time:s ~extra:0
+            | Faults.Delay d -> schedule src dst msg ~send_time:s ~extra:d))
       actions
   in
   List.iter
@@ -85,29 +107,41 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ~protocol () =
     | Some (t, ev) ->
         incr events;
         if !events > max_events then
-          raise (Engine.Round_limit_exceeded max_events);
+          (* The event just popped is still unprocessed: count it. *)
+          raise
+            (Engine.Round_limit_exceeded
+               {
+                 limit = max_events;
+                 outstanding = Heap.size heap + 1;
+                 queued = 0;
+                 held = 0;
+               });
         (match ev with
         | Arrival { src; dst; msg } ->
-            let now = max t (proc_free.(dst) + 1) in
-            proc_free.(dst) <- now;
-            incr messages;
-            finish := max !finish now;
-            let s, actions =
-              protocol.Engine.on_receive ~round:now ~node:dst ~src msg
-                states.(dst)
-            in
-            states.(dst) <- s;
-            emit dst now actions
+            if crashed dst t then Faults.note_crash_drop (Option.get faults)
+            else begin
+              let now = max t (proc_free.(dst) + 1) in
+              proc_free.(dst) <- now;
+              incr messages;
+              finish := max !finish now;
+              let s, actions =
+                protocol.Engine.on_receive ~round:now ~node:dst ~src msg
+                  states.(dst)
+              in
+              states.(dst) <- s;
+              emit dst now actions
+            end
         | Wakeup v -> (
-            match protocol.Engine.on_tick with
-            | None -> ()
-            | Some tick ->
-                let now = max t (proc_free.(v) + 1) in
-                proc_free.(v) <- now;
-                finish := max !finish now;
-                let s, actions = tick ~round:now ~node:v states.(v) in
-                states.(v) <- s;
-                emit v now actions));
+            if not (crashed v t) then
+              match protocol.Engine.on_tick with
+              | None -> ()
+              | Some tick ->
+                  let now = max t (proc_free.(v) + 1) in
+                  proc_free.(v) <- now;
+                  finish := max !finish now;
+                  let s, actions = tick ~round:now ~node:v states.(v) in
+                  states.(v) <- s;
+                  emit v now actions));
         loop ()
   in
   loop ();

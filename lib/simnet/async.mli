@@ -41,6 +41,7 @@ val run :
   delay:delay_model ->
   ?wakeups:(int * int) list ->
   ?max_events:int ->
+  ?faults:Faults.runtime ->
   protocol:('s, 'm, 'r) Engine.protocol ->
   unit ->
   'r result
@@ -50,4 +51,14 @@ val run :
     asynchronous counterpart of the synchronous engine's per-round
     ticks, used for staggered arrivals. [max_events] (default 10M)
     guards against livelock.
+
+    [faults] injects the same per-transmission decisions as the
+    synchronous engine: fault rounds are read as event times, a Delay
+    spike adds to the link delay {e before} the FIFO no-overtake clamp
+    (so delays slow a link without reordering it), and arrivals at a
+    crashed node are discarded. With no [faults] (or a started
+    {!Faults.none}) the execution is identical to the fault-free
+    engine's. Note the {!Reliable} retransmit layer is driven by
+    per-round ticks and therefore only heals faults under the
+    synchronous engine.
     @raise Invalid_argument on a bad delay model or wakeups. *)

@@ -1,6 +1,7 @@
 (* Synchronous simulator for the Section 2.1 model. See engine.mli. *)
 
 module Graph = Countq_topology.Graph
+module Heap = Countq_util.Heap
 
 type arbiter =
   | Round_robin
@@ -52,7 +53,27 @@ type 'r result = {
 }
 
 exception Not_a_neighbor of { node : int; dst : int }
-exception Round_limit_exceeded of int
+
+exception
+  Round_limit_exceeded of {
+    limit : int;
+    outstanding : int;
+    queued : int;
+    held : int;
+  }
+
+type 'r observer = {
+  on_deliver : round:int -> src:int -> dst:int -> unit;
+  on_complete : round:int -> node:int -> value:'r -> unit;
+  on_round_end : round:int -> in_flight:int -> [ `Continue | `Halt ];
+}
+
+let null_observer =
+  {
+    on_deliver = (fun ~round:_ ~src:_ ~dst:_ -> ());
+    on_complete = (fun ~round:_ ~node:_ ~value:_ -> ());
+    on_round_end = (fun ~round:_ ~in_flight:_ -> `Continue);
+  }
 
 (* Per-node runtime: incoming FIFO queues indexed by the sender's
    position in the receiver's sorted neighbour array, plus an outbox
@@ -74,7 +95,8 @@ let max_delay res =
 
 let completion_count res = List.length res.completions
 
-let run ~graph ~config ~protocol =
+let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
+    ~graph ~config ~protocol () =
   if config.receive_capacity < 1 || config.send_capacity < 1 then
     invalid_arg "Engine.run: capacities must be >= 1";
   let n = Graph.n graph in
@@ -98,6 +120,16 @@ let run ~graph ~config ~protocol =
   let max_backlog = ref 0 in
   let outstanding_sends = ref 0 in
   let queued_total = ref 0 in
+  (* Messages postponed by a Delay fault, keyed by delivery round (FIFO
+     among equal rounds via the insertion counter). *)
+  let held : (int * int, int * int * 'm) Heap.t = Heap.create () in
+  let held_count = ref 0 in
+  let held_seq = ref 0 in
+  let crashed v round =
+    match faults with
+    | None -> false
+    | Some fr -> Faults.crashed fr ~node:v ~round
+  in
   let apply_actions v round actions =
     List.iter
       (fun action ->
@@ -108,6 +140,7 @@ let run ~graph ~config ~protocol =
             Queue.push (dst, msg) rt.(v).outbox;
             incr outstanding_sends
         | Complete value ->
+            observer.on_complete ~round ~node:v ~value;
             completions := { node = v; round; value } :: !completions)
       actions
   in
@@ -156,35 +189,83 @@ let run ~graph ~config ~protocol =
           Some (Hashtbl.find nv.nbr_index src)
         end
   in
+  (* Hand [msg] (sent by [src]) to [dst]'s incoming FIFO in round [t],
+     or discard it if the receiver is down. *)
+  let enqueue_at t src dst msg =
+    if crashed dst t then Faults.note_crash_drop (Option.get faults)
+    else begin
+      let nd = rt.(dst) in
+      let qi = Hashtbl.find nd.nbr_index src in
+      Queue.push msg nd.inq.(qi);
+      nd.pending <- nd.pending + 1;
+      incr queued_total;
+      max_backlog := max !max_backlog (Queue.length nd.inq.(qi))
+    end
+  in
   let round = ref 0 in
   let last_active = ref 0 in
+  let halted = ref false in
   while
-    !outstanding_sends > 0 || !queued_total > 0 || !round < config.min_rounds
+    (not !halted)
+    && (!outstanding_sends > 0 || !queued_total > 0 || !held_count > 0
+       || !round < config.min_rounds || keep_alive ())
   do
     incr round;
-    if !round > config.max_rounds then raise (Round_limit_exceeded config.max_rounds);
+    if !round > config.max_rounds then
+      raise
+        (Round_limit_exceeded
+           {
+             limit = config.max_rounds;
+             outstanding = !outstanding_sends;
+             queued = !queued_total;
+             held = !held_count;
+           });
     let t = !round in
+    (* Fault-delayed messages whose spike has elapsed join the receiver
+       queues ahead of this round's fresh sends. *)
+    let rec flush_held () =
+      match Heap.peek held with
+      | Some ((due, _), (src, dst, msg)) when due <= t ->
+          ignore (Heap.pop held);
+          decr held_count;
+          last_active := t;
+          enqueue_at t src dst msg;
+          flush_held ()
+      | _ -> ()
+    in
+    flush_held ();
     (* Send phase. *)
     for v = 0 to n - 1 do
-      let nv = rt.(v) in
-      let budget = ref config.send_capacity in
-      while !budget > 0 && not (Queue.is_empty nv.outbox) do
-        let dst, msg = Queue.pop nv.outbox in
-        decr outstanding_sends;
-        decr budget;
-        last_active := t;
-        let nd = rt.(dst) in
-        let qi = Hashtbl.find nd.nbr_index v in
-        Queue.push msg nd.inq.(qi);
-        nd.pending <- nd.pending + 1;
-        incr queued_total;
-        max_backlog := max !max_backlog (Queue.length nd.inq.(qi))
-      done
+      if not (crashed v t) then begin
+        let nv = rt.(v) in
+        let budget = ref config.send_capacity in
+        while !budget > 0 && not (Queue.is_empty nv.outbox) do
+          let dst, msg = Queue.pop nv.outbox in
+          decr outstanding_sends;
+          decr budget;
+          last_active := t;
+          let decision =
+            match faults with
+            | None -> Faults.Deliver
+            | Some fr -> Faults.decide fr ~src:v ~dst ~round:t
+          in
+          match decision with
+          | Faults.Deliver -> enqueue_at t v dst msg
+          | Faults.Drop -> ()
+          | Faults.Duplicate ->
+              enqueue_at t v dst msg;
+              enqueue_at t v dst msg
+          | Faults.Delay d ->
+              incr held_seq;
+              incr held_count;
+              Heap.push held (t + d, !held_seq) (v, dst, msg)
+        done
+      end
     done;
     (* Receive phase. *)
     for v = 0 to n - 1 do
       let nv = rt.(v) in
-      if nv.pending > 0 then begin
+      if nv.pending > 0 && not (crashed v t) then begin
         let budget = ref (min config.receive_capacity nv.pending) in
         while !budget > 0 do
           match pick nv t v with
@@ -197,6 +278,7 @@ let run ~graph ~config ~protocol =
               incr messages;
               decr budget;
               last_active := t;
+              observer.on_deliver ~round:t ~src ~dst:v;
               let s, actions =
                 protocol.on_receive ~round:t ~node:v ~src msg states.(v)
               in
@@ -211,10 +293,16 @@ let run ~graph ~config ~protocol =
     | None -> ()
     | Some tick ->
         for v = 0 to n - 1 do
-          let s, actions = tick ~round:t ~node:v states.(v) in
-          states.(v) <- s;
-          apply_actions v t actions
-        done)
+          if not (crashed v t) then begin
+            let s, actions = tick ~round:t ~node:v states.(v) in
+            states.(v) <- s;
+            apply_actions v t actions
+          end
+        done);
+    let in_flight = !outstanding_sends + !queued_total + !held_count in
+    (match observer.on_round_end ~round:t ~in_flight with
+    | `Continue -> ()
+    | `Halt -> halted := true)
   done;
   let completions =
     List.sort

@@ -96,16 +96,59 @@ type 'r result = {
 exception Not_a_neighbor of { node : int; dst : int }
 (** Raised when a protocol tries to send to a non-adjacent node. *)
 
-exception Round_limit_exceeded of int
-(** Raised when [max_rounds] elapses with messages still in flight. *)
+exception
+  Round_limit_exceeded of {
+    limit : int;  (** the [max_rounds] (or async [max_events]) bound. *)
+    outstanding : int;  (** messages queued in sender outboxes. *)
+    queued : int;  (** messages waiting on receiver FIFO links. *)
+    held : int;  (** messages parked by a fault-injected delay. *)
+  }
+(** Raised when [max_rounds] elapses with messages still in flight. The
+    payload summarises where the pending messages sit, so a genuine
+    engine blow-up is distinguishable from a protocol that merely
+    stalled (the latter is better detected — and reported as a
+    structured verdict — by a [Monitor.progress] liveness monitor). *)
+
+type 'r observer = {
+  on_deliver : round:int -> src:int -> dst:int -> unit;
+      (** called for every message handed to a protocol. *)
+  on_complete : round:int -> node:int -> value:'r -> unit;
+      (** called for every [Complete] action, including round 0. *)
+  on_round_end : round:int -> in_flight:int -> [ `Continue | `Halt ];
+      (** called once at the end of every round with the number of
+          messages still in flight; returning [`Halt] stops the run
+          gracefully (the result reflects progress so far). *)
+}
+(** Execution hooks, invoked synchronously during the run — the
+    attachment point for {!Monitor} invariant checking. Observers must
+    not mutate protocol state; they cannot affect the execution except
+    through the [`Halt] directive. *)
+
+val null_observer : 'r observer
+(** Hooks that do nothing and always continue. *)
 
 val run :
+  ?faults:Faults.runtime ->
+  ?observer:'r observer ->
+  ?keep_alive:(unit -> bool) ->
   graph:Countq_topology.Graph.t ->
   config:config ->
   protocol:('s, 'm, 'r) protocol ->
+  unit ->
   'r result
-(** Execute the protocol to quiescence (no queued or in-flight
-    messages). Deterministic: same inputs, same result. *)
+(** Execute the protocol to quiescence (no queued, in-flight or
+    fault-delayed messages). Deterministic: same inputs (including the
+    fault plan's seed), same result; with no [faults] (or a started
+    {!Faults.none}) the execution is identical to the fault-free
+    engine's.
+
+    [faults] injects per-transmission drop/duplicate/delay decisions
+    and node crashes (see {!Faults}); query the runtime afterwards for
+    the injection tally. [keep_alive] is polled once per round: while
+    it returns [true] the engine keeps running rounds (ticking
+    protocols) even when the network is quiescent — the hook a
+    timeout-and-retransmit layer ({!Reliable}) uses to wait out its
+    retry timers. [max_rounds] still bounds the run. *)
 
 val total_delay : 'r result -> int
 (** Sum of completion rounds — the paper's concurrent delay complexity

@@ -1,0 +1,187 @@
+(* Hop-by-hop ack / retransmit / dedup layer. See reliable.mli. *)
+
+type 'm msg = Data of { seq : int; payload : 'm } | Ack of { seq : int }
+
+type 'm pending = {
+  p_dst : int;
+  payload : 'm;
+  mutable retries : int;
+  mutable due : int;  (** round at which the next retransmit fires. *)
+}
+
+type ('s, 'm) state = {
+  mutable inner : 's;
+  next_seq : (int, int) Hashtbl.t;  (** dst -> next seq to assign. *)
+  unacked : (int * int, 'm pending) Hashtbl.t;  (** (dst, seq). *)
+  next_expected : (int, int) Hashtbl.t;  (** src -> next seq to release. *)
+  buffer : (int * int, 'm) Hashtbl.t;  (** out-of-order payloads. *)
+}
+
+type stats = {
+  data_sent : int;
+  retransmits : int;
+  acks_sent : int;
+  duplicates_ignored : int;
+  gave_up : int;
+}
+
+type handle = {
+  outstanding : int ref;
+  r_data_sent : int ref;
+  r_retransmits : int ref;
+  r_acks_sent : int ref;
+  r_duplicates_ignored : int ref;
+  r_gave_up : int ref;
+}
+
+let keep_alive h () = !(h.outstanding) > 0
+
+let stats h =
+  {
+    data_sent = !(h.r_data_sent);
+    retransmits = !(h.r_retransmits);
+    acks_sent = !(h.r_acks_sent);
+    duplicates_ignored = !(h.r_duplicates_ignored);
+    gave_up = !(h.r_gave_up);
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d payloads, %d retransmits, %d acks, %d duplicates ignored, %d abandoned"
+    s.data_sent s.retransmits s.acks_sent s.duplicates_ignored s.gave_up
+
+let wrap ?(ack_timeout = 8) ?(max_retries = 5) (p : _ Engine.protocol) =
+  if ack_timeout < 1 then invalid_arg "Reliable.wrap: ack_timeout must be >= 1";
+  if max_retries < 0 then invalid_arg "Reliable.wrap: max_retries must be >= 0";
+  let h =
+    {
+      outstanding = ref 0;
+      r_data_sent = ref 0;
+      r_retransmits = ref 0;
+      r_acks_sent = ref 0;
+      r_duplicates_ignored = ref 0;
+      r_gave_up = ref 0;
+    }
+  in
+  let send_data st ~round dst payload =
+    let seq = Option.value (Hashtbl.find_opt st.next_seq dst) ~default:0 in
+    Hashtbl.replace st.next_seq dst (seq + 1);
+    Hashtbl.replace st.unacked (dst, seq)
+      { p_dst = dst; payload; retries = 0; due = round + ack_timeout };
+    incr h.outstanding;
+    incr h.r_data_sent;
+    Engine.Send (dst, Data { seq; payload })
+  in
+  (* Inner actions become numbered, tracked transmissions. *)
+  let lift st ~round actions =
+    List.map
+      (fun action ->
+        match action with
+        | Engine.Send (dst, m) -> send_data st ~round dst m
+        | Engine.Complete r -> Engine.Complete r)
+      actions
+  in
+  let initial_state v =
+    {
+      inner = p.Engine.initial_state v;
+      next_seq = Hashtbl.create 4;
+      unacked = Hashtbl.create 8;
+      next_expected = Hashtbl.create 4;
+      buffer = Hashtbl.create 8;
+    }
+  in
+  let on_start ~node st =
+    let inner, actions = p.Engine.on_start ~node st.inner in
+    st.inner <- inner;
+    (st, lift st ~round:0 actions)
+  in
+  (* Release every buffered payload that is next in sequence from
+     [src], feeding each to the inner protocol in order. *)
+  let release st ~round ~node ~src =
+    let actions = ref [] in
+    let continue = ref true in
+    while !continue do
+      let expected =
+        Option.value (Hashtbl.find_opt st.next_expected src) ~default:0
+      in
+      match Hashtbl.find_opt st.buffer (src, expected) with
+      | None -> continue := false
+      | Some payload ->
+          Hashtbl.remove st.buffer (src, expected);
+          Hashtbl.replace st.next_expected src (expected + 1);
+          let inner, acts = p.Engine.on_receive ~round ~node ~src payload st.inner in
+          st.inner <- inner;
+          actions := !actions @ lift st ~round acts
+    done;
+    !actions
+  in
+  let on_receive ~round ~node ~src msg st =
+    match msg with
+    | Ack { seq } ->
+        (match Hashtbl.find_opt st.unacked (src, seq) with
+        | Some _ ->
+            Hashtbl.remove st.unacked (src, seq);
+            decr h.outstanding
+        | None -> ());
+        (st, [])
+    | Data { seq; payload } ->
+        incr h.r_acks_sent;
+        let ack = Engine.Send (src, Ack { seq }) in
+        let expected =
+          Option.value (Hashtbl.find_opt st.next_expected src) ~default:0
+        in
+        if seq < expected || Hashtbl.mem st.buffer (src, seq) then begin
+          incr h.r_duplicates_ignored;
+          (st, [ ack ])
+        end
+        else begin
+          Hashtbl.replace st.buffer (src, seq) payload;
+          (st, ack :: release st ~round ~node ~src)
+        end
+  in
+  let on_tick ~round ~node st =
+    (* Fire the retransmit timers due this round, oldest link first so
+       the scan order is independent of hash-table internals. *)
+    let due =
+      Hashtbl.fold
+        (fun key pending acc -> if pending.due <= round then (key, pending) :: acc else acc)
+        st.unacked []
+      |> List.sort compare
+    in
+    let resends =
+      List.filter_map
+        (fun ((_, seq), pending) ->
+          if pending.retries >= max_retries then begin
+            Hashtbl.remove st.unacked (pending.p_dst, seq);
+            decr h.outstanding;
+            incr h.r_gave_up;
+            None
+          end
+          else begin
+            pending.retries <- pending.retries + 1;
+            pending.due <- round + (ack_timeout * (1 lsl pending.retries));
+            incr h.r_retransmits;
+            Some (Engine.Send (pending.p_dst, Data { seq; payload = pending.payload }))
+          end)
+        due
+    in
+    let st, inner_actions =
+      match p.Engine.on_tick with
+      | None -> (st, [])
+      | Some tick ->
+          let inner, acts = tick ~round ~node st.inner in
+          st.inner <- inner;
+          (st, lift st ~round acts)
+    in
+    (st, resends @ inner_actions)
+  in
+  let protocol =
+    {
+      Engine.name = p.Engine.name ^ "+retry";
+      initial_state;
+      on_start;
+      on_receive;
+      on_tick = Some on_tick;
+    }
+  in
+  (protocol, h)

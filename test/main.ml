@@ -17,6 +17,7 @@ let () =
       ("route", Test_route.suite);
       ("async", Test_async.suite);
       ("trace", Test_trace.suite);
+      ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);
       ("order", Test_order.suite);
       ("arrow", Test_arrow.suite);

@@ -19,7 +19,7 @@ let pinger count =
   }
 
 let run_pinger ?(config = Engine.default_config) count =
-  Engine.run ~graph:(Gen.path 2) ~config ~protocol:(pinger count)
+  Engine.run ~graph:(Gen.path 2) ~config ~protocol:(pinger count) ()
 
 let test_single_hop_delay () =
   let res = run_pinger 1 in
@@ -60,7 +60,7 @@ let test_fifo_per_link () =
     }
   in
   let res =
-    Engine.run ~graph:(Gen.path 2) ~config:Engine.default_config ~protocol
+    Engine.run ~graph:(Gen.path 2) ~config:Engine.default_config ~protocol ()
   in
   let values = List.map (fun (c : _ Engine.completion) -> c.value) res.completions in
   Alcotest.(check (list int)) "FIFO order" [ 10; 20 ] values
@@ -80,7 +80,7 @@ let test_send_to_non_neighbor_rejected () =
     (Engine.Not_a_neighbor { node = 0; dst = 2 })
     (fun () ->
       ignore
-        (Engine.run ~graph:(Gen.path 3) ~config:Engine.default_config ~protocol))
+        (Engine.run ~graph:(Gen.path 3) ~config:Engine.default_config ~protocol ()))
 
 let test_round_limit () =
   (* Two nodes ping-pong forever. *)
@@ -95,8 +95,12 @@ let test_round_limit () =
     }
   in
   let config = { Engine.default_config with max_rounds = 50 } in
-  Alcotest.check_raises "limit" (Engine.Round_limit_exceeded 50) (fun () ->
-      ignore (Engine.run ~graph:(Gen.path 2) ~config ~protocol))
+  match Engine.run ~graph:(Gen.path 2) ~config ~protocol () with
+  | _ -> Alcotest.fail "expected Round_limit_exceeded"
+  | exception Engine.Round_limit_exceeded { limit; outstanding; queued; held } ->
+      Alcotest.(check int) "limit reported" 50 limit;
+      (* The ping-pong message must show up in the pending summary. *)
+      Alcotest.(check int) "one message pending" 1 (outstanding + queued + held)
 
 let test_one_receive_per_round_contention () =
   (* Star centre: k leaves send simultaneously; centre can absorb only
@@ -113,7 +117,7 @@ let test_one_receive_per_round_contention () =
     }
   in
   let res =
-    Engine.run ~graph:(Gen.star n) ~config:Engine.default_config ~protocol
+    Engine.run ~graph:(Gen.star n) ~config:Engine.default_config ~protocol ()
   in
   let rounds =
     List.map (fun (c : _ Engine.completion) -> c.round) res.completions
@@ -141,7 +145,7 @@ let test_backlog_on_one_link () =
     }
   in
   let config = { Engine.default_config with send_capacity = 3 } in
-  let res = Engine.run ~graph:(Gen.path 2) ~config ~protocol in
+  let res = Engine.run ~graph:(Gen.path 2) ~config ~protocol () in
   Alcotest.(check bool) "backlog grows" true (res.max_link_backlog >= 2);
   Alcotest.(check int) "all delivered" 6 (Engine.completion_count res)
 
@@ -161,7 +165,7 @@ let test_round_robin_fairness () =
     }
   in
   let res =
-    Engine.run ~graph:(Gen.star 3) ~config:Engine.default_config ~protocol
+    Engine.run ~graph:(Gen.star 3) ~config:Engine.default_config ~protocol ()
   in
   let senders =
     List.map (fun (c : _ Engine.completion) -> c.value) res.completions
@@ -184,7 +188,7 @@ let test_lowest_sender_first_starves () =
     }
   in
   let config = { Engine.default_config with arbiter = Engine.Lowest_sender_first } in
-  let res = Engine.run ~graph:(Gen.star 3) ~config ~protocol in
+  let res = Engine.run ~graph:(Gen.star 3) ~config ~protocol () in
   let senders =
     List.map (fun (c : _ Engine.completion) -> c.value) res.completions
   in
@@ -212,7 +216,7 @@ let test_custom_arbiter () =
       on_tick = Engine.no_tick;
     }
   in
-  let res = Engine.run ~graph:(Gen.star 4) ~config ~protocol in
+  let res = Engine.run ~graph:(Gen.star 4) ~config ~protocol () in
   let senders =
     List.map (fun (c : _ Engine.completion) -> c.value) res.completions
   in
@@ -234,7 +238,7 @@ let test_on_tick_injection () =
     }
   in
   let config = { Engine.default_config with min_rounds = 4 } in
-  let res = Engine.run ~graph:(Gen.path 2) ~config ~protocol in
+  let res = Engine.run ~graph:(Gen.path 2) ~config ~protocol () in
   match res.completions with
   | [ c ] ->
       Alcotest.(check int) "value" 99 c.value;
@@ -267,7 +271,7 @@ let test_propagation_speed () =
     }
   in
   let res =
-    Engine.run ~graph:(Gen.path n) ~config:Engine.default_config ~protocol
+    Engine.run ~graph:(Gen.path n) ~config:Engine.default_config ~protocol ()
   in
   List.iter
     (fun (c : _ Engine.completion) ->

@@ -66,7 +66,7 @@ let test_engine_invalid_capacity () =
   let config = { Engine.default_config with receive_capacity = 0 } in
   Alcotest.check_raises "capacity 0"
     (Invalid_argument "Engine.run: capacities must be >= 1") (fun () ->
-      ignore (Engine.run ~graph:(Gen.path 2) ~config ~protocol))
+      ignore (Engine.run ~graph:(Gen.path 2) ~config ~protocol ()))
 
 let test_engine_min_rounds_keeps_ticking () =
   (* With min_rounds = 5 and nothing in flight, ticks still fire for
@@ -86,7 +86,7 @@ let test_engine_min_rounds_keeps_ticking () =
     }
   in
   let config = { Engine.default_config with min_rounds = 5 } in
-  ignore (Engine.run ~graph:(Gen.path 2) ~config ~protocol);
+  ignore (Engine.run ~graph:(Gen.path 2) ~config ~protocol ());
   Alcotest.(check (list int)) "rounds ticked" [ 1; 2; 3; 4; 5 ]
     (List.rev !seen)
 
@@ -150,10 +150,14 @@ let test_async_event_limit () =
       on_tick = Engine.no_tick;
     }
   in
-  Alcotest.check_raises "limit" (Engine.Round_limit_exceeded 100) (fun () ->
-      ignore
-        (Async.run ~graph:(Gen.path 2) ~delay:(Async.Constant 1)
-           ~max_events:100 ~protocol ()))
+  match
+    Async.run ~graph:(Gen.path 2) ~delay:(Async.Constant 1) ~max_events:100
+      ~protocol ()
+  with
+  | _ -> Alcotest.fail "expected Round_limit_exceeded"
+  | exception Engine.Round_limit_exceeded { limit; outstanding; _ } ->
+      Alcotest.(check int) "limit reported" 100 limit;
+      Alcotest.(check bool) "events still pending" true (outstanding > 0)
 
 (* ---- routing facts feeding protocols ---- *)
 

@@ -19,7 +19,7 @@ let pinger count =
 let run_traced count =
   let protocol, events = Trace.instrument (pinger count) in
   let res =
-    Engine.run ~graph:(Gen.path 2) ~config:Engine.default_config ~protocol
+    Engine.run ~graph:(Gen.path 2) ~config:Engine.default_config ~protocol ()
   in
   (res, events ())
 
@@ -95,7 +95,7 @@ let test_tick_instrumented () =
   in
   let protocol, events = Trace.instrument base in
   let config = { Engine.default_config with min_rounds = 3 } in
-  ignore (Engine.run ~graph:(Gen.path 2) ~config ~protocol);
+  ignore (Engine.run ~graph:(Gen.path 2) ~config ~protocol ());
   let has_tick_send =
     List.exists
       (function Trace.Queued_send { round = 2; node = 0; dst = 1 } -> true | _ -> false)
