@@ -1,4 +1,4 @@
-.PHONY: all build test check clean examples report
+.PHONY: all build test check clean examples report bench bench-quick
 
 all: build
 
@@ -18,6 +18,16 @@ examples:
 
 report:
 	dune exec bin/countq_cli.exe -- report
+
+# Full benchmark pass: every experiment table at paper sizes, the
+# engine speedup probe and the bechamel micro kernels; writes
+# BENCH_2.json (and per-experiment CSVs under bench/out/).
+bench:
+	dune exec bench/main.exe -- --csv bench/out
+
+# Quick smoke: truncated sweeps, no micro kernels. Same JSON schema.
+bench-quick:
+	dune exec bench/main.exe -- --quick --no-micro --csv bench/out
 
 clean:
 	dune clean

@@ -7,18 +7,34 @@
      dune exec bench/main.exe -- --only E9    -- a single experiment
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
+     dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
+                                                 BENCH_2.json; --no-json
+                                                 to skip)
      dune exec bench/main.exe -- --jobs N     -- regenerate tables on N domains
                                                  (experiments are pure, so this
-                                                 is safe; output order is kept) *)
+                                                 is safe; output order is kept)
+
+   Every run emits a machine-readable perf snapshot (BENCH_2.json):
+   per-experiment wall time, the engine-vs-reference speedup probe on
+   the E3 list-counting sweep, and — unless --no-micro — Bechamel
+   ns/run per kernel. Tracked from PR 2 onward so perf regressions
+   show up as a diff, not an anecdote. *)
 
 module Experiments = Countq.Experiments
 module Table = Countq.Table
+module Engine = Countq_simnet.Engine
+module Reference = Countq_simnet.Reference
+module Graph = Countq_topology.Graph
+module TGen = Countq_topology.Gen
+module Tree = Countq_topology.Tree
+module Spanning = Countq_topology.Spanning
 
 let parse_args () =
   let quick = ref false in
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
+  let json_path = ref (Some "BENCH_2.json") in
   let jobs = ref 1 in
   let rec go = function
     | [] -> ()
@@ -34,6 +50,12 @@ let parse_args () =
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
         go rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        go rest
+    | "--no-json" :: rest ->
+        json_path := None;
+        go rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j >= 1 -> jobs := j
@@ -46,7 +68,7 @@ let parse_args () =
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !micro, !only, !csv_dir, !jobs)
+  (!quick, !micro, !only, !csv_dir, !json_path, !jobs)
 
 let selected only =
   match only with
@@ -57,6 +79,18 @@ let selected only =
       | None ->
           Printf.eprintf "unknown experiment %S\n" id;
           exit 2)
+
+(* [mkdir dir] with parent creation: Sys.mkdir is mkdir(2), so a
+   nested --csv path like out/csv used to fail with ENOENT. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    failwith (Printf.sprintf "--csv: %S exists and is not a directory" dir)
 
 let run_tables ~quick ~csv_dir ~jobs specs =
   (* Experiments are pure functions of their seeds: regenerate them on
@@ -76,12 +110,83 @@ let run_tables ~quick ~csv_dir ~jobs specs =
       match csv_dir with
       | None -> ()
       | Some dir ->
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          mkdir_p dir;
           let path = Filename.concat dir (String.lowercase_ascii id ^ ".csv") in
           let oc = open_out path in
           output_string oc (Table.to_csv table);
           close_out oc)
-    tables
+    tables;
+  List.map (fun (id, _, dt) -> (id, dt)) tables
+
+(* ------------------------------------------------------------------ *)
+(* Engine-vs-reference speedup probe: the E3 list-counting sweep at
+   the pre-active-set ceiling (n <= 256), timing prebuilt protocols
+   through Engine.run and Reference.run so only the engines differ.    *)
+
+type engine_fn = {
+  exec :
+    's 'm 'r.
+    graph:Graph.t ->
+    config:Engine.config ->
+    protocol:('s, 'm, 'r) Engine.protocol ->
+    'r Engine.result;
+}
+
+let active_engine =
+  { exec = (fun ~graph ~config ~protocol -> Engine.run ~graph ~config ~protocol ()) }
+
+let reference_engine =
+  {
+    exec = (fun ~graph ~config ~protocol -> Reference.run ~graph ~config ~protocol ());
+  }
+
+type speedup_row = {
+  sweep_n : int;
+  active_s : float;
+  reference_s : float;
+}
+
+let speedup_probe ~quick () =
+  let module C = Countq_counting in
+  let sizes = [ 16; 32; 64; 128; 256 ] in
+  (* The runs are tens of microseconds, well inside scheduler noise, so
+     each measurement is best-of-[rounds] over batches of [reps] runs
+     (with one warm-up run so first-touch allocation doesn't skew the
+     first batch). *)
+  let rounds = if quick then 2 else 5 in
+  let time reps f =
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  List.map
+    (fun n ->
+      (* The exact protocol value E3's sweep runner drives: the token
+         sweep on the arrow-optimal spanning tree of the n-node list,
+         every node requesting. Theta(n^2) total rounds with one active
+         node per round — the regime the active-set engine targets. *)
+      let tree = Spanning.best_for_arrow (TGen.path n) in
+      let graph = Tree.to_graph tree in
+      let requests = List.init n (fun i -> i) in
+      let protocol = C.Sweep.one_shot_protocol ~tree ~requests () in
+      let config = Engine.default_config in
+      let run e () = ignore (e.exec ~graph ~config ~protocol) in
+      let reps = max (if quick then 5 else 20) (20_000 / n) in
+      run active_engine ();
+      run reference_engine ();
+      {
+        sweep_n = n;
+        active_s = time reps (run active_engine);
+        reference_s = time reps (run reference_engine);
+      })
+    sizes
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks: one Test.make per experiment (its quick
@@ -98,14 +203,31 @@ let experiment_tests specs =
 
 let kernel_tests () =
   let module Gen = Countq_topology.Gen in
-  let module Tree = Countq_topology.Tree in
-  let module Spanning = Countq_topology.Spanning in
   let module Rng = Countq_util.Rng in
   let mesh = Gen.square_mesh 16 in
   let mesh_tree = Spanning.best_for_arrow mesh in
   let all_256 = List.init 256 (fun i -> i) in
   let rng = Rng.create 99L in
   let half = Rng.sample rng ~k:128 ~n:256 in
+  (* kernel:engine-idle-rounds — a quiescent run with a huge min_rounds
+     horizon; measures the idle fast-forward (the reference engine
+     spins a million rounds here). *)
+  let idle_graph = Gen.path 4 in
+  let idle_config = { Engine.default_config with min_rounds = 1_000_000 } in
+  let idle_protocol =
+    {
+      Engine.name = "idle";
+      initial_state = (fun _ -> ());
+      on_start = (fun ~node:_ s -> (s, []));
+      on_receive = (fun ~round:_ ~node:_ ~src:_ () s -> (s, []));
+      on_tick = Engine.no_tick;
+    }
+  in
+  (* kernel:sweep-list-512 — the Theta(n^2)-round, one-active-node
+     regime the active sets exist for. *)
+  let list_512 = Gen.path 512 in
+  let list_512_tree = Spanning.best_for_arrow list_512 in
+  let all_512 = List.init 512 (fun i -> i) in
   [
     Test.make ~name:"kernel:graph-mesh-16x16"
       (Staged.stage (fun () -> ignore (Gen.square_mesh 16)));
@@ -127,6 +249,15 @@ let kernel_tests () =
     Test.make ~name:"kernel:counting-network-mesh"
       (Staged.stage (fun () ->
            ignore (Countq_counting.Network.run ~graph:mesh ~requests:half ())));
+    Test.make ~name:"kernel:engine-idle-rounds"
+      (Staged.stage (fun () ->
+           ignore
+             (Engine.run ~graph:idle_graph ~config:idle_config
+                ~protocol:idle_protocol ())));
+    Test.make ~name:"kernel:sweep-list-512"
+      (Staged.stage (fun () ->
+           ignore
+             (Countq_counting.Sweep.run ~tree:list_512_tree ~requests:all_512 ())));
     Test.make ~name:"kernel:bitonic-push-1k"
       (Staged.stage (fun () ->
            let net = Countq_counting.Bitonic.create ~width:32 in
@@ -165,19 +296,130 @@ let run_micro specs =
         | _ -> (name, Float.nan) :: acc)
       clock []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, ns) ->
       if ns >= 1e6 then Printf.printf "%-40s %10.3f ms/run\n" name (ns /. 1e6)
       else Printf.printf "%-40s %10.1f ns/run\n" name ns)
-    (List.sort compare rows)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_2.json: the machine-readable perf snapshot. No JSON library
+   in the dependency set, so it is printed by hand — every name is a
+   known identifier and every value a number, but strings are escaped
+   anyway for safety.                                                  *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let write_json ~path ~quick ~experiments ~speedup ~kernels =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"countq-bench/2\",\n";
+  add "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  add "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, dt) ->
+      add "    {\"id\": \"%s\", \"wall_seconds\": %s}%s\n" (json_escape id)
+        (json_float dt)
+        (if i = List.length experiments - 1 then "" else ","))
+    experiments;
+  add "  ],\n";
+  let active = List.fold_left (fun a r -> a +. r.active_s) 0. speedup in
+  let reference = List.fold_left (fun a r -> a +. r.reference_s) 0. speedup in
+  let ceiling =
+    List.fold_left
+      (fun acc r -> match acc with Some a when a.sweep_n >= r.sweep_n -> acc | _ -> Some r)
+      None speedup
+  in
+  add "  \"engine_speedup\": {\n";
+  add
+    "    \"probe\": \"E3 list-counting sweep (token protocol, all nodes \
+     requesting) at the pre-active-set ceiling sizes\",\n";
+  add "    \"protocol\": \"sweep\",\n";
+  (match ceiling with
+  | Some r ->
+      add "    \"ceiling_n\": %d,\n" r.sweep_n;
+      add "    \"speedup_at_ceiling\": %s,\n"
+        (json_float
+           (if r.active_s > 0. then r.reference_s /. r.active_s else Float.nan))
+  | None -> ());
+  add "    \"active_seconds\": %s,\n" (json_float active);
+  add "    \"reference_seconds\": %s,\n" (json_float reference);
+  add "    \"speedup\": %s,\n"
+    (json_float (if active > 0. then reference /. active else Float.nan));
+  add "    \"sizes\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"n\": %d, \"active_seconds\": %s, \"reference_seconds\": %s, \
+         \"speedup\": %s}%s\n"
+        r.sweep_n (json_float r.active_s) (json_float r.reference_s)
+        (json_float
+           (if r.active_s > 0. then r.reference_s /. r.active_s else Float.nan))
+        (if i = List.length speedup - 1 then "" else ","))
+    speedup;
+  add "    ]\n";
+  add "  }";
+  (match kernels with
+  | None -> add "\n"
+  | Some rows ->
+      add ",\n  \"kernels\": [\n";
+      List.iteri
+        (fun i (name, ns) ->
+          add "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+            (json_float ns)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      add "  ]\n");
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[perf snapshot written to %s]\n%!" path
 
 let () =
-  let quick, micro, only, csv_dir, jobs = parse_args () in
+  let quick, micro, only, csv_dir, json_path, jobs = parse_args () in
   let specs = selected only in
   Printf.printf
     "countq benchmark harness: reproducing %d paper claims (%s mode%s)\n\n%!"
     (List.length specs)
     (if quick then "quick" else "full")
     (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
-  run_tables ~quick ~csv_dir ~jobs specs;
-  if micro then run_micro specs
+  let experiments = run_tables ~quick ~csv_dir ~jobs specs in
+  let kernels = if micro then Some (run_micro specs) else None in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let speedup = speedup_probe ~quick () in
+      let total_a = List.fold_left (fun a r -> a +. r.active_s) 0. speedup in
+      let total_r = List.fold_left (fun a r -> a +. r.reference_s) 0. speedup in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[sweep speedup probe n=%4d: active %8.6fs vs reference %8.6fs \
+             -> %.1fx]\n%!"
+            r.sweep_n r.active_s r.reference_s
+            (if r.active_s > 0. then r.reference_s /. r.active_s else Float.nan))
+        speedup;
+      Printf.printf
+        "[sweep speedup probe aggregate: active %.6fs vs reference %.6fs -> \
+         %.1fx]\n%!"
+        total_a total_r
+        (if total_a > 0. then total_r /. total_a else Float.nan);
+      write_json ~path ~quick ~experiments ~speedup ~kernels

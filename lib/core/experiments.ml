@@ -112,8 +112,11 @@ let e2_counting_lb_general ?quick:(quick = false) () =
 (* E3: Theorem 3.6 - high-diameter floor on the list and the mesh.     *)
 
 let e3_counting_lb_diameter ?quick:(quick = false) () =
-  let list_sizes = if quick then [ 16; 32 ] else [ 16; 32; 64; 128; 256 ] in
-  let mesh_sides = if quick then [ 4; 6 ] else [ 4; 6; 8; 12; 16 ] in
+  (* Ceilings doubled (256 -> 512 nodes on the list, 16^2 -> 24^2 on
+     the mesh) when the engine went active-set; the Theta(n^2)-round
+     regime here is exactly what idle-proportional rounds pay off on. *)
+  let list_sizes = if quick then [ 16; 32 ] else [ 16; 32; 64; 128; 256; 512 ] in
+  let mesh_sides = if quick then [ 4; 6 ] else [ 4; 6; 8; 12; 16; 24 ] in
   let row topo g =
     let n = Graph.n g in
     let alpha = Bfs.diameter g in
@@ -436,7 +439,7 @@ let e9_hamilton_separation ?quick:(quick = false) () =
 (* E10: Theorem 4.13 - high-diameter constant-degree separation.       *)
 
 let e10_high_diameter_separation ?quick:(quick = false) () =
-  let spines = if quick then [ 16; 32 ] else [ 16; 32; 64; 128; 256 ] in
+  let spines = if quick then [ 16; 32 ] else [ 16; 32; 64; 128; 256; 512 ] in
   let rows =
     List.map
       (fun spine ->
@@ -1256,10 +1259,14 @@ let e24_queuing_ablation ?quick:(quick = false) () =
    a single number: counting's exponent strictly exceeds queuing's.    *)
 
 let e25_growth_exponents ?quick:(quick = false) () =
-  let list_sizes = if quick then [ 32; 64; 128 ] else [ 64; 128; 256; 512 ] in
-  let mesh_sides = if quick then [ 6; 8; 10 ] else [ 8; 12; 16; 20 ] in
-  let kn_sizes = if quick then [ 32; 64; 128 ] else [ 64; 128; 256; 512 ] in
-  let star_sizes = if quick then [ 32; 64; 128 ] else [ 32; 64; 128; 256 ] in
+  (* Full-mode ceilings doubled with the active-set engine: longer
+     sweeps pin the fitted exponents down harder. *)
+  let list_sizes =
+    if quick then [ 32; 64; 128 ] else [ 64; 128; 256; 512; 1024 ]
+  in
+  let mesh_sides = if quick then [ 6; 8; 10 ] else [ 8; 12; 16; 20; 30 ] in
+  let kn_sizes = if quick then [ 32; 64; 128 ] else [ 64; 128; 256; 512; 1024 ] in
+  let star_sizes = if quick then [ 32; 64; 128 ] else [ 32; 64; 128; 256; 512 ] in
   let sweep graphs =
     List.map
       (fun g ->

@@ -81,6 +81,12 @@ let prepare ~tree ~requests name =
     requests;
   make_protocol ~tree ~requesting
 
+type checker_state = state
+type checker_msg = msg
+
+let one_shot_protocol ~tree ~requests () =
+  prepare ~tree ~requests "Combining.one_shot_protocol"
+
 let run ?config ~tree ~requests () =
   let protocol = prepare ~tree ~requests "Combining.run" in
   let config =

@@ -36,3 +36,18 @@ val run_async :
     for every child regardless of message timing, so the DFS ranks —
     and therefore the exact count set — survive arbitrary link
     delays. *)
+
+type checker_state
+type checker_msg
+(** Abstract internals, exposed for engine-level harnesses. *)
+
+val one_shot_protocol :
+  tree:Countq_topology.Tree.t ->
+  requests:int list ->
+  unit ->
+  (checker_state, checker_msg, int * int) Countq_simnet.Engine.protocol
+(** The raw protocol value ({!run} without the engine invocation), for
+    benchmarks and equivalence harnesses that need to drive the same
+    protocol through several engines. Remember {!run}'s default config
+    expands the step to the tree's maximum degree; callers driving the
+    engine directly must choose a config themselves. *)

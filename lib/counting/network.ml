@@ -218,7 +218,7 @@ let run_long_lived ?config ?width ?net ?placement ?route ~graph ~arrivals () =
   in
   { outcomes; counts_exact; rounds = res.rounds; messages = res.messages }
 
-let run ?config ?width ?net ?placement ?route ~graph ~requests () =
+let prepare ?width ?net ?placement ?route ~graph ~requests () =
   let n = Graph.n graph in
   let width, net =
     match (net, width) with
@@ -238,7 +238,6 @@ let run ?config ?width ?net ?placement ?route ~graph ~requests () =
     | None -> round_robin_placement ~net ~n ~seed:0x5eedL
   in
   let route = match route with Some r -> r | None -> Route.auto graph in
-  let config = Option.value config ~default:Engine.default_config in
   let requesting = Array.make n false in
   List.iter
     (fun v ->
@@ -326,4 +325,14 @@ let run ?config ?width ?net ?placement ?route ~graph ~requests () =
       on_tick = Engine.no_tick;
     }
   in
+  protocol
+
+type checker_state = state
+type checker_msg = msg
+
+let one_shot_protocol = prepare
+
+let run ?config ?width ?net ?placement ?route ~graph ~requests () =
+  let protocol = prepare ?width ?net ?placement ?route ~graph ~requests () in
+  let config = Option.value config ~default:Engine.default_config in
   Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ())

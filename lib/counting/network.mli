@@ -54,6 +54,23 @@ val run :
     @raise Invalid_argument on a bad width/net combination or bad
     requests. *)
 
+type checker_state
+type checker_msg
+(** Abstract internals, exposed for engine-level harnesses. *)
+
+val one_shot_protocol :
+  ?width:int ->
+  ?net:Bitonic.t ->
+  ?placement:placement ->
+  ?route:Countq_simnet.Route.t ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  (checker_state, checker_msg, int * int) Countq_simnet.Engine.protocol
+(** The raw protocol value ({!run} without the engine invocation, same
+    defaults), for benchmarks and equivalence harnesses that need to
+    drive the same protocol through several engines. *)
+
 type long_lived_outcome = {
   node : int;  (** requesting processor. *)
   seq : int;  (** which of the node's operations (issue order). *)

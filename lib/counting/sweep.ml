@@ -99,6 +99,12 @@ let prepare ~tree ~requests name =
     requests;
   make_protocol ~tree ~requesting
 
+type checker_state = unit
+type checker_msg = int
+
+let one_shot_protocol ~tree ~requests () =
+  prepare ~tree ~requests "Sweep.one_shot_protocol"
+
 let run ?config ~tree ~requests () =
   let protocol = prepare ~tree ~requests "Sweep.run" in
   let config = Option.value config ~default:Engine.default_config in

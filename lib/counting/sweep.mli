@@ -35,3 +35,17 @@ val run_async :
 (** The same walk under asynchronous link delays: the token's visit
     order — and therefore the rank assignment — is timing-independent,
     so the count set survives any delay model. *)
+
+type checker_state
+type checker_msg
+(** Abstract internals, exposed for engine-level harnesses. *)
+
+val one_shot_protocol :
+  tree:Countq_topology.Tree.t ->
+  requests:int list ->
+  unit ->
+  (checker_state, checker_msg, int * int) Countq_simnet.Engine.protocol
+(** The raw protocol value ({!run} without the engine invocation), for
+    benchmarks and equivalence harnesses that need to drive the same
+    protocol through several engines; completions are [(node, count)]
+    pairs — validate with {!Counts.validate}. *)

@@ -41,7 +41,10 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
      links remain FIFO. *)
   let proc_free = Array.make n (-1) in
   let send_free = Array.make n (-1) in
-  let link_last = Hashtbl.create 64 in
+  (* Keyed by the flattened link id [src * n + dst]: an int key hashes
+     without allocating the (src, dst) tuple the old scheme boxed for
+     every scheduled message. *)
+  let link_last : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let completions = ref [] in
   let messages = ref 0 in
   let finish = ref 0 in
@@ -55,7 +58,7 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
      units after its fault-free arrival instant. *)
   let schedule src dst msg ~send_time ~extra =
     let raw_arrival = send_time + delay_fn ~src ~dst ~send_time + extra in
-    let key = (src, dst) in
+    let key = (src * n) + dst in
     let arrival =
       match Hashtbl.find_opt link_last key with
       | Some last -> max raw_arrival (last + 1)
@@ -106,16 +109,35 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
     | None -> ()
     | Some (t, ev) ->
         incr events;
-        if !events > max_events then
-          (* The event just popped is still unprocessed: count it. *)
+        if !events > max_events then begin
+          (* The event just popped is still unprocessed: count it, and
+             charge every undelivered message to its destination for
+             the busiest-nodes summary. *)
+          let outstanding = Heap.size heap + 1 in
+          let loads = Array.make n 0 in
+          let note = function
+            | Arrival { dst; _ } -> loads.(dst) <- loads.(dst) + 1
+            | Wakeup _ -> ()
+          in
+          note ev;
+          let rec drain () =
+            match Heap.pop heap with
+            | Some (_, e) ->
+                note e;
+                drain ()
+            | None -> ()
+          in
+          drain ();
           raise
             (Engine.Round_limit_exceeded
                {
                  limit = max_events;
-                 outstanding = Heap.size heap + 1;
+                 outstanding;
                  queued = 0;
                  held = 0;
-               });
+                 busiest = Engine.top_loaded loads;
+               })
+        end;
         (match ev with
         | Arrival { src; dst; msg } ->
             if crashed dst t then Faults.note_crash_drop (Option.get faults)

@@ -22,7 +22,18 @@
     When several neighbours have messages pending for the same node,
     an {!arbiter} admits [receive_capacity] of them per round and the
     rest wait on their FIFO links: this queueing is the network
-    contention that makes the star graph cost Θ(n²) (Section 5). *)
+    contention that makes the star graph cost Θ(n²) (Section 5).
+
+    {b Performance model.} The engine is organised around {e active
+    sets}: a round costs O(number of nodes that send, receive or tick)
+    plus O(messages moved), not O(n) — see DESIGN.md §4 for the full
+    cost model. Runs with no tick handler, the {!null_observer} and the
+    default [keep_alive] additionally {e fast-forward} across idle
+    rounds (quiescent network, or everything parked by a fault delay)
+    in O(1), so a protocol that is busy for R of its [min_rounds]
+    horizon costs O(R), not O(horizon). Semantics are unaffected:
+    {!Reference.run} keeps the dense O(n)-per-round engine and qcheck
+    properties pin the two to bit-identical results. *)
 
 type arbiter =
   | Round_robin
@@ -102,12 +113,24 @@ exception
     outstanding : int;  (** messages queued in sender outboxes. *)
     queued : int;  (** messages waiting on receiver FIFO links. *)
     held : int;  (** messages parked by a fault-injected delay. *)
+    busiest : (int * int) list;
+        (** the top (at most) five [(node, load)] pairs, heaviest
+            first (ties to the lower id), where a node's load counts
+            its queued incoming messages, its unsent outbox and any
+            fault-delayed messages addressed to it — i.e. {e where}
+            the pending traffic sits, not just how much there is. *)
   }
 (** Raised when [max_rounds] elapses with messages still in flight. The
     payload summarises where the pending messages sit, so a genuine
     engine blow-up is distinguishable from a protocol that merely
     stalled (the latter is better detected — and reported as a
     structured verdict — by a [Monitor.progress] liveness monitor). *)
+
+val top_loaded : ?k:int -> int array -> (int * int) list
+(** [top_loaded loads] summarises a per-node load array into the
+    [busiest] payload shape: the top [k] (default 5) [(node, load)]
+    pairs with positive load, heaviest first, ties to the lower id.
+    Exposed for the engines and monitors that build the payload. *)
 
 type 'r observer = {
   on_deliver : round:int -> src:int -> dst:int -> unit;
@@ -125,7 +148,17 @@ type 'r observer = {
     through the [`Halt] directive. *)
 
 val null_observer : 'r observer
-(** Hooks that do nothing and always continue. *)
+(** Hooks that do nothing and always continue. Passing this exact
+    value (the default) tells the engine no execution hook can fire,
+    which is one of the conditions for idle-round fast-forwarding; a
+    hand-rolled do-nothing observer is honoured but disables the
+    optimisation. *)
+
+val no_keep_alive : unit -> bool
+(** The default [keep_alive]: always [false]. As with
+    {!null_observer}, the engine recognises this exact function (by
+    physical equality) when deciding whether idle rounds may be
+    fast-forwarded. *)
 
 val run :
   ?faults:Faults.runtime ->

@@ -1,0 +1,50 @@
+(* Ring-buffer FIFO queues. See fifo.mli.
+
+   The backing array's capacity is always zero or a power of two, so
+   the index wrap-around is a bit-mask — no integer division on the
+   push/pop hot path (these rings carry every message the synchronous
+   engine moves). *)
+
+type 'a t = { mutable data : 'a array; mutable head : int; mutable len : int }
+
+exception Empty
+
+let create () = { data = [||]; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* Double the ring (seeded from [x], the element being pushed, so no
+   dummy value is needed for the fresh slots), linearising the live
+   elements to the front. *)
+let grow t x =
+  let cap = Array.length t.data in
+  let d = Array.make (if cap = 0 then 2 else 2 * cap) x in
+  let mask = cap - 1 in
+  for i = 0 to t.len - 1 do
+    d.(i) <- t.data.((t.head + i) land mask)
+  done;
+  t.data <- d;
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  let d = t.data in
+  Array.unsafe_set d ((t.head + t.len) land (Array.length d - 1)) x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then raise Empty;
+  let d = t.data in
+  let x = Array.unsafe_get d t.head in
+  t.head <- (t.head + 1) land (Array.length d - 1);
+  t.len <- t.len - 1;
+  x
+
+let peek t = if t.len = 0 then raise Empty else t.data.(t.head)
+
+let iter f t =
+  let mask = Array.length t.data - 1 in
+  for i = 0 to t.len - 1 do
+    f t.data.((t.head + i) land mask)
+  done

@@ -1,0 +1,34 @@
+(** Ring-buffer FIFO queues.
+
+    A drop-in replacement for [Stdlib.Queue] on the simulator's hot
+    path: [Queue.t] allocates one cell per pushed element, whereas a
+    ring buffer reuses its backing array, so steady-state [push]/[pop]
+    are allocation-free. Popped slots are overwritten lazily rather
+    than cleared, so a queue may keep its most recent high-water mark
+    of elements reachable — fine for the engine's transient per-link
+    buffers, where payloads are small and short-lived. Not thread-safe
+    (neither is the engine). *)
+
+type 'a t
+
+exception Empty
+
+val create : unit -> 'a t
+(** An empty queue; the backing ring is allocated on first [push]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the tail, doubling the ring when full. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the head.
+    @raise Empty on an empty queue. *)
+
+val peek : 'a t -> 'a
+(** The head, without removing it.
+    @raise Empty on an empty queue. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Head-to-tail iteration. *)

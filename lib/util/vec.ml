@@ -1,0 +1,103 @@
+(* Growable int vectors. See vec.mli. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  Array.unsafe_set t.data i x
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let d = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 d 0 t.len;
+    t.data <- d
+  end;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let truncate t len =
+  if len < 0 || len > t.len then invalid_arg "Vec.truncate: bad length";
+  t.len <- len
+
+let clear t = t.len <- 0
+
+(* Adaptive sort tuned for the engine's worklists, which arrive as an
+   already-sorted prefix (survivors compacted in order) plus a short,
+   usually near-sorted suffix of fresh pushes. Strategy: scan off the
+   sorted prefix (O(len), the common all-sorted case stops there),
+   heapsort just the suffix (O(s log s) worst case, no quadratic
+   blow-ups), then merge the two runs from the back through a scratch
+   copy of the suffix — O(s + displaced prefix elements). *)
+let sort t =
+  let a = t.data in
+  let n = t.len in
+  let p = ref 1 in
+  while !p < n && a.(!p - 1) <= a.(!p) do
+    incr p
+  done;
+  if !p < n then begin
+    let p0 = !p in
+    let s = n - p0 in
+    let sift_down i len =
+      let x = a.(p0 + i) in
+      let i = ref i in
+      let moving = ref true in
+      while !moving do
+        let l = (2 * !i) + 1 in
+        if l >= len then moving := false
+        else begin
+          let c =
+            if l + 1 < len && a.(p0 + l + 1) > a.(p0 + l) then l + 1 else l
+          in
+          if a.(p0 + c) > x then begin
+            a.(p0 + !i) <- a.(p0 + c);
+            i := c
+          end
+          else moving := false
+        end
+      done;
+      a.(p0 + !i) <- x
+    in
+    for i = (s / 2) - 1 downto 0 do
+      sift_down i s
+    done;
+    for last = s - 1 downto 1 do
+      let tmp = a.(p0) in
+      a.(p0) <- a.(p0 + last);
+      a.(p0 + last) <- tmp;
+      sift_down 0 last
+    done;
+    (* Both runs sorted; merge only if they actually overlap. *)
+    if p0 > 0 && a.(p0 - 1) > a.(p0) then begin
+      let scratch = Array.sub a p0 s in
+      let i = ref (p0 - 1) and j = ref (s - 1) and k = ref (n - 1) in
+      while !j >= 0 do
+        if !i >= 0 && a.(!i) > scratch.(!j) then begin
+          a.(!k) <- a.(!i);
+          decr i
+        end
+        else begin
+          a.(!k) <- scratch.(!j);
+          decr j
+        end;
+        decr k
+      done
+    end
+  end
+
+let to_list t = List.init t.len (fun i -> Array.unsafe_get t.data i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done

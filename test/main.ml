@@ -13,7 +13,9 @@ let () =
       ("bfs", Test_bfs.suite);
       ("tree", Test_tree.suite);
       ("hamilton", Test_hamilton.suite);
+      ("workset", Test_workset.suite);
       ("engine", Test_engine.suite);
+      ("equiv", Test_equiv.suite);
       ("route", Test_route.suite);
       ("async", Test_async.suite);
       ("trace", Test_trace.suite);

@@ -97,10 +97,15 @@ let test_round_limit () =
   let config = { Engine.default_config with max_rounds = 50 } in
   match Engine.run ~graph:(Gen.path 2) ~config ~protocol () with
   | _ -> Alcotest.fail "expected Round_limit_exceeded"
-  | exception Engine.Round_limit_exceeded { limit; outstanding; queued; held } ->
+  | exception Engine.Round_limit_exceeded
+        { limit; outstanding; queued; held; busiest } ->
       Alcotest.(check int) "limit reported" 50 limit;
       (* The ping-pong message must show up in the pending summary. *)
-      Alcotest.(check int) "one message pending" 1 (outstanding + queued + held)
+      Alcotest.(check int) "one message pending" 1 (outstanding + queued + held);
+      (* ... and the busiest-node summary must point at its holder with
+         the same total load. *)
+      Alcotest.(check int) "busiest load totals the summary" 1
+        (List.fold_left (fun acc (_, l) -> acc + l) 0 busiest)
 
 let test_one_receive_per_round_contention () =
   (* Star centre: k leaves send simultaneously; centre can absorb only

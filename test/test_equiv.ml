@@ -1,0 +1,335 @@
+(* Equivalence of the active-set engine and the retained reference
+   engine: over random protocols, topologies, arbiters, capacities and
+   fault plans, Engine.run and Reference.run must produce bit-identical
+   results — same completions, rounds, messages, max_link_backlog,
+   same Round_limit_exceeded payloads, same observer event streams and
+   same fault-injection tallies. Plus regression tests that idle-round
+   fast-forwarding never skips an observable callback. *)
+
+module Engine = Countq_simnet.Engine
+module Reference = Countq_simnet.Reference
+module Faults = Countq_simnet.Faults
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+
+(* A cheap avalanche mix so the random protocols below are pure
+   functions of their inputs (both engines must see the exact same
+   behaviour, including across re-runs on shrunk counterexamples). *)
+let mix a b =
+  let h = ref ((a * 0x9e3779b1) + (b * 0x85ebca6b)) in
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xc2b2ae35;
+  h := !h lxor (!h lsr 16);
+  !h land max_int
+
+type msg = { ttl : int; tag : int }
+
+(* A seed-parameterised protocol that floods pseudo-random traffic:
+   roughly a third of the nodes start a bounded-ttl random walk that
+   forks with fanout 0..2 per hop and sprinkles completions. *)
+let hash_protocol ~seed ~graph =
+  let pick_nbr v h =
+    let a = Graph.neighbors graph v in
+    if Array.length a = 0 then None else Some a.(h mod Array.length a)
+  in
+  {
+    Engine.name = "qcheck-hash";
+    initial_state = (fun v -> mix seed v);
+    on_start =
+      (fun ~node s ->
+        let h = mix seed node in
+        let acts =
+          if h mod 3 = 0 then
+            match pick_nbr node h with
+            | Some d ->
+                [ Engine.Send (d, { ttl = 2 + (h mod 5); tag = h land 0xffff }) ]
+            | None -> []
+          else []
+        in
+        let acts =
+          if h mod 7 = 0 then Engine.Complete (node, h land 0xff) :: acts
+          else acts
+        in
+        (s, acts));
+    on_receive =
+      (fun ~round ~node ~src m s ->
+        let h = mix (mix s m.tag) (mix src round) in
+        let acts = ref [] in
+        (if m.ttl > 0 then
+           let fan = match h mod 4 with 0 -> 0 | 1 | 2 -> 1 | _ -> 2 in
+           for i = 1 to fan do
+             match pick_nbr node (mix h i) with
+             | Some d ->
+                 acts :=
+                   Engine.Send
+                     (d, { ttl = m.ttl - 1; tag = mix m.tag i land 0xffff })
+                   :: !acts
+             | None -> ()
+           done);
+        if h mod 5 = 0 then acts := Engine.Complete (node, m.tag) :: !acts;
+        (mix s (m.tag + 1), !acts));
+    on_tick = Engine.no_tick;
+  }
+
+let arbiter_of = function
+  | 0 -> Engine.Round_robin
+  | 1 -> Engine.Lowest_sender_first
+  | _ ->
+      Engine.Custom
+        (fun ~round ~node ~candidates ->
+          List.nth candidates (mix round node mod List.length candidates))
+
+let arbiter_label = function
+  | 0 -> "round-robin"
+  | 1 -> "lowest-sender"
+  | _ -> "custom-hash"
+
+let plan_of = function
+  | 0 -> Faults.none
+  | 1 -> Faults.drop_nth 3
+  | 2 -> Faults.dup_nth 5
+  | 3 -> Faults.delay_nth ~by:4 2
+  | 4 -> Faults.delay_nth ~by:50 1
+  | 5 -> Faults.random ~label:"lossy" ~seed:42L ~drop:0.1 ()
+  | 6 ->
+      Faults.random ~label:"chaos" ~seed:7L ~drop:0.05 ~duplicate:0.1
+        ~delay:0.2 ~delay_max:9 ()
+  | 7 ->
+      Faults.crash_only ~label:"crash-restart"
+        [ { node = 0; at_round = 2; recover_at = Some 6 } ]
+  | _ -> Faults.random ~label:"jitter" ~seed:9L ~delay:0.4 ~delay_max:30 ()
+
+let scenario_gen =
+  let open QCheck2.Gen in
+  let* topo = Helpers.topology_gen in
+  let* seed = int_range 0 100_000 in
+  let* rc = int_range 1 3 in
+  let* sc = int_range 1 3 in
+  let* arb = int_range 0 2 in
+  let* minr = oneofl [ 0; 7 ] in
+  let* maxr = oneofl [ 4; 2_000 ] in
+  let* plan = int_range 0 8 in
+  return (topo, seed, (rc, sc, arb, minr, maxr), plan)
+
+let scenario_print ((name, g), seed, (rc, sc, arb, minr, maxr), plan) =
+  Printf.sprintf
+    "%s (n=%d) seed=%d rcv=%d snd=%d arb=%s min_rounds=%d max_rounds=%d \
+     plan=%s"
+    name (Graph.n g) seed rc sc (arbiter_label arb) minr maxr
+    (Faults.label (plan_of plan))
+
+(* Run one engine, capturing the result (or the round-limit payload),
+   the observer event stream (when [observe]) and the fault tallies. *)
+let capture which ~observe ~plan ~graph ~config ~protocol =
+  let events = ref [] in
+  let observer =
+    if observe then
+      Some
+        {
+          Engine.on_deliver =
+            (fun ~round ~src ~dst -> events := `Deliver (round, src, dst) :: !events);
+          on_complete =
+            (fun ~round ~node ~value -> events := `Complete (round, node, value) :: !events);
+          on_round_end =
+            (fun ~round ~in_flight ->
+              events := `Round_end (round, in_flight) :: !events;
+              `Continue);
+        }
+    else None
+  in
+  let faults = Option.map Faults.start plan in
+  let outcome =
+    match
+      match which with
+      | `Active -> Engine.run ?faults ?observer ~graph ~config ~protocol ()
+      | `Reference -> Reference.run ?faults ?observer ~graph ~config ~protocol ()
+    with
+    | r -> Ok r
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        Error (limit, outstanding, queued, held, busiest)
+  in
+  (outcome, List.rev !events, Option.map Faults.stats faults)
+
+let equiv_prop ~observe ((_, graph), seed, (rc, sc, arb, minr, maxr), plan) =
+  let config =
+    {
+      Engine.receive_capacity = rc;
+      send_capacity = sc;
+      arbiter = arbiter_of arb;
+      max_rounds = maxr;
+      min_rounds = minr;
+    }
+  in
+  let protocol = hash_protocol ~seed ~graph in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let a = capture `Active ~observe ~plan ~graph ~config ~protocol in
+  let r = capture `Reference ~observe ~plan ~graph ~config ~protocol in
+  a = r
+
+let equiv_default =
+  QCheck2.Test.make ~count:150 ~name:"active = reference (default hooks)"
+    ~print:scenario_print scenario_gen (equiv_prop ~observe:false)
+
+let equiv_observed =
+  QCheck2.Test.make ~count:150 ~name:"active = reference (observed, traced)"
+    ~print:scenario_print scenario_gen (equiv_prop ~observe:true)
+
+(* ------------------------------------------------------------------ *)
+(* Fast-forward regressions: skipping idle rounds must never skip an
+   observable callback, and must not change any result field.          *)
+
+(* A protocol that does nothing after its single start completion. *)
+let quiet_protocol =
+  {
+    Engine.name = "quiet";
+    initial_state = (fun _ -> ());
+    on_start =
+      (fun ~node s -> if node = 0 then (s, [ Engine.Complete 0 ]) else (s, []));
+    on_receive = (fun ~round:_ ~node:_ ~src:_ () s -> (s, []));
+    on_tick = Engine.no_tick;
+  }
+
+let test_observer_sees_every_idle_round () =
+  (* A custom observer disables fast-forward: all min_rounds idle
+     rounds must invoke on_round_end, in order, in both engines. *)
+  let config = { Engine.default_config with min_rounds = 37 } in
+  let graph = Gen.path 4 in
+  let seen engine_run =
+    let rounds = ref [] in
+    let observer =
+      {
+        Engine.null_observer with
+        on_round_end =
+          (fun ~round ~in_flight:_ ->
+            rounds := round :: !rounds;
+            `Continue);
+      }
+    in
+    ignore (engine_run ~observer);
+    List.rev !rounds
+  in
+  let active =
+    seen (fun ~observer ->
+        Engine.run ~observer ~graph ~config ~protocol:quiet_protocol ())
+  in
+  let reference =
+    seen (fun ~observer ->
+        Reference.run ~observer ~graph ~config ~protocol:quiet_protocol ())
+  in
+  Alcotest.(check (list int)) "all 37 rounds observed" (List.init 37 (fun i -> i + 1)) active;
+  Alcotest.(check (list int)) "matches reference" reference active
+
+let test_keep_alive_polled_every_round () =
+  (* A custom keep_alive also disables fast-forward: it must be polled
+     once per idle round, the same number of times as the reference. *)
+  let polls which =
+    let count = ref 0 in
+    let keep_alive () =
+      incr count;
+      !count <= 12
+    in
+    let graph = Gen.path 3 in
+    let config = Engine.default_config in
+    let res =
+      match which with
+      | `Active ->
+          Engine.run ~keep_alive ~graph ~config ~protocol:quiet_protocol ()
+      | `Reference ->
+          Reference.run ~keep_alive ~graph ~config ~protocol:quiet_protocol ()
+    in
+    (!count, res)
+  in
+  let ca, ra = polls `Active in
+  let cr, rr = polls `Reference in
+  Alcotest.(check int) "poll counts match" cr ca;
+  Alcotest.(check bool) "results match" true (ra = rr);
+  Alcotest.(check int) "kept alive 12 extra rounds" 13 ca
+
+let test_min_rounds_fast_forward_result () =
+  (* With default hooks a huge min_rounds horizon is skipped in O(1):
+     every result field must match both the min_rounds=0 run and the
+     reference engine on a smaller horizon it can afford to spin. *)
+  let graph = Gen.star 5 in
+  let run min_rounds =
+    Engine.run ~graph
+      ~config:{ Engine.default_config with min_rounds }
+      ~protocol:quiet_protocol ()
+  in
+  let fast = run 5_000_000 in
+  Alcotest.(check bool) "same result as min_rounds=0" true (fast = run 0);
+  let reference =
+    Reference.run ~graph
+      ~config:{ Engine.default_config with min_rounds = 10_000 }
+      ~protocol:quiet_protocol ()
+  in
+  Alcotest.(check bool) "same result as reference" true (fast = reference)
+
+let test_delay_fault_fast_forward () =
+  (* One message delayed by 300k rounds: the active engine jumps to the
+     due round instead of spinning; the result must be bit-identical to
+     the reference engine grinding through every idle round. *)
+  let graph = Gen.path 2 in
+  let protocol =
+    {
+      Engine.name = "one-ping";
+      initial_state = (fun _ -> ());
+      on_start =
+        (fun ~node s -> if node = 0 then (s, [ Engine.Send (1, ()) ]) else (s, []));
+      on_receive = (fun ~round ~node ~src:_ () s -> (s, [ Engine.Complete (node, round) ]));
+      on_tick = Engine.no_tick;
+    }
+  in
+  let plan = Faults.delay_nth ~by:300_000 0 in
+  let config = Engine.default_config in
+  let active =
+    Engine.run ~faults:(Faults.start plan) ~graph ~config ~protocol ()
+  in
+  let reference =
+    Reference.run ~faults:(Faults.start plan) ~graph ~config ~protocol ()
+  in
+  Alcotest.(check bool) "results identical" true (active = reference);
+  Alcotest.(check int) "delivered after the spike" 300_001 active.rounds;
+  Alcotest.(check int) "exactly one delivery" 1 active.messages
+
+let test_round_limit_payloads_identical () =
+  (* Ping-pong forever at max_rounds=25: both engines must raise with
+     the same payload, including the busiest-node summary. *)
+  let graph = Gen.path 2 in
+  let protocol =
+    {
+      Engine.name = "pingpong";
+      initial_state = (fun _ -> ());
+      on_start =
+        (fun ~node s -> if node = 0 then (s, [ Engine.Send (1, ()) ]) else (s, []));
+      on_receive = (fun ~round:_ ~node:_ ~src msg s -> (s, [ Engine.Send (src, msg) ]));
+      on_tick = Engine.no_tick;
+    }
+  in
+  let config = { Engine.default_config with max_rounds = 25 } in
+  let payload run =
+    match run ~graph ~config ~protocol () with
+    | (_ : unit Engine.result) -> Alcotest.fail "expected Round_limit_exceeded"
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        (limit, outstanding, queued, held, busiest)
+  in
+  let a = payload (fun ~graph ~config ~protocol () -> Engine.run ~graph ~config ~protocol ()) in
+  let r = payload (fun ~graph ~config ~protocol () -> Reference.run ~graph ~config ~protocol ()) in
+  Alcotest.(check bool) "payloads identical" true (a = r)
+
+let suite =
+  [
+    Helpers.qcheck equiv_default;
+    Helpers.qcheck equiv_observed;
+    Alcotest.test_case "fast-forward: observer sees every idle round" `Quick
+      test_observer_sees_every_idle_round;
+    Alcotest.test_case "fast-forward: keep_alive polled every round" `Quick
+      test_keep_alive_polled_every_round;
+    Alcotest.test_case "fast-forward: huge min_rounds, identical result" `Quick
+      test_min_rounds_fast_forward_result;
+    Alcotest.test_case "fast-forward: delayed message wakes the engine" `Quick
+      test_delay_fault_fast_forward;
+    Alcotest.test_case "round-limit payloads identical" `Quick
+      test_round_limit_payloads_identical;
+  ]
