@@ -21,7 +21,7 @@ report:
 
 # Full benchmark pass: every experiment table at paper sizes, the
 # engine speedup probe and the bechamel micro kernels; writes
-# BENCH_2.json (and per-experiment CSVs under bench/out/).
+# BENCH_3.json (and per-experiment CSVs under bench/out/).
 bench:
 	dune exec bench/main.exe -- --csv bench/out
 

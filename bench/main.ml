@@ -8,17 +8,19 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_2.json; --no-json
+                                                 BENCH_3.json; --no-json
                                                  to skip)
      dune exec bench/main.exe -- --jobs N     -- regenerate tables on N domains
                                                  (experiments are pure, so this
                                                  is safe; output order is kept)
 
-   Every run emits a machine-readable perf snapshot (BENCH_2.json):
+   Every run emits a machine-readable perf snapshot (BENCH_3.json):
    per-experiment wall time, the engine-vs-reference speedup probe on
-   the E3 list-counting sweep, and — unless --no-micro — Bechamel
-   ns/run per kernel. Tracked from PR 2 onward so perf regressions
-   show up as a diff, not an anecdote. *)
+   the E3 list-counting sweep, the metrics-recorder overhead probe
+   (Engine.run with vs without a Metrics recorder on the same sweep),
+   and — unless --no-micro — Bechamel ns/run per kernel. Tracked from
+   PR 2 onward so perf regressions show up as a diff, not an
+   anecdote. *)
 
 module Experiments = Countq.Experiments
 module Table = Countq.Table
@@ -34,7 +36,7 @@ let parse_args () =
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_2.json") in
+  let json_path = ref (Some "BENCH_3.json") in
   let jobs = ref 1 in
   let rec go = function
     | [] -> ()
@@ -189,6 +191,82 @@ let speedup_probe ~quick () =
     sizes
 
 (* ------------------------------------------------------------------ *)
+(* Metrics-overhead probe: the same E3 sweep, timed through Engine.run
+   with and without a Metrics recorder attached. The recorder's hooks
+   sit on the per-message hot paths, so this is the honest price of
+   leaving observability on; the acceptance bar is low single digits.  *)
+
+type overhead_row = {
+  mo_n : int;
+  plain_s : float;
+  metrics_s : float;
+}
+
+let overhead_pct r =
+  if r.plain_s > 0. then ((r.metrics_s /. r.plain_s) -. 1.) *. 100.
+  else Float.nan
+
+let metrics_overhead_probe ~quick () =
+  let module C = Countq_counting in
+  let module Metrics = Countq_simnet.Metrics in
+  let sizes = if quick then [ 128; 512 ] else [ 128; 256; 512 ] in
+  let rounds = if quick then 3 else 15 in
+  (* The two arms run as adjacent pairs (alternating order) and the
+     overhead is the MEDIAN of the per-pair ratios: clock/thermal drift
+     hits both halves of a pair equally and cancels in the ratio, and
+     the median shrugs off bursty interference that a best-of between
+     two independently-timed arms cannot (one arm can catch a clean
+     window the other never sees). The reported times are the fastest
+     plain run and that baseline scaled by the median ratio. *)
+  let time_pair reps f g =
+    let timed h =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        h ()
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int reps
+    in
+    let ratios = Array.make rounds 0. in
+    let best_f = ref infinity in
+    for i = 0 to rounds - 1 do
+      let tf, tg =
+        if i land 1 = 0 then
+          let a = timed f in
+          let b = timed g in
+          (a, b)
+        else
+          let b = timed g in
+          let a = timed f in
+          (a, b)
+      in
+      if tf < !best_f then best_f := tf;
+      ratios.(i) <- tg /. tf
+    done;
+    Array.sort compare ratios;
+    (!best_f, !best_f *. ratios.(rounds / 2))
+  in
+  List.map
+    (fun n ->
+      let tree = Spanning.best_for_arrow (TGen.path n) in
+      let graph = Tree.to_graph tree in
+      let requests = List.init n (fun i -> i) in
+      let protocol = C.Sweep.one_shot_protocol ~tree ~requests () in
+      let config = Engine.default_config in
+      (* One recorder reused across the timed runs: creation is a few
+         array allocations and would otherwise dominate at small n. *)
+      let m = Metrics.create ~graph in
+      let plain () = ignore (Engine.run ~graph ~config ~protocol ()) in
+      let with_metrics () =
+        ignore (Engine.run ~metrics:m ~graph ~config ~protocol ())
+      in
+      let reps = max (if quick then 5 else 50) (200_000 / n) in
+      plain ();
+      with_metrics ();
+      let plain_s, metrics_s = time_pair reps plain with_metrics in
+      { mo_n = n; plain_s; metrics_s })
+    sizes
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks: one Test.make per experiment (its quick
    kernel), plus the hot inner kernels each experiment leans on.       *)
 
@@ -305,10 +383,11 @@ let run_micro specs =
   rows
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_2.json: the machine-readable perf snapshot. No JSON library
+(* BENCH_3.json: the machine-readable perf snapshot. No JSON library
    in the dependency set, so it is printed by hand — every name is a
    known identifier and every value a number, but strings are escaped
-   anyway for safety.                                                  *)
+   anyway for safety. (Countq_util.Json exists now, but the hand
+   printer keeps the snapshot's field order stable for diffing.)       *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -326,11 +405,11 @@ let json_escape s =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
 
-let write_json ~path ~quick ~experiments ~speedup ~kernels =
+let write_json ~path ~quick ~experiments ~speedup ~overhead ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/2\",\n";
+  add "  \"schema\": \"countq-bench/3\",\n";
   add "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
   add "  \"experiments\": [\n";
   List.iteri
@@ -374,6 +453,33 @@ let write_json ~path ~quick ~experiments ~speedup ~kernels =
            (if r.active_s > 0. then r.reference_s /. r.active_s else Float.nan))
         (if i = List.length speedup - 1 then "" else ","))
     speedup;
+  add "    ]\n";
+  add "  },\n";
+  let worst =
+    List.fold_left
+      (fun acc r ->
+        match acc with Some a when a.mo_n >= r.mo_n -> acc | _ -> Some r)
+      None overhead
+  in
+  add "  \"metrics_overhead\": {\n";
+  add
+    "    \"probe\": \"E3 list-counting sweep timed through Engine.run with \
+     and without a Metrics recorder attached\",\n";
+  (match worst with
+  | Some r ->
+      add "    \"ceiling_n\": %d,\n" r.mo_n;
+      add "    \"overhead_pct_at_ceiling\": %s,\n" (json_float (overhead_pct r))
+  | None -> ());
+  add "    \"sizes\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"n\": %d, \"plain_seconds\": %s, \"metrics_seconds\": %s, \
+         \"overhead_pct\": %s}%s\n"
+        r.mo_n (json_float r.plain_s) (json_float r.metrics_s)
+        (json_float (overhead_pct r))
+        (if i = List.length overhead - 1 then "" else ","))
+    overhead;
   add "    ]\n";
   add "  }";
   (match kernels with
@@ -422,4 +528,12 @@ let () =
          %.1fx]\n%!"
         total_a total_r
         (if total_a > 0. then total_r /. total_a else Float.nan);
-      write_json ~path ~quick ~experiments ~speedup ~kernels
+      let overhead = metrics_overhead_probe ~quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[metrics overhead probe n=%4d: plain %8.6fs vs metrics-on \
+             %8.6fs -> %+.1f%%]\n%!"
+            r.mo_n r.plain_s r.metrics_s (overhead_pct r))
+        overhead;
+      write_json ~path ~quick ~experiments ~speedup ~overhead ~kernels

@@ -11,6 +11,9 @@
      verify -t T -n N         -- exhaustive schedule check (tiny n)
      report [-o FILE] [-j N]  -- regenerate the full markdown report
      faults -t T -n N -p PLAN -- degradation under an injected fault plan
+     observe -t T -n N --protocol P
+                              -- metrics + spans: heatmap, delay
+                                 percentiles, optional JSONL export
 *)
 
 open Cmdliner
@@ -54,6 +57,20 @@ let quick_arg =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* Surface a Round_limit_exceeded payload: where the pending traffic
+   sits, not just that the limit blew. *)
+let report_round_limit ~limit ~outstanding ~queued ~held ~busiest =
+  Printf.eprintf
+    "round limit %d exceeded: %d message(s) in sender outboxes, %d queued on \
+     links, %d held by fault delays\n"
+    limit outstanding queued held;
+  if busiest <> [] then begin
+    Printf.eprintf "busiest nodes (queued + outbox + fault-delayed):\n";
+    List.iter
+      (fun (v, load) -> Printf.eprintf "  node %d: load %d\n" v load)
+      busiest
+  end
 
 (* ---- list ---- *)
 
@@ -389,14 +406,21 @@ let faults_cmd =
               | Ok requests ->
                   let k = List.length requests in
                   let summaries =
-                    List.concat_map
-                      (fun protocol ->
-                        List.map
-                          (fun retry ->
-                            Run.run_faulty ~retry ~graph ~protocol ~plan
-                              ~requests ())
-                          [ false; true ])
-                      [ `Arrow; `Central_queue; `Central_count ]
+                    try
+                      List.concat_map
+                        (fun protocol ->
+                          List.map
+                            (fun retry ->
+                              Run.run_faulty ~retry ~graph ~protocol ~plan
+                                ~requests ())
+                            [ false; true ])
+                        [ `Arrow; `Central_queue; `Central_count ]
+                    with
+                    | Countq_simnet.Engine.Round_limit_exceeded
+                        { limit; outstanding; queued; held; busiest } ->
+                        report_round_limit ~limit ~outstanding ~queued ~held
+                          ~busiest;
+                        exit 1
                   in
                   let rows =
                     List.map
@@ -453,10 +477,206 @@ let faults_cmd =
       const run $ topology_arg $ n_arg $ requests_arg $ seed_arg $ plan_arg
       $ list_plans_arg $ monitors_arg)
 
+(* ---- observe ---- *)
+
+let observe_cmd =
+  let protocol_arg =
+    let protocols =
+      [
+        ("arrow", `Arrow);
+        ("arrow+notify", `Arrow_notify);
+        ("central-queue", `Central_queue);
+        ("central-count", `Central_count);
+        ("sweep", `Sweep);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum protocols) `Arrow
+      & info [ "protocol"; "P" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Protocol to observe: one of %s."
+               (String.concat ", " (List.map fst protocols))))
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan"; "p" ] ~docv:"NAME"
+          ~doc:"Also inject a named fault plan (see 'countq faults --list-plans').")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the run as JSONL: one meta line, one span object per \
+             operation, then per-node and per-edge counters.")
+  in
+  let spans_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "spans" ] ~docv:"K"
+          ~doc:"Print the K slowest operation spans (0 = none).")
+  in
+  let run topology n req_spec seed quick protocol plan_name json_path k_spans =
+    let n = if quick then min n 32 else n in
+    let plan =
+      match plan_name with
+      | None -> Ok None
+      | Some name -> (
+          match Countq_simnet.Faults.find name with
+          | Some p -> Ok (Some p)
+          | None -> Error (Printf.sprintf "unknown fault plan %S; try 'countq faults --list-plans'" name))
+    in
+    match (build_topology topology n, plan) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok graph, Ok plan -> (
+        let n = Graph.n graph in
+        match
+          Countq.Scenario.requests ~seed:(Int64.of_int seed) ~n req_spec
+        with
+        | Error (`Msg m) ->
+            prerr_endline m;
+            exit 2
+        | Ok requests -> (
+            match Run.observe ?plan ~graph ~protocol ~requests () with
+            | exception Countq_simnet.Engine.Round_limit_exceeded
+                { limit; outstanding; queued; held; busiest } ->
+                report_round_limit ~limit ~outstanding ~queued ~held ~busiest;
+                exit 1
+            | o ->
+                let module Metrics = Countq_simnet.Metrics in
+                let module Span = Countq_simnet.Span in
+                let module Stats = Countq_util.Stats in
+                let k = List.length requests in
+                Printf.printf "%s on %s (n=%d, k=%d%s)\n" o.o_protocol topology
+                  n k
+                  (match plan_name with
+                  | Some p -> Printf.sprintf ", plan %s" p
+                  | None -> "");
+                Printf.printf
+                  "completed %d/%d, valid %b, rounds %d, messages %d, total \
+                   delay %d (expansion %d)\n"
+                  o.completed k o.o_valid o.o_rounds o.o_messages
+                  o.o_total_delay o.o_expansion;
+                Option.iter
+                  (fun (s : Countq_simnet.Faults.stats) ->
+                    Printf.printf
+                      "injected: %d dropped, %d duplicated, %d delayed, %d \
+                       crash-dropped (of %d transmissions)\n"
+                      s.dropped s.duplicated s.delayed s.crash_dropped
+                      s.transmissions)
+                  o.o_injected;
+                print_newline ();
+                print_string (Metrics.render_heatmap o.metrics);
+                let pp_pairs fmt_one pairs =
+                  String.concat ", " (List.map fmt_one pairs)
+                in
+                Printf.printf "\nhottest nodes: %s\n"
+                  (pp_pairs
+                     (fun (v, t) -> Printf.sprintf "%d (%d)" v t)
+                     (Metrics.hottest_nodes o.metrics));
+                Printf.printf "hottest edges: %s\n"
+                  (pp_pairs
+                     (fun ((s, d), t) -> Printf.sprintf "%d->%d (%d)" s d t)
+                     (Metrics.hottest_edges o.metrics));
+                let delays = List.filter_map Span.delay o.spans in
+                let incomplete =
+                  List.length o.spans - List.length delays
+                in
+                if delays <> [] then begin
+                  let p q = Stats.percentile_ints delays q in
+                  Printf.printf
+                    "\nper-op delay: p50 %.1f  p90 %.1f  p95 %.1f  p99 %.1f  \
+                     max %d rounds\n"
+                    (p 0.5) (p 0.9) (p 0.95) (p 0.99)
+                    (List.fold_left max 0 delays);
+                  print_string
+                    (Stats.render_histogram (Stats.histogram delays));
+                  let sum = List.fold_left ( + ) 0 delays in
+                  Printf.printf
+                    "span delay sum %d vs engine total delay %d (%s)\n" sum
+                    o.o_total_delay
+                    (if sum = o.o_total_delay then "consistent"
+                     else "MISMATCH")
+                end;
+                if incomplete > 0 then
+                  Printf.printf "%d operation(s) never completed\n" incomplete;
+                if k_spans > 0 && o.spans <> [] then begin
+                  let slowest =
+                    List.stable_sort
+                      (fun a b ->
+                        compare
+                          (Option.value (Span.delay b) ~default:max_int)
+                          (Option.value (Span.delay a) ~default:max_int))
+                      o.spans
+                  in
+                  Printf.printf "\nslowest %d span(s):\n"
+                    (min k_spans (List.length slowest));
+                  List.iteri
+                    (fun i s ->
+                      if i < k_spans then
+                        Format.printf "  %a@." Span.pp s)
+                    slowest
+                end;
+                Option.iter
+                  (fun path ->
+                    let module J = Countq_util.Json in
+                    let meta =
+                      J.Obj
+                        [
+                          ("type", J.Str "meta");
+                          ("schema", J.Str "countq-observe/1");
+                          ("protocol", J.Str o.o_protocol);
+                          ("topology", J.Str topology);
+                          ("n", J.Int n);
+                          ("k", J.Int k);
+                          ( "plan",
+                            match plan_name with
+                            | Some p -> J.Str p
+                            | None -> J.Null );
+                          ("rounds", J.Int o.o_rounds);
+                          ("messages", J.Int o.o_messages);
+                          ("total_delay", J.Int o.o_total_delay);
+                          ("expansion", J.Int o.o_expansion);
+                          ("completed", J.Int o.completed);
+                          ("valid", J.Bool o.o_valid);
+                        ]
+                    in
+                    let oc = open_out path in
+                    output_string oc (J.to_string meta);
+                    output_char oc '\n';
+                    output_string oc (Span.to_jsonl o.spans);
+                    output_string oc (Metrics.to_jsonl o.metrics);
+                    close_out oc;
+                    Printf.printf "\nwrote %s\n" path)
+                  json_path))
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Run one protocol with full observability: per-node/per-edge \
+          metrics, a congestion heatmap, per-operation delay percentiles and \
+          causal spans, optionally exported as JSONL.")
+    Term.(
+      const run $ topology_arg $ n_arg $ requests_arg $ seed_arg $ quick_arg
+      $ protocol_arg $ plan_arg $ json_arg $ spans_arg)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run topology n seed =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the event log as JSONL (one event per line).")
+  in
+  let run topology n seed json_path =
     match build_topology topology (min n 24) with
     | Error e ->
         prerr_endline e;
@@ -487,12 +707,19 @@ let trace_cmd =
         | Error e ->
             Format.printf "INVALID ORDER: %a@." Countq_arrow.Order.pp_error e);
         Printf.printf "total delay %d, %d messages\n" result.total_delay
-          result.messages
+          result.messages;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Countq_simnet.Trace.to_jsonl events);
+            close_out oc;
+            Printf.printf "wrote %s (%d events)\n" path (List.length events))
+          json_path
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Trace a small arrow execution as an ASCII timeline (n capped at 24).")
-    Term.(const run $ topology_arg $ n_arg $ seed_arg)
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ json_arg)
 
 let () =
   let doc = "Concurrent counting is harder than queuing - reproduction CLI" in
@@ -501,4 +728,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; compare_cmd; topo_cmd; trace_cmd;
-            series_cmd; report_cmd; verify_cmd; faults_cmd ]))
+            series_cmd; report_cmd; verify_cmd; faults_cmd; observe_cmd ]))

@@ -175,6 +175,29 @@ let run_one_shot_traced ?config ?tail ?(notify = false) ~tree ~requests () =
   in
   (result, events ())
 
+let run_one_shot_observed ?config ?tail ?(notify = false) ?plan ~metrics ~tree
+    ~requests () =
+  let config, protocol =
+    one_shot_setup ?config ?tail ~notify ~tree ~requests
+      "Arrow.run_one_shot_observed"
+  in
+  (* One-shot ops are unique per origin, so the origin node ids the op. *)
+  let protocol, spans =
+    Countq_simnet.Span.instrument
+      ~injects:(List.map (fun v -> (v, 0)) requests)
+      ~op_of_msg:(function
+        | Queue_msg (op : Types.op) | Notify { op; _ } -> Some op.origin)
+      ~op_of_completion:(fun ((op : Types.op), _) -> Some op.origin)
+      protocol
+  in
+  let graph = Tree.to_graph tree in
+  let faults = Option.map Faults.start plan in
+  let result =
+    finish ~issue_time:(fun _ -> 0)
+      (Engine.run ?faults ~metrics ~graph ~config ~protocol ())
+  in
+  (result, spans (), Option.map Faults.stats faults)
+
 type fault_report = {
   result : run_result;
   injected : Faults.stats;

@@ -87,6 +87,24 @@ val run_one_shot_traced :
     (render it with [Countq_simnet.Trace.render]). Intended for small
     demonstrations of the path-reversal mechanics. *)
 
+val run_one_shot_observed :
+  ?config:Countq_simnet.Engine.config ->
+  ?tail:int ->
+  ?notify:bool ->
+  ?plan:Countq_simnet.Faults.plan ->
+  metrics:Countq_simnet.Metrics.t ->
+  tree:Countq_topology.Tree.t ->
+  requests:int list ->
+  unit ->
+  run_result * Countq_simnet.Span.t list * Countq_simnet.Faults.stats option
+(** {!run_one_shot} under full observability: per-node / per-edge
+    counters recorded into [metrics] (create one per run) and a causal
+    {!Countq_simnet.Span} per operation, keyed by origin node. [plan]
+    optionally injects faults (no retransmit layer and no monitors —
+    use {!run_one_shot_faulty} for verdicts); the third component is
+    the injection tally when a plan was given. With no plan the
+    results equal {!run_one_shot}'s. *)
+
 type fault_report = {
   result : run_result;  (** outcomes of whatever completed. *)
   injected : Countq_simnet.Faults.stats;  (** what the plan actually did. *)

@@ -203,6 +203,82 @@ let run_faulty ?tree ?(retry = false) ?ack_timeout ?max_retries
     live = Monitor.liveness_ok monitors;
   }
 
+module Metrics = Countq_simnet.Metrics
+module Span = Countq_simnet.Span
+
+type observed_protocol =
+  [ `Arrow | `Arrow_notify | `Central_count | `Central_queue | `Sweep ]
+
+let observed_protocol_name = function
+  | `Arrow -> "queue/arrow"
+  | `Arrow_notify -> "queue/arrow+notify"
+  | `Central_count -> "count/central"
+  | `Central_queue -> "queue/central"
+  | `Sweep -> "count/sweep"
+
+type observation = {
+  o_protocol : string;
+  o_kind : kind;
+  completed : int;
+  o_valid : bool;
+  o_rounds : int;
+  o_messages : int;
+  o_total_delay : int;
+  o_expansion : int;
+  metrics : Metrics.t;
+  spans : Span.t list;
+  o_injected : Countq_simnet.Faults.stats option;
+}
+
+let observe ?tree ?plan ~graph ~protocol ~requests () =
+  let metrics = Metrics.create ~graph in
+  let spanning () =
+    match tree with Some t -> t | None -> Spanning.best_for_arrow graph
+  in
+  let o_kind, completed, o_valid, o_rounds, o_messages, o_total_delay,
+      o_expansion, spans, o_injected =
+    match protocol with
+    | (`Arrow | `Arrow_notify) as p ->
+        let r, spans, injected =
+          Arrow.Protocol.run_one_shot_observed ?plan ~metrics
+            ~notify:(p = `Arrow_notify) ~tree:(spanning ()) ~requests ()
+        in
+        ( Queuing, List.length r.outcomes, Result.is_ok r.order, r.rounds,
+          r.messages, r.total_delay, r.expansion, spans, injected )
+    | `Central_queue ->
+        let r, spans, injected =
+          Queuing.Central_queue.run_observed ?plan ~metrics ~graph ~requests ()
+        in
+        ( Queuing, List.length r.outcomes, Result.is_ok r.order, r.rounds,
+          r.messages, r.total_delay, r.expansion, spans, injected )
+    | `Central_count ->
+        let r, spans, injected =
+          Counting.Central.run_observed ?plan ~metrics ~graph ~requests ()
+        in
+        ( Counting, List.length r.outcomes, Result.is_ok r.valid, r.rounds,
+          r.messages, r.total_delay, r.expansion, spans, injected )
+    | `Sweep ->
+        let r, spans, injected =
+          Counting.Sweep.run_observed ?plan ~metrics ~tree:(spanning ())
+            ~requests ()
+        in
+        ( Counting, List.length r.outcomes, Result.is_ok r.valid, r.rounds,
+          r.messages, r.total_delay, r.expansion, spans, injected )
+  in
+  {
+    o_protocol = observed_protocol_name protocol;
+    o_kind;
+    completed;
+    o_valid;
+    o_rounds;
+    o_messages;
+    o_total_delay;
+    o_expansion;
+    metrics;
+    spans;
+    o_injected;
+  }
+
 let best_counting ~graph ~requests =
   let candidates =
     List.map

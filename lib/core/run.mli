@@ -99,6 +99,43 @@ val run_faulty :
     degradation. [tree] (for [`Arrow]) defaults to
     [Spanning.best_for_arrow graph]. *)
 
+type observed_protocol =
+  [ `Arrow | `Arrow_notify | `Central_count | `Central_queue | `Sweep ]
+(** The protocols with full-observability runners (metrics + spans). *)
+
+val observed_protocol_name : observed_protocol -> string
+
+type observation = {
+  o_protocol : string;
+  o_kind : kind;
+  completed : int;  (** operations that completed. *)
+  o_valid : bool;  (** completed output met the problem spec. *)
+  o_rounds : int;
+  o_messages : int;
+  o_total_delay : int;  (** raw, in (possibly expanded) rounds. *)
+  o_expansion : int;
+  metrics : Countq_simnet.Metrics.t;  (** per-node/per-edge counters. *)
+  spans : Countq_simnet.Span.t list;  (** one per operation, op order. *)
+  o_injected : Countq_simnet.Faults.stats option;
+      (** fault tally; [None] when no plan was given. *)
+}
+(** One fully-observed run: the aggregate numbers every summary has,
+    plus the recorder and the causal spans to drill into them. *)
+
+val observe :
+  ?tree:Countq_topology.Tree.t ->
+  ?plan:Countq_simnet.Faults.plan ->
+  graph:Countq_topology.Graph.t ->
+  protocol:observed_protocol ->
+  requests:int list ->
+  unit ->
+  observation
+(** Run [protocol] on [graph] with a fresh {!Countq_simnet.Metrics}
+    recorder and span instrumentation attached; [plan] optionally
+    injects faults. [tree] (for the tree protocols) defaults to
+    [Spanning.best_for_arrow graph]. Drives the [countq observe]
+    subcommand and the observability experiments. *)
+
 val best_counting :
   graph:Countq_topology.Graph.t -> requests:int list -> summary
 (** The cheapest (by normalised total delay) of the counting portfolio

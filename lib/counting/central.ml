@@ -246,6 +246,28 @@ let run_async ?(delay = Async.Constant 1) ?(root = 0) ?route ~graph ~requests
   let protocol = prepare ~root ~route ~graph ~requests in
   Counts.of_async ~requests (Async.run ~graph ~delay ~protocol ())
 
+let run_observed ?config ?(root = 0) ?route ?plan ~metrics ~graph ~requests ()
+    =
+  let protocol = prepare ~root ~route ~graph ~requests in
+  (* One-shot: each requester owns exactly one op, so the origin node
+     ids it; a Reply belongs to the op of its destination. *)
+  let protocol, spans =
+    Countq_simnet.Span.instrument
+      ~injects:(List.map (fun v -> (v, 0)) requests)
+      ~op_of_msg:(function
+        | Request { origin } -> Some origin
+        | Reply { dest; _ } -> Some dest)
+      ~op_of_completion:(fun ((origin, _) : int * int) -> Some origin)
+      protocol
+  in
+  let config = Option.value config ~default:Engine.default_config in
+  let faults = Option.map Faults.start plan in
+  let result =
+    Counts.of_engine ~requests
+      (Engine.run ?faults ~metrics ~graph ~config ~protocol ())
+  in
+  (result, spans (), Option.map Faults.stats faults)
+
 let run_traced ?config ?(root = 0) ?route ~graph ~requests () =
   let protocol = prepare ~root ~route ~graph ~requests in
   let protocol, events = Countq_simnet.Trace.instrument protocol in

@@ -113,6 +113,26 @@ val one_shot_protocol :
 (** The raw protocol value; completions are [(node, count)] pairs —
     validate with {!Counts.validate}. *)
 
+val run_observed :
+  ?config:Countq_simnet.Engine.config ->
+  ?root:int ->
+  ?route:Countq_simnet.Route.t ->
+  ?plan:Countq_simnet.Faults.plan ->
+  metrics:Countq_simnet.Metrics.t ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  Counts.run_result
+  * Countq_simnet.Span.t list
+  * Countq_simnet.Faults.stats option
+(** {!run} under full observability: per-node / per-edge counters
+    recorded into [metrics] (create one per run) and a causal span per
+    operation, keyed by origin node (a Reply is attributed to the op of
+    its destination). [plan] optionally injects faults (no retransmit
+    layer, no monitors); the third component is the injection tally
+    when a plan was given. With no plan the result equals {!run}'s —
+    and the heatmap makes the root's Θ(k²) hot spot visible. *)
+
 val run_traced :
   ?config:Countq_simnet.Engine.config ->
   ?root:int ->

@@ -111,6 +111,26 @@ let run ?config ~tree ~requests () =
   let graph = Tree.to_graph tree in
   Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ())
 
+let run_observed ?config ?plan ~metrics ~tree ~requests () =
+  let protocol = prepare ~tree ~requests "Sweep.run_observed" in
+  (* The token serves every operation at once, so no message maps to a
+     single op: spans carry injection and completion only. *)
+  let protocol, spans =
+    Countq_simnet.Span.instrument
+      ~injects:(List.map (fun v -> (v, 0)) requests)
+      ~op_of_msg:(fun (_ : int) -> None)
+      ~op_of_completion:(fun ((node, _) : int * int) -> Some node)
+      protocol
+  in
+  let config = Option.value config ~default:Engine.default_config in
+  let graph = Tree.to_graph tree in
+  let faults = Option.map Countq_simnet.Faults.start plan in
+  let result =
+    Counts.of_engine ~requests
+      (Engine.run ?faults ~metrics ~graph ~config ~protocol ())
+  in
+  (result, spans (), Option.map Countq_simnet.Faults.stats faults)
+
 let run_async ?(delay = Async.Constant 1) ~tree ~requests () =
   let protocol = prepare ~tree ~requests "Sweep.run_async" in
   let graph = Tree.to_graph tree in

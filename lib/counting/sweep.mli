@@ -26,6 +26,23 @@ val run :
     stops at the tour's last new vertex. Base-model config by default.
     @raise Invalid_argument on out-of-range or duplicate requests. *)
 
+val run_observed :
+  ?config:Countq_simnet.Engine.config ->
+  ?plan:Countq_simnet.Faults.plan ->
+  metrics:Countq_simnet.Metrics.t ->
+  tree:Countq_topology.Tree.t ->
+  requests:int list ->
+  unit ->
+  Counts.run_result
+  * Countq_simnet.Span.t list
+  * Countq_simnet.Faults.stats option
+(** {!run} under full observability: counters into [metrics], a span
+    per operation keyed by origin node. The shared token serves every
+    operation at once, so no hop belongs to a single operation — spans
+    carry injection and completion only (the per-op delay is still
+    exact). [plan] optionally injects faults; note a dropped token
+    strands the whole sweep. *)
+
 val run_async :
   ?delay:Countq_simnet.Async.delay_model ->
   tree:Countq_topology.Tree.t ->

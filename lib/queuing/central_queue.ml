@@ -81,6 +81,25 @@ let run ?config ?(root = 0) ?route ~graph ~requests () =
   let config = Option.value config ~default:Engine.default_config in
   finish (Engine.run ~graph ~config ~protocol ())
 
+let run_observed ?config ?(root = 0) ?route ?plan ~metrics ~graph ~requests ()
+    =
+  let protocol = prepare ~root ~route ~graph ~requests in
+  (* One-shot: origin node ids the op; a Reply belongs to the op of its
+     destination. *)
+  let protocol, spans =
+    Countq_simnet.Span.instrument
+      ~injects:(List.map (fun v -> (v, 0)) requests)
+      ~op_of_msg:(function
+        | Request { origin } -> Some origin
+        | Reply { dest; _ } -> Some dest)
+      ~op_of_completion:(fun ((op : Types.op), _) -> Some op.origin)
+      protocol
+  in
+  let config = Option.value config ~default:Engine.default_config in
+  let faults = Option.map Faults.start plan in
+  let result = finish (Engine.run ?faults ~metrics ~graph ~config ~protocol ()) in
+  (result, spans (), Option.map Faults.stats faults)
+
 type fault_report = {
   result : Countq_arrow.Protocol.run_result;
   injected : Faults.stats;

@@ -21,6 +21,24 @@ val run :
     outcome/validation types. [root] defaults to 0; [route] to
     all-pairs shortest-path routing; config to the base model. *)
 
+val run_observed :
+  ?config:Countq_simnet.Engine.config ->
+  ?root:int ->
+  ?route:Countq_simnet.Route.t ->
+  ?plan:Countq_simnet.Faults.plan ->
+  metrics:Countq_simnet.Metrics.t ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  Countq_arrow.Protocol.run_result
+  * Countq_simnet.Span.t list
+  * Countq_simnet.Faults.stats option
+(** {!run} under full observability: counters into [metrics] (create
+    one per run), a causal span per operation keyed by origin node.
+    [plan] optionally injects faults (no retransmit layer, no
+    monitors); the third component is the injection tally when a plan
+    was given. With no plan the result equals {!run}'s. *)
+
 type fault_report = {
   result : Countq_arrow.Protocol.run_result;
       (** outcomes of whatever completed. *)

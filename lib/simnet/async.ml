@@ -31,7 +31,7 @@ let make_delay_fn = function
       fun ~src ~dst ~send_time -> Stdlib.max 1 (f ~src ~dst ~send_time)
 
 let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
-    ~protocol () =
+    ?metrics ~protocol () =
   let n = Graph.n graph in
   let delay_fn = make_delay_fn delay in
   let states = Array.init n protocol.Engine.initial_state in
@@ -79,6 +79,9 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
               raise (Engine.Not_a_neighbor { node = src; dst });
             let s = max now (send_free.(src) + 1) in
             send_free.(src) <- s;
+            (match metrics with
+            | Some m -> Metrics.note_transmit m ~src ~dst ~round:s
+            | None -> ());
             let decision =
               match faults with
               | None -> Faults.Deliver
@@ -86,11 +89,21 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
             in
             (match decision with
             | Faults.Deliver -> schedule src dst msg ~send_time:s ~extra:0
-            | Faults.Drop -> ()
+            | Faults.Drop -> (
+                match metrics with
+                | Some m -> Metrics.note_drop m ~src ~dst
+                | None -> ())
             | Faults.Duplicate ->
+                (match metrics with
+                | Some m -> Metrics.note_duplicate m ~src ~dst
+                | None -> ());
                 schedule src dst msg ~send_time:s ~extra:0;
                 schedule src dst msg ~send_time:s ~extra:0
-            | Faults.Delay d -> schedule src dst msg ~send_time:s ~extra:d))
+            | Faults.Delay d ->
+                (match metrics with
+                | Some m -> Metrics.note_delay m ~src ~dst
+                | None -> ());
+                schedule src dst msg ~send_time:s ~extra:d))
       actions
   in
   List.iter
@@ -140,12 +153,20 @@ let run ~graph ~delay ?(wakeups = []) ?(max_events = 10_000_000) ?faults
         end;
         (match ev with
         | Arrival { src; dst; msg } ->
-            if crashed dst t then Faults.note_crash_drop (Option.get faults)
+            if crashed dst t then begin
+              Faults.note_crash_drop (Option.get faults);
+              match metrics with
+              | Some m -> Metrics.note_crash_drop m ~dst
+              | None -> ()
+            end
             else begin
               let now = max t (proc_free.(dst) + 1) in
               proc_free.(dst) <- now;
               incr messages;
               finish := max !finish now;
+              (match metrics with
+              | Some m -> Metrics.note_deliver m ~src ~dst ~round:now
+              | None -> ());
               let s, actions =
                 protocol.Engine.on_receive ~round:now ~node:dst ~src msg
                   states.(dst)

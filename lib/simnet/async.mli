@@ -42,6 +42,7 @@ val run :
   ?wakeups:(int * int) list ->
   ?max_events:int ->
   ?faults:Faults.runtime ->
+  ?metrics:Metrics.t ->
   protocol:('s, 'm, 'r) Engine.protocol ->
   unit ->
   'r result
@@ -61,4 +62,9 @@ val run :
     engine's. Note the {!Reliable} retransmit layer is driven by
     per-round ticks and therefore only heals faults under the
     synchronous engine.
+
+    [metrics] attaches the same passive {!Metrics} recorder the
+    synchronous engines take; "rounds" in its busy tally are event
+    times here, and no backlog is recorded (the event heap has no
+    per-link queues).
     @raise Invalid_argument on a bad delay model or wakeups. *)

@@ -139,7 +139,7 @@ let max_delay res =
 let completion_count res = List.length res.completions
 
 let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
-    ~graph ~config ~protocol () =
+    ?metrics ~graph ~config ~protocol () =
   if config.receive_capacity < 1 || config.send_capacity < 1 then
     invalid_arg "Engine.run: capacities must be >= 1";
   let n = Graph.n graph in
@@ -348,8 +348,12 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
             Some (nbr_slot nbrs src)
           end
   in
-  (* Hand [msg] (sent by [src]) to [dst]'s incoming ring. *)
-  let enqueue src dst msg =
+  (* Hand [msg] (sent by [src]) to [dst]'s incoming ring. [record_tx]
+     additionally counts the transmission: the fault-free send path
+     folds its transmit note in here because [slot] is exactly the
+     receiver-row CSR index Metrics wants — the fault path records
+     transmits itself (before the fault decision) and passes [false]. *)
+  let enqueue record_tx t src dst msg =
     let slot = inq_off.(dst) + nbr_slot nbrs_of.(dst) src in
     in_push slot msg;
     pending.(dst) <- pending.(dst) + 1;
@@ -359,12 +363,22 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
     end;
     incr queued_total;
     let backlog = Array.unsafe_get inq_len slot in
-    if backlog > !max_backlog then max_backlog := backlog
+    if backlog > !max_backlog then max_backlog := backlog;
+    match metrics with
+    | Some m ->
+        if record_tx then Metrics.note_transmit_at m ~slot ~src ~round:t;
+        Metrics.note_backlog m ~node:dst ~backlog
+    | None -> ()
   in
   (* Same, or discard the message if the receiver is down. *)
   let enqueue_faulty fr t src dst msg =
-    if Faults.crashed fr ~node:dst ~round:t then Faults.note_crash_drop fr
-    else enqueue src dst msg
+    if Faults.crashed fr ~node:dst ~round:t then begin
+      Faults.note_crash_drop fr;
+      match metrics with
+      | Some m -> Metrics.note_crash_drop m ~dst
+      | None -> ()
+    end
+    else enqueue false t src dst msg
   in
   let round = ref 0 in
   let last_active = ref 0 in
@@ -419,7 +433,7 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
       Array.unsafe_set out_len v (Array.unsafe_get out_len v - 1);
       decr outstanding_sends;
       last_active := t;
-      enqueue v dst msg;
+      enqueue true t v dst msg;
       drain_free v t (budget - 1)
     end
   in
@@ -448,13 +462,25 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
       Array.unsafe_set out_len v (Array.unsafe_get out_len v - 1);
       decr outstanding_sends;
       last_active := t;
+      (match metrics with
+      | Some m -> Metrics.note_transmit m ~src:v ~dst ~round:t
+      | None -> ());
       (match Faults.decide fr ~src:v ~dst ~round:t with
       | Faults.Deliver -> enqueue_faulty fr t v dst msg
-      | Faults.Drop -> ()
+      | Faults.Drop -> (
+          match metrics with
+          | Some m -> Metrics.note_drop m ~src:v ~dst
+          | None -> ())
       | Faults.Duplicate ->
+          (match metrics with
+          | Some m -> Metrics.note_duplicate m ~src:v ~dst
+          | None -> ());
           enqueue_faulty fr t v dst msg;
           enqueue_faulty fr t v dst msg
       | Faults.Delay d ->
+          (match metrics with
+          | Some m -> Metrics.note_delay m ~src:v ~dst
+          | None -> ());
           incr held_seq;
           incr held_count;
           Heap.push held (t + d, !held_seq) (v, dst, msg));
@@ -492,11 +518,15 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
       | None -> ()
       | Some qi ->
           let src = nbrs_of.(v).(qi) in
-          let msg = in_pop (inq_off.(v) + qi) in
+          let slot = inq_off.(v) + qi in
+          let msg = in_pop slot in
           pending.(v) <- pending.(v) - 1;
           decr queued_total;
           incr messages;
           last_active := t;
+          (match metrics with
+          | Some m -> Metrics.note_deliver_at m ~slot ~dst:v ~round:t
+          | None -> ());
           if has_observer then observer.on_deliver ~round:t ~src ~dst:v;
           let s, actions =
             protocol.on_receive ~round:t ~node:v ~src msg states.(v)

@@ -164,6 +164,7 @@ val run :
   ?faults:Faults.runtime ->
   ?observer:'r observer ->
   ?keep_alive:(unit -> bool) ->
+  ?metrics:Metrics.t ->
   graph:Countq_topology.Graph.t ->
   config:config ->
   protocol:('s, 'm, 'r) protocol ->
@@ -181,7 +182,15 @@ val run :
     it returns [true] the engine keeps running rounds (ticking
     protocols) even when the network is quiescent — the hook a
     timeout-and-retransmit layer ({!Reliable}) uses to wait out its
-    retry timers. [max_rounds] still bounds the run. *)
+    retry timers. [max_rounds] still bounds the run.
+
+    [metrics] attaches a per-node / per-edge counter recorder (see
+    {!Metrics}). The recorder is passive: the run's result, observer
+    stream and fault tallies are bit-identical with or without it
+    (pinned by a qcheck property), and — unlike a custom observer or
+    keep_alive — it does {e not} disable idle-round fast-forwarding,
+    because an idle round records nothing. Absent (the default), the
+    hot paths pay a single predictable branch per message. *)
 
 val total_delay : 'r result -> int
 (** Sum of completion rounds — the paper's concurrent delay complexity

@@ -26,7 +26,7 @@ type 'm node_rt = {
 }
 
 let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
-    ~graph ~config ~protocol () =
+    ?metrics ~graph ~config ~protocol () =
   if config.receive_capacity < 1 || config.send_capacity < 1 then
     invalid_arg "Engine.run: capacities must be >= 1";
   let n = Graph.n graph in
@@ -122,14 +122,23 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
   (* Hand [msg] (sent by [src]) to [dst]'s incoming FIFO in round [t],
      or discard it if the receiver is down. *)
   let enqueue_at t src dst msg =
-    if crashed dst t then Faults.note_crash_drop (Option.get faults)
+    if crashed dst t then begin
+      Faults.note_crash_drop (Option.get faults);
+      match metrics with
+      | Some m -> Metrics.note_crash_drop m ~dst
+      | None -> ()
+    end
     else begin
       let nd = rt.(dst) in
       let qi = Hashtbl.find nd.nbr_index src in
       Queue.push msg nd.inq.(qi);
       nd.pending <- nd.pending + 1;
       incr queued_total;
-      max_backlog := max !max_backlog (Queue.length nd.inq.(qi))
+      let backlog = Queue.length nd.inq.(qi) in
+      max_backlog := max !max_backlog backlog;
+      match metrics with
+      | Some m -> Metrics.note_backlog m ~node:dst ~backlog
+      | None -> ()
     end
   in
   let round = ref 0 in
@@ -191,6 +200,9 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
           decr outstanding_sends;
           decr budget;
           last_active := t;
+          (match metrics with
+          | Some m -> Metrics.note_transmit m ~src:v ~dst ~round:t
+          | None -> ());
           let decision =
             match faults with
             | None -> Faults.Deliver
@@ -198,11 +210,20 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
           in
           match decision with
           | Faults.Deliver -> enqueue_at t v dst msg
-          | Faults.Drop -> ()
+          | Faults.Drop -> (
+              match metrics with
+              | Some m -> Metrics.note_drop m ~src:v ~dst
+              | None -> ())
           | Faults.Duplicate ->
+              (match metrics with
+              | Some m -> Metrics.note_duplicate m ~src:v ~dst
+              | None -> ());
               enqueue_at t v dst msg;
               enqueue_at t v dst msg
           | Faults.Delay d ->
+              (match metrics with
+              | Some m -> Metrics.note_delay m ~src:v ~dst
+              | None -> ());
               incr held_seq;
               incr held_count;
               Heap.push held (t + d, !held_seq) (v, dst, msg)
@@ -225,6 +246,9 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
               incr messages;
               decr budget;
               last_active := t;
+              (match metrics with
+              | Some m -> Metrics.note_deliver m ~src ~dst:v ~round:t
+              | None -> ());
               observer.on_deliver ~round:t ~src ~dst:v;
               let s, actions =
                 protocol.on_receive ~round:t ~node:v ~src msg states.(v)

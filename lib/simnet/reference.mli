@@ -17,6 +17,7 @@ val run :
   ?faults:Faults.runtime ->
   ?observer:'r Engine.observer ->
   ?keep_alive:(unit -> bool) ->
+  ?metrics:Metrics.t ->
   graph:Countq_topology.Graph.t ->
   config:Engine.config ->
   protocol:('s, 'm, 'r) Engine.protocol ->

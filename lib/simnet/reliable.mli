@@ -55,6 +55,7 @@ type handle
 val wrap :
   ?ack_timeout:int ->
   ?max_retries:int ->
+  ?metrics:Metrics.t ->
   ('s, 'm, 'r) Engine.protocol ->
   (('s, 'm) state, 'm msg, 'r) Engine.protocol * handle
 (** [wrap protocol] names the result ["<name>+retry"]. [ack_timeout]
@@ -62,7 +63,9 @@ val wrap :
     before the first retransmit; retry [k] waits [ack_timeout * 2^k]
     rounds (exponential backoff), and after [max_retries] (default 5)
     unacknowledged retransmits the payload is abandoned. Completion
-    values pass through unchanged.
+    values pass through unchanged. [metrics] (normally the same
+    recorder passed to the engine) attributes each retransmission to
+    its sending node via {!Metrics.note_retransmit}.
     @raise Invalid_argument if [ack_timeout < 1] or [max_retries < 0]. *)
 
 val keep_alive : handle -> unit -> bool

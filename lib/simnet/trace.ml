@@ -85,6 +85,73 @@ let render ~n events =
   done;
   Buffer.contents buf
 
+let to_jsonl events =
+  let module J = Countq_util.Json in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let obj =
+        match e with
+        | Received { round; node; src } ->
+            J.Obj
+              [ ("type", J.Str "recv"); ("round", J.Int round);
+                ("node", J.Int node); ("src", J.Int src) ]
+        | Queued_send { round; node; dst } ->
+            J.Obj
+              [ ("type", J.Str "send"); ("round", J.Int round);
+                ("node", J.Int node); ("dst", J.Int dst) ]
+        | Completed { round; node } ->
+            J.Obj
+              [ ("type", J.Str "complete"); ("round", J.Int round);
+                ("node", J.Int node) ]
+      in
+      Buffer.add_string buf (J.to_string obj);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let of_jsonl text =
+  let module J = Countq_util.Json in
+  let parse_line lineno line =
+    let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    match J.of_string line with
+    | Error e -> fail e
+    | Ok j -> (
+        let int k =
+          match Option.bind (J.member k j) J.to_int with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "line %d: missing int %S" lineno k)
+        in
+        let ( let* ) = Result.bind in
+        match Option.bind (J.member "type" j) J.to_str with
+        | Some "recv" ->
+            let* round = int "round" in
+            let* node = int "node" in
+            let* src = int "src" in
+            Ok (Received { round; node; src })
+        | Some "send" ->
+            let* round = int "round" in
+            let* node = int "node" in
+            let* dst = int "dst" in
+            Ok (Queued_send { round; node; dst })
+        | Some "complete" ->
+            let* round = int "round" in
+            let* node = int "node" in
+            Ok (Completed { round; node })
+        | Some other -> fail (Printf.sprintf "unknown event type %S" other)
+        | None -> fail "missing \"type\" field")
+  in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go acc (lineno + 1) rest
+        else (
+          match parse_line lineno line with
+          | Ok e -> go (e :: acc) (lineno + 1) rest
+          | Error _ as e -> e)
+  in
+  go [] 1 (String.split_on_char '\n' text)
+
 let pp_event ppf = function
   | Received { round; node; src } ->
       Format.fprintf ppf "t=%d node %d received from %d" round node src

@@ -28,4 +28,14 @@ val render : n:int -> event list -> string
     [.] (idle). Multiple events in one cell favour the most
     informative character. *)
 
+val to_jsonl : event list -> string
+(** One JSON object per line, in input order: [{"type":"recv","round":…,
+    "node":…,"src":…}], [{"type":"send",…,"dst":…}] or
+    [{"type":"complete","round":…,"node":…}]. *)
+
+val of_jsonl : string -> (event list, string) result
+(** Parse {!to_jsonl} output (blank lines ignored); inverse of
+    {!to_jsonl}, so [of_jsonl (to_jsonl es) = Ok es]. [Error] carries
+    a message naming the first offending line. *)
+
 val pp_event : Format.formatter -> event -> unit

@@ -46,6 +46,62 @@ let summarize samples =
     stddev = sqrt var;
   }
 
+let percentile_ints samples q =
+  if samples = [] then invalid_arg "Stats.percentile_ints: empty sample list";
+  let a = Array.of_list (List.map float_of_int samples) in
+  Array.sort compare a;
+  percentile a q
+
+type bucket = { lo : int; hi : int; bcount : int }
+
+let histogram ?(bins = 10) samples =
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  if samples = [] then invalid_arg "Stats.histogram: empty sample list";
+  let lo = List.fold_left min max_int samples in
+  let hi = List.fold_left max min_int samples in
+  let span = hi - lo + 1 in
+  let bins = min bins span in
+  (* Equal-width buckets; the first [span mod bins] buckets absorb the
+     remainder so the widths differ by at most one. *)
+  let base = span / bins and extra = span mod bins in
+  let bounds =
+    Array.init bins (fun i ->
+        let width j = base + if j < extra then 1 else 0 in
+        let rec start j acc = if j >= i then acc else start (j + 1) (acc + width j) in
+        let l = lo + start 0 0 in
+        (l, l + width i - 1))
+  in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun x ->
+      (* Buckets are few; a linear scan is simpler than inverting the
+         remainder arithmetic. *)
+      let rec find i =
+        let l, h = bounds.(i) in
+        if x >= l && x <= h then i else find (i + 1)
+      in
+      let i = find 0 in
+      counts.(i) <- counts.(i) + 1)
+    samples;
+  List.init bins (fun i ->
+      let lo, hi = bounds.(i) in
+      { lo; hi; bcount = counts.(i) })
+
+let render_histogram ?(width = 40) buckets =
+  let maxc = List.fold_left (fun acc b -> max acc b.bcount) 0 buckets in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun b ->
+      let bar =
+        if maxc = 0 then 0 else b.bcount * width / maxc
+      in
+      let bar = if b.bcount > 0 then max 1 bar else bar in
+      Buffer.add_string buf
+        (Printf.sprintf "%6d..%-6d %6d %s\n" b.lo b.hi b.bcount
+           (String.make bar '#')))
+    buckets;
+  Buffer.contents buf
+
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.2f median=%.1f p95=%.1f max=%d" s.count
     s.mean s.median s.p95 s.max

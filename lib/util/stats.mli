@@ -23,5 +23,30 @@ val percentile : float array -> float -> float
     between closest ranks of an already-sorted array.
     @raise Invalid_argument on empty input or [q] outside [[0, 1]]. *)
 
+val percentile_ints : int list -> float -> float
+(** [percentile_ints samples q]: {!percentile} over an unsorted integer
+    sample list (sorts a private copy). The convenience form the
+    observability layer uses for per-operation delay tables.
+    @raise Invalid_argument on an empty list or [q] outside [[0, 1]]. *)
+
+type bucket = {
+  lo : int;  (** inclusive lower bound of the bucket. *)
+  hi : int;  (** inclusive upper bound of the bucket. *)
+  bcount : int;  (** samples that landed in [[lo, hi]]. *)
+}
+
+val histogram : ?bins:int -> int list -> bucket list
+(** [histogram samples] buckets the samples into at most [bins]
+    (default 10) equal-width ranges covering [[min, max]]. Buckets
+    partition the range ([b.hi + 1 = next.lo]), every sample lands in
+    exactly one bucket, and bucket counts sum to the sample count.
+    When the data span is smaller than [bins], one bucket per distinct
+    value is used instead of empty padding.
+    @raise Invalid_argument on an empty list or [bins < 1]. *)
+
+val render_histogram : ?width:int -> bucket list -> string
+(** ASCII rendering, one bucket per line: range, count, and a bar
+    scaled so the fullest bucket spans [width] (default 40) columns. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 (** One-line rendering: count/mean/median/p95/max. *)

@@ -19,6 +19,8 @@ let () =
       ("route", Test_route.suite);
       ("async", Test_async.suite);
       ("trace", Test_trace.suite);
+      ("metrics", Test_metrics.suite);
+      ("span", Test_span.suite);
       ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);
       ("order", Test_order.suite);

@@ -40,6 +40,63 @@ let test_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample list")
     (fun () -> ignore (Stats.summarize []))
 
+let test_percentile_ints () =
+  let samples = [ 40; 10; 30; 20 ] in
+  Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile_ints samples 0.);
+  Alcotest.(check (float 1e-9)) "p50" 25. (Stats.percentile_ints samples 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 40. (Stats.percentile_ints samples 1.)
+
+let test_histogram_small_span () =
+  (* Span smaller than the bin budget: one bucket per distinct value. *)
+  match Stats.histogram ~bins:10 [ 3; 3; 4 ] with
+  | [ { lo = 3; hi = 3; bcount = 2 }; { lo = 4; hi = 4; bcount = 1 } ] -> ()
+  | bs ->
+      Alcotest.failf "unexpected buckets: %s"
+        (String.concat ";"
+           (List.map
+              (fun (b : Stats.bucket) ->
+                Printf.sprintf "{%d,%d,%d}" b.lo b.hi b.bcount)
+              bs))
+
+let prop_histogram_partitions =
+  QCheck2.Test.make ~name:"histogram partitions the range, counts conserve"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 60) (int_range (-100) 100))
+        (int_range 1 12))
+    (fun (samples, bins) ->
+      let bs = Stats.histogram ~bins samples in
+      let lo = List.fold_left min max_int samples in
+      let hi = List.fold_left max min_int samples in
+      let rec contiguous = function
+        | (a : Stats.bucket) :: (b : Stats.bucket) :: rest ->
+            a.hi + 1 = b.lo && contiguous (b :: rest)
+        | _ -> true
+      in
+      List.length bs <= max bins (hi - lo + 1)
+      && (List.hd bs).lo = lo
+      && (List.nth bs (List.length bs - 1)).hi = hi
+      && contiguous bs
+      && List.fold_left (fun acc (b : Stats.bucket) -> acc + b.bcount) 0 bs
+         = List.length samples
+      && List.for_all
+           (fun (b : Stats.bucket) ->
+             b.bcount
+             = List.length
+                 (List.filter (fun x -> x >= b.lo && x <= b.hi) samples))
+           bs)
+
+let test_render_histogram_golden () =
+  let rendered =
+    Stats.render_histogram ~width:4 (Stats.histogram ~bins:2 [ 0; 0; 1 ])
+  in
+  let expected =
+    Printf.sprintf "%6d..%-6d %6d %s\n%6d..%-6d %6d %s\n" 0 0 2 "####" 1 1 1
+      "##"
+  in
+  Alcotest.(check string) "golden" expected rendered
+
 let prop_bounds_hold =
   QCheck2.Test.make ~name:"min <= median <= p95 <= max, mean in range"
     ~count:200
@@ -61,5 +118,10 @@ let suite =
       test_percentile_interpolation;
     Alcotest.test_case "percentile validation" `Quick test_percentile_validation;
     Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "percentile_ints" `Quick test_percentile_ints;
+    Alcotest.test_case "histogram small span" `Quick test_histogram_small_span;
+    Alcotest.test_case "render histogram golden" `Quick
+      test_render_histogram_golden;
+    Helpers.qcheck prop_histogram_partitions;
     Helpers.qcheck prop_bounds_hold;
   ]

@@ -103,9 +103,29 @@ let test_tick_instrumented () =
   in
   Alcotest.(check bool) "tick send recorded" true has_tick_send
 
+let test_jsonl_round_trip () =
+  let _, events = run_traced 3 in
+  (match Trace.of_jsonl (Trace.to_jsonl events) with
+  | Ok back -> Alcotest.(check bool) "round-trips" true (back = events)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* Blank lines are tolerated. *)
+  match Trace.of_jsonl ("\n" ^ Trace.to_jsonl events ^ "\n\n") with
+  | Ok back -> Alcotest.(check bool) "blank lines skipped" true (back = events)
+  | Error e -> Alcotest.failf "blank-line parse failed: %s" e
+
+let test_jsonl_rejects_garbage () =
+  (match Trace.of_jsonl "not json at all" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Trace.of_jsonl "{\"type\":\"warp\",\"round\":1}" with
+  | Ok _ -> Alcotest.fail "unknown event type accepted"
+  | Error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "events recorded" `Quick test_events_recorded;
+    Alcotest.test_case "jsonl round trip" `Quick test_jsonl_round_trip;
+    Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;
     Alcotest.test_case "chronological" `Quick test_event_chronology;
     Alcotest.test_case "exact event stream" `Quick test_receive_precedes_actions;
     Alcotest.test_case "render shapes" `Quick test_render_shapes;
