@@ -19,15 +19,20 @@ examples:
 report:
 	dune exec bin/countq_cli.exe -- report
 
+# Domain budget for the benchmark harness (tables + sweeps share it).
+JOBS ?= $(shell nproc)
+
 # Full benchmark pass: every experiment table at paper sizes, the
-# engine speedup probe and the bechamel micro kernels; writes
-# BENCH_3.json (and per-experiment CSVs under bench/out/).
+# engine speedup / metrics overhead / jobs scaling / cache warm probes
+# and the bechamel micro kernels; writes BENCH_4.json (and
+# per-experiment CSVs under bench/out/). Sweep points are cached under
+# bench/out/cache; pass --no-cache through BENCH_FLAGS to recompute.
 bench:
-	dune exec bench/main.exe -- --csv bench/out
+	dune exec bench/main.exe -- --csv bench/out --jobs $(JOBS) $(BENCH_FLAGS)
 
 # Quick smoke: truncated sweeps, no micro kernels. Same JSON schema.
 bench-quick:
-	dune exec bench/main.exe -- --quick --no-micro --csv bench/out
+	dune exec bench/main.exe -- --quick --no-micro --csv bench/out --jobs $(JOBS) $(BENCH_FLAGS)
 
 clean:
 	dune clean

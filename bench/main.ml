@@ -8,22 +8,40 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_3.json; --no-json
+                                                 BENCH_4.json; --no-json
                                                  to skip)
-     dune exec bench/main.exe -- --jobs N     -- regenerate tables on N domains
-                                                 (experiments are pure, so this
-                                                 is safe; output order is kept)
+     dune exec bench/main.exe -- --jobs N     -- table+sweep budget of N
+                                                 domains (experiments are
+                                                 pure, so this is safe;
+                                                 output order is kept)
+     dune exec bench/main.exe -- --no-cache   -- recompute every sweep
+                                                 point (skip the on-disk
+                                                 cache)
+     dune exec bench/main.exe -- --cache-dir D -- cache root (default
+                                                 bench/out/cache)
 
-   Every run emits a machine-readable perf snapshot (BENCH_3.json):
-   per-experiment wall time, the engine-vs-reference speedup probe on
-   the E3 list-counting sweep, the metrics-recorder overhead probe
-   (Engine.run with vs without a Metrics recorder on the same sweep),
-   and — unless --no-micro — Bechamel ns/run per kernel. Tracked from
-   PR 2 onward so perf regressions show up as a diff, not an
-   anecdote. *)
+   Every run emits a machine-readable perf snapshot (BENCH_4.json):
+   per-experiment wall time and cache hit/miss counts, the
+   engine-vs-reference speedup probe on the E3 list-counting sweep, the
+   metrics-recorder overhead probe, the jobs-scaling probe (the heavy
+   sweep grids regenerated at jobs = 1/2/4/8, honest wall times plus
+   the core count so a 1-core container's flat curve reads as what it
+   is), the cache-warm probe (cold vs warm pass over the grid
+   experiments on a scratch cache, asserting bit-identical tables), and
+   — unless --no-micro — Bechamel ns/run per kernel. Tracked from PR 2
+   onward so perf regressions show up as a diff, not an anecdote.
+
+   Sweep results are cached under bench/out/cache keyed by content
+   (schema version, experiment, seed, config tag, point name), and one
+   random cached point per experiment is spot-checked against a fresh
+   recompute: a disagreement aborts the run with a nonzero exit, so a
+   stale cache can never silently launder a regression. *)
 
 module Experiments = Countq.Experiments
 module Table = Countq.Table
+module Sweep = Countq.Sweep
+module Cache = Countq.Cache
+module Parallel = Countq_util.Parallel
 module Engine = Countq_simnet.Engine
 module Reference = Countq_simnet.Reference
 module Graph = Countq_topology.Graph
@@ -31,13 +49,29 @@ module TGen = Countq_topology.Gen
 module Tree = Countq_topology.Tree
 module Spanning = Countq_topology.Spanning
 
+type opts = {
+  quick : bool;
+  micro : bool;
+  only : string option;
+  csv_dir : string option;
+  json_path : string option;
+  jobs : int;
+  use_cache : bool;
+  cache_dir : string;
+}
+
+let default_cache_dir =
+  Filename.concat (Filename.concat "bench" "out") "cache"
+
 let parse_args () =
   let quick = ref false in
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_3.json") in
+  let json_path = ref (Some "BENCH_4.json") in
   let jobs = ref 1 in
+  let use_cache = ref true in
+  let cache_dir = ref default_cache_dir in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -65,12 +99,27 @@ let parse_args () =
             prerr_endline "--jobs expects a positive integer";
             exit 2);
         go rest
+    | "--no-cache" :: rest ->
+        use_cache := false;
+        go rest
+    | "--cache-dir" :: dir :: rest ->
+        cache_dir := dir;
+        go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !micro, !only, !csv_dir, !json_path, !jobs)
+  {
+    quick = !quick;
+    micro = !micro;
+    only = !only;
+    csv_dir = !csv_dir;
+    json_path = !json_path;
+    jobs = !jobs;
+    use_cache = !use_cache;
+    cache_dir = !cache_dir;
+  }
 
 let selected only =
   match only with
@@ -94,31 +143,89 @@ let rec mkdir_p dir =
   else if not (Sys.is_directory dir) then
     failwith (Printf.sprintf "--csv: %S exists and is not a directory" dir)
 
-let run_tables ~quick ~csv_dir ~jobs specs =
+(* The spot-check seed varies per invocation so repeated bench runs
+   walk different cached points; determinism of the tables themselves
+   is untouched (the spot check only compares, never contributes). *)
+let fresh_spot_seed () = Int64.of_float (Unix.gettimeofday () *. 1e6)
+
+(* The sweep-grid experiments, heaviest first. Scheduling the heavy
+   grids before the cheap closed-form tables keeps the pool's lanes
+   busy to the end instead of finishing with one straggler. *)
+let heavy_ids = [ "E25"; "E13"; "E10"; "E9"; "E3"; "E12" ]
+
+type table_run = {
+  tr_id : string;
+  tr_table : Table.t;
+  tr_wall : float;
+  tr_hits : int;
+  tr_misses : int;
+}
+
+let run_tables ~opts ~pool specs =
   (* Experiments are pure functions of their seeds: regenerate them on
-     [jobs] domains, then print in id order. *)
+     the shared pool, then print in id order. Each lane opens its own
+     handle on the shared cache directory - namespaces are one file per
+     experiment, so concurrent lanes never touch the same file. *)
+  let rank =
+    let tbl = Hashtbl.create 32 in
+    List.iteri (fun i (s : Experiments.spec) -> Hashtbl.replace tbl s.id i) specs;
+    fun id -> try Hashtbl.find tbl id with Not_found -> max_int
+  in
+  let weight (s : Experiments.spec) =
+    let rec idx i = function
+      | [] -> List.length heavy_ids
+      | h :: t -> if h = s.id then i else idx (i + 1) t
+    in
+    idx 0 heavy_ids
+  in
+  let ordered =
+    List.stable_sort (fun a b -> compare (weight a) (weight b)) specs
+  in
+  let spot_seed = fresh_spot_seed () in
+  let run_one (s : Experiments.spec) =
+    let cache =
+      if opts.use_cache then Some (Cache.create ~dir:opts.cache_dir) else None
+    in
+    let ctx =
+      Sweep.ctx ~pool ?cache ~spot_check:opts.use_cache ~spot_seed ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let table = s.run ~quick:opts.quick ~ctx () in
+    let tr_wall = Unix.gettimeofday () -. t0 in
+    let tr_hits, tr_misses =
+      match cache with
+      | Some c -> (Cache.hits c, Cache.misses c)
+      | None -> (0, 0)
+    in
+    { tr_id = s.id; tr_table = table; tr_wall; tr_hits; tr_misses }
+  in
   let tables =
-    Countq_util.Parallel.map ~jobs
-      (fun (s : Experiments.spec) ->
-        let t0 = Unix.gettimeofday () in
-        let table = s.run ~quick () in
-        (s.id, table, Unix.gettimeofday () -. t0))
-      specs
+    List.stable_sort
+      (fun a b -> compare (rank a.tr_id) (rank b.tr_id))
+      (Parallel.pool_map pool ~chunk:1 run_one ordered)
   in
   List.iter
-    (fun (id, table, dt) ->
-      Table.print table;
-      Printf.printf "[%s regenerated in %.2fs]\n\n%!" id dt;
-      match csv_dir with
+    (fun r ->
+      Table.print r.tr_table;
+      let cache_note =
+        if opts.use_cache then
+          Printf.sprintf ", cache %d hit(s) %d miss(es)" r.tr_hits r.tr_misses
+        else ""
+      in
+      Printf.printf "[%s regenerated in %.2fs%s]\n\n%!" r.tr_id r.tr_wall
+        cache_note;
+      match opts.csv_dir with
       | None -> ()
       | Some dir ->
           mkdir_p dir;
-          let path = Filename.concat dir (String.lowercase_ascii id ^ ".csv") in
+          let path =
+            Filename.concat dir (String.lowercase_ascii r.tr_id ^ ".csv")
+          in
           let oc = open_out path in
-          output_string oc (Table.to_csv table);
+          output_string oc (Table.to_csv r.tr_table);
           close_out oc)
     tables;
-  List.map (fun (id, _, dt) -> (id, dt)) tables
+  tables
 
 (* ------------------------------------------------------------------ *)
 (* Engine-vs-reference speedup probe: the E3 list-counting sweep at
@@ -267,6 +374,81 @@ let metrics_overhead_probe ~quick () =
     sizes
 
 (* ------------------------------------------------------------------ *)
+(* Jobs-scaling probe: the heavy sweep grids regenerated end-to-end at
+   increasing pool budgets, cache off so every point really computes.
+   Wall times are reported as measured, next to the machine's core
+   count — on a 1-core container the curve is honestly flat, and the
+   snapshot says so rather than laundering it into a fake speedup.     *)
+
+type scaling_row = {
+  sc_jobs : int;
+  sc_wall : float;
+}
+
+let jobs_scaling_probe ~quick () =
+  let specs =
+    List.filter_map Experiments.find (if quick then [ "E3"; "E12" ] else heavy_ids)
+  in
+  let levels = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  List.map
+    (fun j ->
+      let pool = Parallel.pool ~jobs:j in
+      let ctx = Sweep.ctx ~pool () in
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Parallel.pool_map pool ~chunk:1
+           (fun (s : Experiments.spec) -> s.run ~quick ~ctx ())
+           specs);
+      { sc_jobs = j; sc_wall = Unix.gettimeofday () -. t0 })
+    levels
+
+(* ------------------------------------------------------------------ *)
+(* Cache-warm probe: the grid experiments run twice against a scratch
+   cache directory (cleared first so the cold pass is genuinely cold).
+   The warm pass must hit on every point, re-render bit-identical
+   tables, and survive the spot check; any disagreement is a regression
+   and the harness exits nonzero.                                      *)
+
+type warm_probe = {
+  wp_ids : string list;
+  wp_cold : float;
+  wp_warm : float;
+  wp_hits : int;
+  wp_misses : int;
+  wp_identical : bool;
+}
+
+let render_table t = Format.asprintf "%a" Table.pp t
+
+let cache_warm_probe ~quick ~pool () =
+  let dir = Filename.concat (Filename.concat "bench" "out") "cache-probe" in
+  ignore (Cache.clear ~dir);
+  let specs = List.filter_map Experiments.find heavy_ids in
+  let pass ~spot_check () =
+    let cache = Cache.create ~dir in
+    let ctx =
+      Sweep.ctx ~pool ~cache ~spot_check ~spot_seed:(fresh_spot_seed ()) ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let rendered =
+      List.map
+        (fun (s : Experiments.spec) -> render_table (s.run ~quick ~ctx ()))
+        specs
+    in
+    (rendered, Unix.gettimeofday () -. t0, Cache.hits cache, Cache.misses cache)
+  in
+  let cold, wp_cold, _, _ = pass ~spot_check:false () in
+  let warm, wp_warm, wp_hits, wp_misses = pass ~spot_check:true () in
+  {
+    wp_ids = List.map (fun (s : Experiments.spec) -> s.id) specs;
+    wp_cold;
+    wp_warm;
+    wp_hits;
+    wp_misses;
+    wp_identical = cold = warm;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks: one Test.make per experiment (its quick
    kernel), plus the hot inner kernels each experiment leans on.       *)
 
@@ -383,7 +565,7 @@ let run_micro specs =
   rows
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_3.json: the machine-readable perf snapshot. No JSON library
+(* BENCH_4.json: the machine-readable perf snapshot. No JSON library
    in the dependency set, so it is printed by hand — every name is a
    known identifier and every value a number, but strings are escaped
    anyway for safety. (Countq_util.Json exists now, but the hand
@@ -405,17 +587,39 @@ let json_escape s =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
 
-let write_json ~path ~quick ~experiments ~speedup ~overhead ~kernels =
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then Float.nan
+  else 100. *. float_of_int hits /. float_of_int total
+
+let write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
+    ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/3\",\n";
-  add "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  add "  \"schema\": \"countq-bench/4\",\n";
+  add "  \"mode\": \"%s\",\n" (if opts.quick then "quick" else "full");
+  add "  \"jobs\": %d,\n" opts.jobs;
+  add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  let total_hits = List.fold_left (fun a r -> a + r.tr_hits) 0 experiments in
+  let total_misses =
+    List.fold_left (fun a r -> a + r.tr_misses) 0 experiments
+  in
+  add "  \"cache\": {\n";
+  add "    \"enabled\": %b,\n" opts.use_cache;
+  add "    \"dir\": \"%s\",\n" (json_escape opts.cache_dir);
+  add "    \"hits\": %d,\n" total_hits;
+  add "    \"misses\": %d,\n" total_misses;
+  add "    \"hit_rate_pct\": %s\n"
+    (json_float (hit_rate total_hits total_misses));
+  add "  },\n";
   add "  \"experiments\": [\n";
   List.iteri
-    (fun i (id, dt) ->
-      add "    {\"id\": \"%s\", \"wall_seconds\": %s}%s\n" (json_escape id)
-        (json_float dt)
+    (fun i r ->
+      add
+        "    {\"id\": \"%s\", \"wall_seconds\": %s, \"cache_hits\": %d, \
+         \"cache_misses\": %d}%s\n"
+        (json_escape r.tr_id) (json_float r.tr_wall) r.tr_hits r.tr_misses
         (if i = List.length experiments - 1 then "" else ","))
     experiments;
   add "  ],\n";
@@ -481,6 +685,48 @@ let write_json ~path ~quick ~experiments ~speedup ~overhead ~kernels =
         (if i = List.length overhead - 1 then "" else ","))
     overhead;
   add "    ]\n";
+  add "  },\n";
+  let base_wall = match scaling with r :: _ -> r.sc_wall | [] -> Float.nan in
+  add "  \"jobs_scaling\": {\n";
+  add
+    "    \"probe\": \"heavy sweep grids regenerated end-to-end at increasing \
+     pool budgets, cache off; wall times as measured (speedup is relative to \
+     jobs=1 on THIS machine - check cores before reading it as a parallelism \
+     claim)\",\n";
+  add "    \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  add "    \"levels\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"jobs\": %d, \"wall_seconds\": %s, \"speedup_vs_jobs1\": \
+         %s}%s\n"
+        r.sc_jobs (json_float r.sc_wall)
+        (json_float
+           (if r.sc_wall > 0. then base_wall /. r.sc_wall else Float.nan))
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"cache_warm\": {\n";
+  add
+    "    \"probe\": \"grid experiments run cold then warm against a scratch \
+     cache; the warm pass must hit every point and re-render bit-identical \
+     tables\",\n";
+  add "    \"experiments\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun id -> Printf.sprintf "\"%s\"" (json_escape id))
+          warm.wp_ids));
+  add "    \"cold_seconds\": %s,\n" (json_float warm.wp_cold);
+  add "    \"warm_seconds\": %s,\n" (json_float warm.wp_warm);
+  add "    \"warm_speedup\": %s,\n"
+    (json_float
+       (if warm.wp_warm > 0. then warm.wp_cold /. warm.wp_warm else Float.nan));
+  add "    \"hits\": %d,\n" warm.wp_hits;
+  add "    \"misses\": %d,\n" warm.wp_misses;
+  add "    \"hit_rate_pct\": %s,\n"
+    (json_float (hit_rate warm.wp_hits warm.wp_misses));
+  add "    \"identical\": %b\n" warm.wp_identical;
   add "  }";
   (match kernels with
   | None -> add "\n"
@@ -499,20 +745,25 @@ let write_json ~path ~quick ~experiments ~speedup ~overhead ~kernels =
   close_out oc;
   Printf.printf "[perf snapshot written to %s]\n%!" path
 
-let () =
-  let quick, micro, only, csv_dir, json_path, jobs = parse_args () in
-  let specs = selected only in
+let main () =
+  let opts = parse_args () in
+  let specs = selected opts.only in
   Printf.printf
-    "countq benchmark harness: reproducing %d paper claims (%s mode%s)\n\n%!"
+    "countq benchmark harness: reproducing %d paper claims (%s mode, %d \
+     domain%s, cache %s)\n\n\
+     %!"
     (List.length specs)
-    (if quick then "quick" else "full")
-    (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
-  let experiments = run_tables ~quick ~csv_dir ~jobs specs in
-  let kernels = if micro then Some (run_micro specs) else None in
-  match json_path with
+    (if opts.quick then "quick" else "full")
+    opts.jobs
+    (if opts.jobs = 1 then "" else "s")
+    (if opts.use_cache then "on" else "off");
+  let pool = Parallel.pool ~jobs:opts.jobs in
+  let experiments = run_tables ~opts ~pool specs in
+  let kernels = if opts.micro then Some (run_micro specs) else None in
+  match opts.json_path with
   | None -> ()
   | Some path ->
-      let speedup = speedup_probe ~quick () in
+      let speedup = speedup_probe ~quick:opts.quick () in
       let total_a = List.fold_left (fun a r -> a +. r.active_s) 0. speedup in
       let total_r = List.fold_left (fun a r -> a +. r.reference_s) 0. speedup in
       List.iter
@@ -528,7 +779,7 @@ let () =
          %.1fx]\n%!"
         total_a total_r
         (if total_a > 0. then total_r /. total_a else Float.nan);
-      let overhead = metrics_overhead_probe ~quick () in
+      let overhead = metrics_overhead_probe ~quick:opts.quick () in
       List.iter
         (fun r ->
           Printf.printf
@@ -536,4 +787,30 @@ let () =
              %8.6fs -> %+.1f%%]\n%!"
             r.mo_n r.plain_s r.metrics_s (overhead_pct r))
         overhead;
-      write_json ~path ~quick ~experiments ~speedup ~overhead ~kernels
+      let scaling = jobs_scaling_probe ~quick:opts.quick () in
+      let cores = Domain.recommended_domain_count () in
+      List.iter
+        (fun r ->
+          Printf.printf "[jobs scaling probe jobs=%d: %.2fs (on %d core%s)]\n%!"
+            r.sc_jobs r.sc_wall cores
+            (if cores = 1 then "" else "s"))
+        scaling;
+      let warm = cache_warm_probe ~quick:opts.quick ~pool () in
+      Printf.printf
+        "[cache warm probe: cold %.2fs -> warm %.2fs, %d hit(s) %d miss(es), \
+         identical=%b]\n%!"
+        warm.wp_cold warm.wp_warm warm.wp_hits warm.wp_misses warm.wp_identical;
+      if not warm.wp_identical then begin
+        prerr_endline
+          "cache warm probe: warm tables differ from cold tables - cached \
+           results are wrong";
+        exit 1
+      end;
+      write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
+        ~kernels
+
+let () =
+  try main ()
+  with Sweep.Cache_mismatch _ as e ->
+    Printf.eprintf "%s\n" (Printexc.to_string e);
+    exit 1

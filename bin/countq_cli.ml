@@ -4,6 +4,10 @@
      list                     -- list the experiments
      run <id> [--quick] [--csv FILE]
      all [--quick]
+     experiments [IDS…] [--jobs N] [--no-cache]
+                              -- run experiments on the domain pool with
+                                 the content-addressed result cache
+     cache stats|clear        -- inspect or empty the result cache
      compare -t T -n N [-r PATTERN] [--seed S]
      topo -t T -n N
      trace -t T -n N          -- ASCII timeline of one arrow run
@@ -11,7 +15,7 @@
      verify -t T -n N         -- exhaustive schedule check (tiny n)
      report [-o FILE] [-j N]  -- regenerate the full markdown report
      faults -t T -n N -p PLAN -- degradation under an injected fault plan
-     observe -t T -n N --protocol P
+     observe -t T -n N --protocol P [--protocol P…]
                               -- metrics + spans: heatmap, delay
                                  percentiles, optional JSONL export
 *)
@@ -27,6 +31,9 @@ module Rng = Countq_util.Rng
 module Experiments = Countq.Experiments
 module Table = Countq.Table
 module Run = Countq.Run
+module Sweep = Countq.Sweep
+module Cache = Countq.Cache
+module Parallel = Countq_util.Parallel
 
 (* ---- shared arguments (parsed by Countq.Scenario) ---- *)
 
@@ -57,6 +64,27 @@ let quick_arg =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* Every subcommand that fans out over domains shares this argument and
+   validation: absent means the machine's recommended count, and any
+   explicit value must be >= 1. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Evaluate on N domains (default: the machine's recommended \
+           count). Results are bit-identical for every N.")
+
+let resolve_jobs = function
+  | None -> Parallel.recommended_jobs ()
+  | Some j when j >= 1 -> j
+  | Some _ ->
+      prerr_endline "--jobs must be >= 1";
+      exit 2
+
+let default_cache_dir = Filename.concat (Filename.concat "bench" "out") "cache"
 
 (* Surface a Round_limit_exceeded payload: where the pending traffic
    sits, not just that the limit blew. *)
@@ -122,6 +150,150 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
     Term.(const run $ quick_arg)
+
+(* ---- experiments: the pooled, cached runner ---- *)
+
+let experiments_cmd =
+  let ids_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"IDS"
+          ~doc:"Experiment ids to run (default: every experiment).")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Recompute every point; neither read nor write the cache.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string default_cache_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result-cache directory.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as DIR/<id>.csv.")
+  in
+  let run ids quick jobs no_cache cache_dir csv_dir seed =
+    let jobs = resolve_jobs jobs in
+    let specs =
+      match ids with
+      | [] -> Experiments.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Experiments.find id with
+              | Some s -> s
+              | None ->
+                  Printf.eprintf "unknown experiment %S; try 'countq list'\n"
+                    id;
+                  exit 2)
+            ids
+    in
+    let cache = if no_cache then None else Some (Cache.create ~dir:cache_dir) in
+    (* The spot check re-verifies one cached point per experiment; the
+       wall clock varies which one across invocations. *)
+    let spot_seed =
+      Int64.logxor
+        (Int64.of_int seed)
+        (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    in
+    let ctx =
+      Sweep.ctx ~pool:(Parallel.pool ~jobs) ?cache
+        ~spot_check:(not no_cache) ~spot_seed ()
+    in
+    Option.iter
+      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+      csv_dir;
+    let counters () =
+      match cache with None -> (0, 0) | Some c -> (Cache.hits c, Cache.misses c)
+    in
+    List.iter
+      (fun (s : Experiments.spec) ->
+        let h0, m0 = counters () in
+        let t0 = Unix.gettimeofday () in
+        let table =
+          try s.run ~quick ~ctx ()
+          with Sweep.Cache_mismatch _ as e ->
+            Printf.eprintf "%s\n" (Printexc.to_string e);
+            exit 1
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let h1, m1 = counters () in
+        Table.print table;
+        if cache <> None then
+          Printf.printf "[%s] %.2fs, cache: %d hit(s), %d miss(es)\n\n" s.id dt
+            (h1 - h0) (m1 - m0)
+        else Printf.printf "[%s] %.2fs\n\n" s.id dt;
+        Option.iter
+          (fun dir ->
+            let path = Filename.concat dir (s.id ^ ".csv") in
+            let oc = open_out path in
+            output_string oc (Table.to_csv table);
+            close_out oc)
+          csv_dir)
+      specs;
+    match cache with
+    | None -> ()
+    | Some c ->
+        let h, m = (Cache.hits c, Cache.misses c) in
+        Printf.printf "cache: %d hit(s), %d miss(es), hit rate %.0f%% (%s)\n" h
+          m
+          (100. *. float_of_int h /. float_of_int (max 1 (h + m)))
+          cache_dir
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:
+         "Run experiments with their sweep grids evaluated on a shared \
+          domain pool, reusing cached point results (bit-identical across \
+          any --jobs value; one cached point per experiment is spot-checked \
+          against a fresh recompute).")
+    Term.(
+      const run $ ids_arg $ quick_arg $ jobs_arg $ no_cache_arg
+      $ cache_dir_arg $ csv_arg $ seed_arg)
+
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let action_arg =
+    Arg.(
+      value
+      & pos 0 (enum [ ("stats", `Stats); ("clear", `Clear) ]) `Stats
+      & info [] ~docv:"ACTION" ~doc:"One of stats, clear.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string default_cache_dir
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Result-cache directory.")
+  in
+  let run action dir =
+    match action with
+    | `Stats ->
+        let s = Cache.summarize ~dir in
+        Printf.printf "cache %s: %d entr%s, %d bytes\n" dir s.entries
+          (if s.entries = 1 then "y" else "ies")
+          s.bytes;
+        List.iter
+          (fun (ns, n) -> Printf.printf "  %-6s %d entr%s\n" ns n
+             (if n = 1 then "y" else "ies"))
+          s.namespaces
+    | `Clear ->
+        let removed = Cache.clear ~dir in
+        Printf.printf "cleared %s: removed %d file(s)\n" dir removed
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect (stats) or empty (clear) the content-addressed experiment \
+          result cache. Stale entries from older engine configurations are \
+          never served - clearing just reclaims the disk.")
+    Term.(const run $ action_arg $ dir_arg)
 
 (* ---- compare ---- *)
 
@@ -279,17 +451,15 @@ let report_cmd =
       & opt string "report.md"
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output markdown file.")
   in
-  let jobs_arg =
-    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Regenerate tables on N domains.")
-  in
   let run quick out jobs =
-    if jobs < 1 then begin
-      prerr_endline "--jobs must be positive";
-      exit 2
-    end;
+    let jobs = resolve_jobs jobs in
+    (* One shared pool: the experiment-level fan-out and the sweep
+       grids inside the ctx-aware experiments draw on the same budget. *)
+    let pool = Parallel.pool ~jobs in
+    let ctx = Sweep.ctx ~pool () in
     let tables =
-      Countq_util.Parallel.map ~jobs
-        (fun (s : Experiments.spec) -> s.run ~quick ())
+      Parallel.pool_map pool ~chunk:1
+        (fun (s : Experiments.spec) -> s.run ~quick ~ctx ())
         Experiments.all
     in
     let oc = open_out out in
@@ -337,7 +507,7 @@ let series_cmd =
             let n = Graph.n g in
             let requests = List.init n (fun i -> i) in
             let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
-            let c = Run.best_counting ~graph:g ~requests in
+            let c = Run.best_counting ~graph:g ~requests () in
             Buffer.add_string buf
               (Printf.sprintf "%s,%d,%d,%d,%s,%d,%.3f\n" topology n
                  q.total_delay q.normalized_delay c.protocol c.normalized_delay
@@ -376,7 +546,7 @@ let faults_cmd =
       value & flag
       & info [ "monitors" ] ~doc:"Also print every run's monitor verdicts.")
   in
-  let run topology n req_spec seed plan_name list_plans show_monitors =
+  let run topology n req_spec seed plan_name list_plans show_monitors jobs =
     if list_plans then
       List.iter
         (fun (name, plan) ->
@@ -405,16 +575,21 @@ let faults_cmd =
                   exit 2
               | Ok requests ->
                   let k = List.length requests in
+                  let pool = Parallel.pool ~jobs:(resolve_jobs jobs) in
+                  let combos =
+                    List.concat_map
+                      (fun protocol ->
+                        List.map (fun retry -> (protocol, retry))
+                          [ false; true ])
+                      [ `Arrow; `Central_queue; `Central_count ]
+                  in
                   let summaries =
                     try
-                      List.concat_map
-                        (fun protocol ->
-                          List.map
-                            (fun retry ->
-                              Run.run_faulty ~retry ~graph ~protocol ~plan
-                                ~requests ())
-                            [ false; true ])
-                        [ `Arrow; `Central_queue; `Central_count ]
+                      Parallel.pool_map pool ~chunk:1
+                        (fun (protocol, retry) ->
+                          Run.run_faulty ~pool ~retry ~graph ~protocol ~plan
+                            ~requests ())
+                        combos
                     with
                     | Countq_simnet.Engine.Round_limit_exceeded
                         { limit; outstanding; queued; held; busiest } ->
@@ -475,7 +650,7 @@ let faults_cmd =
          "Run the retrofitted protocols under a named fault plan, with and without the retransmit layer, and tabulate the degradation.")
     Term.(
       const run $ topology_arg $ n_arg $ requests_arg $ seed_arg $ plan_arg
-      $ list_plans_arg $ monitors_arg)
+      $ list_plans_arg $ monitors_arg $ jobs_arg)
 
 (* ---- observe ---- *)
 
@@ -492,10 +667,13 @@ let observe_cmd =
     in
     Arg.(
       value
-      & opt (enum protocols) `Arrow
+      & opt_all (enum protocols) []
       & info [ "protocol"; "P" ] ~docv:"NAME"
           ~doc:
-            (Printf.sprintf "Protocol to observe: one of %s."
+            (Printf.sprintf
+               "Protocol to observe: one of %s. Repeatable - several \
+                protocols run on the same instance (in parallel under \
+                --jobs) and print one section each. Default: arrow."
                (String.concat ", " (List.map fst protocols))))
   in
   let plan_arg =
@@ -520,8 +698,10 @@ let observe_cmd =
       & info [ "spans" ] ~docv:"K"
           ~doc:"Print the K slowest operation spans (0 = none).")
   in
-  let run topology n req_spec seed quick protocol plan_name json_path k_spans =
+  let run topology n req_spec seed quick protocols plan_name json_path k_spans
+      jobs =
     let n = if quick then min n 32 else n in
+    let protocols = if protocols = [] then [ `Arrow ] else protocols in
     let plan =
       match plan_name with
       | None -> Ok None
@@ -543,16 +723,20 @@ let observe_cmd =
             prerr_endline m;
             exit 2
         | Ok requests -> (
-            match Run.observe ?plan ~graph ~protocol ~requests () with
+            let pool = Parallel.pool ~jobs:(resolve_jobs jobs) in
+            match
+              Run.observe_many ~pool ?plan ~graph ~protocols ~requests ()
+            with
             | exception Countq_simnet.Engine.Round_limit_exceeded
                 { limit; outstanding; queued; held; busiest } ->
                 report_round_limit ~limit ~outstanding ~queued ~held ~busiest;
                 exit 1
-            | o ->
+            | observations ->
                 let module Metrics = Countq_simnet.Metrics in
                 let module Span = Countq_simnet.Span in
                 let module Stats = Countq_util.Stats in
                 let k = List.length requests in
+                let print_one (o : Run.observation) =
                 Printf.printf "%s on %s (n=%d, k=%d%s)\n" o.o_protocol topology
                   n k
                   (match plan_name with
@@ -622,36 +806,45 @@ let observe_cmd =
                       if i < k_spans then
                         Format.printf "  %a@." Span.pp s)
                     slowest
-                end;
+                end
+                in
+                List.iteri
+                  (fun i o ->
+                    if i > 0 then print_newline ();
+                    print_one o)
+                  observations;
                 Option.iter
                   (fun path ->
                     let module J = Countq_util.Json in
-                    let meta =
-                      J.Obj
-                        [
-                          ("type", J.Str "meta");
-                          ("schema", J.Str "countq-observe/1");
-                          ("protocol", J.Str o.o_protocol);
-                          ("topology", J.Str topology);
-                          ("n", J.Int n);
-                          ("k", J.Int k);
-                          ( "plan",
-                            match plan_name with
-                            | Some p -> J.Str p
-                            | None -> J.Null );
-                          ("rounds", J.Int o.o_rounds);
-                          ("messages", J.Int o.o_messages);
-                          ("total_delay", J.Int o.o_total_delay);
-                          ("expansion", J.Int o.o_expansion);
-                          ("completed", J.Int o.completed);
-                          ("valid", J.Bool o.o_valid);
-                        ]
-                    in
                     let oc = open_out path in
-                    output_string oc (J.to_string meta);
-                    output_char oc '\n';
-                    output_string oc (Span.to_jsonl o.spans);
-                    output_string oc (Metrics.to_jsonl o.metrics);
+                    List.iter
+                      (fun (o : Run.observation) ->
+                        let meta =
+                          J.Obj
+                            [
+                              ("type", J.Str "meta");
+                              ("schema", J.Str "countq-observe/1");
+                              ("protocol", J.Str o.o_protocol);
+                              ("topology", J.Str topology);
+                              ("n", J.Int n);
+                              ("k", J.Int k);
+                              ( "plan",
+                                match plan_name with
+                                | Some p -> J.Str p
+                                | None -> J.Null );
+                              ("rounds", J.Int o.o_rounds);
+                              ("messages", J.Int o.o_messages);
+                              ("total_delay", J.Int o.o_total_delay);
+                              ("expansion", J.Int o.o_expansion);
+                              ("completed", J.Int o.completed);
+                              ("valid", J.Bool o.o_valid);
+                            ]
+                        in
+                        output_string oc (J.to_string meta);
+                        output_char oc '\n';
+                        output_string oc (Span.to_jsonl o.spans);
+                        output_string oc (Metrics.to_jsonl o.metrics))
+                      observations;
                     close_out oc;
                     Printf.printf "\nwrote %s\n" path)
                   json_path))
@@ -664,7 +857,7 @@ let observe_cmd =
           causal spans, optionally exported as JSONL.")
     Term.(
       const run $ topology_arg $ n_arg $ requests_arg $ seed_arg $ quick_arg
-      $ protocol_arg $ plan_arg $ json_arg $ spans_arg)
+      $ protocol_arg $ plan_arg $ json_arg $ spans_arg $ jobs_arg)
 
 (* ---- trace ---- *)
 
@@ -727,5 +920,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; compare_cmd; topo_cmd; trace_cmd;
-            series_cmd; report_cmd; verify_cmd; faults_cmd; observe_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; experiments_cmd; cache_cmd;
+            compare_cmd; topo_cmd; trace_cmd; series_cmd; report_cmd;
+            verify_cmd; faults_cmd; observe_cmd ]))

@@ -41,7 +41,7 @@ let () =
     queue.total_delay queue.max_delay queue.messages;
 
   (* 4. Counting, with the best protocol of the portfolio. *)
-  let count = Run.best_counting ~graph ~requests in
+  let count = Run.best_counting ~graph ~requests () in
   Format.printf "counting: best protocol = %s, valid = %b@." count.protocol
     count.valid;
   Format.printf "  total delay %d rounds (normalised %d)@." count.total_delay

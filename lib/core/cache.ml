@@ -1,0 +1,164 @@
+(* Content-addressed on-disk result cache. See cache.mli. *)
+
+module Json = Countq_util.Json
+
+let schema = "countq-cache/1"
+
+(* FNV-1a, 64-bit: tiny, dependency-free, and plenty for content
+   addressing a few thousand sweep points. Collisions would only ever
+   serve a wrong cached value for a key that also hashed identically
+   AND carried the same namespace — and the bench spot-check guard
+   recomputes a sample every run precisely so nothing silent survives. *)
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let fingerprint s = Printf.sprintf "%016Lx" (fnv64 s)
+let seed_of s = fnv64 s
+
+(* Namespace -> file name: keep it readable, never let a namespace
+   escape the cache directory. *)
+let sanitize ns =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    (if ns = "" then "default" else ns)
+
+type t = {
+  dir : string;
+  (* ns -> (key -> value); a namespace is loaded once, on first use. *)
+  tables : (string, (string, Json.t) Hashtbl.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~dir = { dir; tables = Hashtbl.create 8; hits = 0; misses = 0 }
+let dir t = t.dir
+let hits t = t.hits
+let misses t = t.misses
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d && parent <> "" then mkdir_p parent;
+    try Sys.mkdir d 0o755 with Sys_error _ when Sys.is_directory d -> ()
+  end
+
+let file_of t ns = Filename.concat t.dir (sanitize ns ^ ".jsonl")
+
+(* Load one namespace file. Unparseable or mis-shaped lines are
+   skipped — a corrupted entry simply becomes a miss and is recomputed;
+   later duplicates of a key win (append-only store). *)
+let load t ns =
+  match Hashtbl.find_opt t.tables ns with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.replace t.tables ns tbl;
+      let path = file_of t ns in
+      (if Sys.file_exists path then
+         let ic = open_in path in
+         (try
+            while true do
+              let line = input_line ic in
+              match Json.of_string line with
+              | Ok j -> (
+                  match (Json.member "key" j, Json.member "value" j) with
+                  | Some k, Some v -> (
+                      match Json.to_str k with
+                      | Some key -> Hashtbl.replace tbl key v
+                      | None -> ())
+                  | _ -> ())
+              | Error _ -> ()
+            done
+          with End_of_file -> ());
+         close_in ic);
+      tbl
+
+let find t ?(valid = fun _ -> true) ~ns ~key () =
+  let tbl = load t ns in
+  match Hashtbl.find_opt tbl key with
+  | Some v when valid v ->
+      t.hits <- t.hits + 1;
+      Some v
+  | Some _ ->
+      (* Present but mis-shaped (e.g. a tampered or stale value that
+         still parses): drop it and recompute. *)
+      Hashtbl.remove tbl key;
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t ~ns ~key ~spec value =
+  let tbl = load t ns in
+  Hashtbl.replace tbl key value;
+  mkdir_p t.dir;
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (file_of t ns)
+  in
+  let line =
+    Json.Obj
+      [
+        ("schema", Json.Str schema);
+        ("key", Json.Str key);
+        ("spec", Json.Str spec);
+        ("value", value);
+      ]
+  in
+  output_string oc (Json.to_string line);
+  output_char oc '\n';
+  close_out oc
+
+(* ---- directory-level reporting (the [countq cache] subcommand) ---- *)
+
+type summary = {
+  namespaces : (string * int) list;
+  entries : int;
+  bytes : int;
+}
+
+let cache_files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+  else []
+
+let summarize ~dir =
+  let t = create ~dir in
+  let namespaces =
+    List.map
+      (fun f ->
+        let ns = Filename.chop_suffix f ".jsonl" in
+        (ns, Hashtbl.length (load t ns)))
+      (cache_files dir)
+  in
+  let bytes =
+    List.fold_left
+      (fun acc f ->
+        let ic = open_in_bin (Filename.concat dir f) in
+        let n = in_channel_length ic in
+        close_in ic;
+        acc + n)
+      0 (cache_files dir)
+  in
+  {
+    namespaces;
+    entries = List.fold_left (fun acc (_, n) -> acc + n) 0 namespaces;
+    bytes;
+  }
+
+let clear ~dir =
+  let files = cache_files dir in
+  List.iter (fun f -> Sys.remove (Filename.concat dir f)) files;
+  List.length files

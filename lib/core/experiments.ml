@@ -13,12 +13,13 @@ module Queuing = Countq_queuing
 module Tsp = Countq_tsp
 module Bounds = Countq_bounds
 module Multicast = Countq_multicast
+module Json = Countq_util.Json
 
 type spec = {
   id : string;
   title : string;
   paper_ref : string;
-  run : ?quick:bool -> unit -> Table.t;
+  run : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t;
 }
 
 let all_nodes n = List.init n (fun i -> i)
@@ -85,7 +86,7 @@ let e2_counting_lb_general ?quick:(quick = false) () =
     List.map
       (fun n ->
         let g = Gen.complete n in
-        let best = Run.best_counting ~graph:g ~requests:(all_nodes n) in
+        let best = Run.best_counting ~graph:g ~requests:(all_nodes n) () in
         let lb = Bounds.Lower.contention_lb n in
         [
           Table.cell_int n;
@@ -111,7 +112,8 @@ let e2_counting_lb_general ?quick:(quick = false) () =
 (* ------------------------------------------------------------------ *)
 (* E3: Theorem 3.6 - high-diameter floor on the list and the mesh.     *)
 
-let e3_counting_lb_diameter ?quick:(quick = false) () =
+let e3_counting_lb_diameter ?quick:(quick = false) ?ctx () =
+  let ctx = Sweep.of_option ctx in
   (* Ceilings doubled (256 -> 512 nodes on the list, 16^2 -> 24^2 on
      the mesh) when the engine went active-set; the Theta(n^2)-round
      regime here is exactly what idle-proportional rounds pay off on. *)
@@ -120,7 +122,10 @@ let e3_counting_lb_diameter ?quick:(quick = false) () =
   let row topo g =
     let n = Graph.n g in
     let alpha = Bfs.diameter g in
-    let best = Run.best_counting ~graph:g ~requests:(all_nodes n) in
+    let best =
+      Run.best_counting ~pool:(Sweep.pool ctx) ~graph:g
+        ~requests:(all_nodes n) ()
+    in
     let lb = Bounds.Lower.diameter_lb ~diameter:alpha in
     [
       topo;
@@ -132,10 +137,21 @@ let e3_counting_lb_diameter ?quick:(quick = false) () =
       Table.cell_bool (best.normalized_delay >= lb);
     ]
   in
-  let rows =
-    List.map (fun n -> row "list" (Gen.path n)) list_sizes
-    @ List.map (fun s -> row "mesh" (Gen.square_mesh s)) mesh_sides
+  let points =
+    List.map
+      (fun n ->
+        Sweep.rows_point
+          ~name:(Printf.sprintf "list:%d" n)
+          (fun ~rng:_ -> [ row "list" (Gen.path n) ]))
+      list_sizes
+    @ List.map
+        (fun s ->
+          Sweep.rows_point
+            ~name:(Printf.sprintf "mesh:%dx%d" s s)
+            (fun ~rng:_ -> [ row "mesh" (Gen.square_mesh s) ]))
+        mesh_sides
   in
+  let rows, _stats = Sweep.run_rows ctx ~experiment:"E3" points in
   Table.make ~id:"E3" ~title:"counting on high-diameter graphs vs the Omega(diam^2) floor"
     ~paper_ref:"Theorem 3.6 (list: Omega(n^2); 2-D mesh: Omega(n sqrt n))"
     ~headers:
@@ -379,7 +395,8 @@ let e8_nn_approximation ?quick:(quick = false) () =
 (* ------------------------------------------------------------------ *)
 (* E9: Theorems 4.5/4.6 - the headline separation.                     *)
 
-let e9_hamilton_separation ?quick:(quick = false) () =
+let e9_hamilton_separation ?quick:(quick = false) ?ctx () =
+  let ctx = Sweep.of_option ctx in
   let cases =
     if quick then
       [ ("complete", [ 16; 64 ]); ("mesh", [ 16; 64 ]) ]
@@ -401,29 +418,40 @@ let e9_hamilton_separation ?quick:(quick = false) () =
         Gen.hypercube (log2 n 0)
     | _ -> assert false
   in
-  let rows =
+  let points =
     List.concat_map
       (fun (topo, sizes) ->
         List.map
           (fun n ->
-            let g = graph_of topo n in
-            let n = Graph.n g in
-            let requests = all_nodes n in
-            let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
-            let c = Run.best_counting ~graph:g ~requests in
-            [
-              topo;
-              Table.cell_int n;
-              Table.cell_int q.normalized_delay;
-              c.protocol;
-              Table.cell_int c.normalized_delay;
-              Table.cell_float (ratio c.normalized_delay q.normalized_delay);
-              Table.cell_float
-                (ratio q.normalized_delay n) (* queuing stays O(n): ~const *);
-            ])
+            Sweep.rows_point
+              ~name:(Printf.sprintf "%s:%d" topo n)
+              (fun ~rng:_ ->
+                let g = graph_of topo n in
+                let n = Graph.n g in
+                let requests = all_nodes n in
+                let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
+                let c =
+                  Run.best_counting ~pool:(Sweep.pool ctx) ~graph:g ~requests
+                    ()
+                in
+                [
+                  [
+                    topo;
+                    Table.cell_int n;
+                    Table.cell_int q.normalized_delay;
+                    c.protocol;
+                    Table.cell_int c.normalized_delay;
+                    Table.cell_float
+                      (ratio c.normalized_delay q.normalized_delay);
+                    Table.cell_float
+                      (ratio q.normalized_delay n)
+                    (* queuing stays O(n): ~const *);
+                  ];
+                ]))
           sizes)
       cases
   in
+  let rows, _stats = Sweep.run_rows ctx ~experiment:"E9" points in
   Table.make ~id:"E9" ~title:"queuing vs counting on Hamilton-path graphs (the separation)"
     ~paper_ref:"Theorem 4.5, Lemma 4.6; lower bounds Theorems 3.5/3.6"
     ~headers:
@@ -438,30 +466,39 @@ let e9_hamilton_separation ?quick:(quick = false) () =
 (* ------------------------------------------------------------------ *)
 (* E10: Theorem 4.13 - high-diameter constant-degree separation.       *)
 
-let e10_high_diameter_separation ?quick:(quick = false) () =
+let e10_high_diameter_separation ?quick:(quick = false) ?ctx () =
+  let ctx = Sweep.of_option ctx in
   let spines = if quick then [ 16; 32 ] else [ 16; 32; 64; 128; 256; 512 ] in
-  let rows =
+  let points =
     List.map
       (fun spine ->
-        let g = Gen.caterpillar ~spine ~legs:1 in
-        let n = Graph.n g in
-        let alpha = Bfs.diameter g in
-        let requests = all_nodes n in
-        let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
-        let c = Run.best_counting ~graph:g ~requests in
-        let lb = Bounds.Lower.diameter_lb ~diameter:alpha in
-        [
-          Table.cell_int spine;
-          Table.cell_int n;
-          Table.cell_int alpha;
-          Table.cell_int q.normalized_delay;
-          c.protocol;
-          Table.cell_int c.normalized_delay;
-          Table.cell_int lb;
-          Table.cell_float (ratio c.normalized_delay q.normalized_delay);
-        ])
+        Sweep.rows_point
+          ~name:(Printf.sprintf "caterpillar:%d" spine)
+          (fun ~rng:_ ->
+            let g = Gen.caterpillar ~spine ~legs:1 in
+            let n = Graph.n g in
+            let alpha = Bfs.diameter g in
+            let requests = all_nodes n in
+            let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
+            let c =
+              Run.best_counting ~pool:(Sweep.pool ctx) ~graph:g ~requests ()
+            in
+            let lb = Bounds.Lower.diameter_lb ~diameter:alpha in
+            [
+              [
+                Table.cell_int spine;
+                Table.cell_int n;
+                Table.cell_int alpha;
+                Table.cell_int q.normalized_delay;
+                c.protocol;
+                Table.cell_int c.normalized_delay;
+                Table.cell_int lb;
+                Table.cell_float (ratio c.normalized_delay q.normalized_delay);
+              ];
+            ]))
       spines
   in
+  let rows, _stats = Sweep.run_rows ctx ~experiment:"E10" points in
   Table.make ~id:"E10" ~title:"separation on high-diameter constant-degree graphs"
     ~paper_ref:"Theorem 4.13 (with Theorem 3.6 and Corollary 4.2)"
     ~headers:
@@ -506,40 +543,47 @@ let e11_star_no_separation ?quick:(quick = false) () =
 (* ------------------------------------------------------------------ *)
 (* E12: Section 1 - ordered multicast both ways.                       *)
 
-let e12_ordered_multicast ?quick:(quick = false) () =
-  let rng = Rng.create (Int64.add seed 4L) in
+let e12_ordered_multicast ?quick:(quick = false) ?ctx () =
+  let ctx = Sweep.of_option ctx in
   let cases =
     if quick then [ (8, 16) ] else [ (8, 16); (8, 64); (16, 64); (16, 256) ]
   in
-  let rows =
-    List.concat_map
+  (* The senders are sampled from the point's own name-derived RNG, so
+     the (8, 64) case draws the same sample whether the (8, 16) case
+     ran before it, after it, on another domain, or out of cache. *)
+  let points =
+    List.map
       (fun (side, k) ->
-        let g = Gen.square_mesh side in
-        let n = Graph.n g in
-        let senders =
-          if k >= n then all_nodes n else sample_requests rng ~k ~n
-        in
-        List.map
-          (fun scheme ->
-            let r = Multicast.Ordered.run ~graph:g ~senders scheme in
-            [
-              Printf.sprintf "%dx%d" side side;
-              Table.cell_int (List.length senders);
-              Format.asprintf "%a" Multicast.Ordered.pp_scheme scheme;
-              Table.cell_int r.coordination_total;
-              Table.cell_int r.coordination_makespan;
-              Table.cell_float r.mean_delivery_latency;
-              Table.cell_int r.max_delivery_latency;
-              Table.cell_int r.network_messages;
-            ])
-          [
-            Multicast.Ordered.Via_queuing `Arrow;
-            Multicast.Ordered.Via_counting `Central;
-            Multicast.Ordered.Via_counting `Combining;
-            Multicast.Ordered.Via_counting `Network;
-          ])
+        Sweep.rows_point
+          ~name:(Printf.sprintf "mesh:%d/k:%d" side k)
+          (fun ~rng ->
+            let g = Gen.square_mesh side in
+            let n = Graph.n g in
+            let senders =
+              if k >= n then all_nodes n else sample_requests rng ~k ~n
+            in
+            List.map
+              (fun scheme ->
+                let r = Multicast.Ordered.run ~graph:g ~senders scheme in
+                [
+                  Printf.sprintf "%dx%d" side side;
+                  Table.cell_int (List.length senders);
+                  Format.asprintf "%a" Multicast.Ordered.pp_scheme scheme;
+                  Table.cell_int r.coordination_total;
+                  Table.cell_int r.coordination_makespan;
+                  Table.cell_float r.mean_delivery_latency;
+                  Table.cell_int r.max_delivery_latency;
+                  Table.cell_int r.network_messages;
+                ])
+              [
+                Multicast.Ordered.Via_queuing `Arrow;
+                Multicast.Ordered.Via_counting `Central;
+                Multicast.Ordered.Via_counting `Combining;
+                Multicast.Ordered.Via_counting `Network;
+              ]))
       cases
   in
+  let rows, _stats = Sweep.run_rows ctx ~experiment:"E12" points in
   Table.make ~id:"E12" ~title:"totally ordered multicast: queuing-based vs counting-based"
     ~paper_ref:"Section 1 (Herlihy et al., Operating Systems Review 35(1))"
     ~headers:
@@ -553,16 +597,22 @@ let e12_ordered_multicast ?quick:(quick = false) () =
 (* ------------------------------------------------------------------ *)
 (* E13: long-lived arrow (Kuhn-Wattenhofer extension).                 *)
 
-let e13_long_lived_arrow ?quick:(quick = false) () =
-  let rng = Rng.create (Int64.add seed 5L) in
+let e13_long_lived_arrow ?quick:(quick = false) ?ctx () =
+  let ctx = Sweep.of_option ctx in
   let n = 64 in
   let g = Gen.square_mesh 8 in
   let tree = Spanning.best_for_arrow g in
   let rates = if quick then [ 4 ] else [ 1; 2; 4; 8; 16 ] in
   let horizon = if quick then 64 else 256 in
-  let rows =
-    List.concat_map
+  (* The name encodes the horizon as well as the rate: the quick and
+     full grids at the same rate are different workloads and must not
+     share cache entries. Arrivals come from the point's own RNG. *)
+  let points =
+    List.map
       (fun per_round ->
+        Sweep.rows_point
+          ~name:(Printf.sprintf "rate:%d/horizon:%d" per_round horizon)
+          (fun ~rng ->
         let arrivals = ref [] in
         for r = 0 to horizon - 1 do
           for _ = 1 to per_round do
@@ -668,9 +718,10 @@ let e13_long_lived_arrow ?quick:(quick = false) () =
             Table.cell_bool central.counts_exact;
             "-";
           ];
-        ])
+        ]))
       rates
   in
+  let rows, _stats = Sweep.run_rows ctx ~experiment:"E13" points in
   Table.make ~id:"E13" ~title:"long-lived coordination under staggered arrivals"
     ~paper_ref:"Kuhn-Wattenhofer SPAA'04 (the paper's related work [8]); extension"
     ~headers:
@@ -1107,7 +1158,7 @@ let e22_other_networks ?quick:(quick = false) () =
         let requests = all_nodes n in
         let tree = Spanning.best_for_arrow g in
         let q = Run.queuing ~tree ~graph:g ~protocol:`Arrow ~requests () in
-        let c = Run.best_counting ~graph:g ~requests in
+        let c = Run.best_counting ~graph:g ~requests () in
         [
           name;
           Table.cell_int n;
@@ -1258,7 +1309,8 @@ let e24_queuing_ablation ?quick:(quick = false) () =
    compare e against the theorems' predictions. The separations become
    a single number: counting's exponent strictly exceeds queuing's.    *)
 
-let e25_growth_exponents ?quick:(quick = false) () =
+let e25_growth_exponents ?quick:(quick = false) ?ctx () =
+  let ctx = Sweep.of_option ctx in
   (* Full-mode ceilings doubled with the active-set engine: longer
      sweeps pin the fitted exponents down harder. *)
   let list_sizes =
@@ -1267,18 +1319,66 @@ let e25_growth_exponents ?quick:(quick = false) () =
   let mesh_sides = if quick then [ 6; 8; 10 ] else [ 8; 12; 16; 20; 30 ] in
   let kn_sizes = if quick then [ 32; 64; 128 ] else [ 64; 128; 256; 512; 1024 ] in
   let star_sizes = if quick then [ 32; 64; 128 ] else [ 32; 64; 128; 256; 512 ] in
-  let sweep graphs =
-    List.map
-      (fun g ->
-        let n = Graph.n g in
-        let requests = all_nodes n in
-        let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
-        let c = Run.best_counting ~graph:g ~requests in
-        (n, q.normalized_delay, c.normalized_delay))
-      graphs
+  (* One sweep point per (family, size): its value is the raw
+     (n, queue total, count total) triple, so the power-law fits below
+     always see the whole series whether the points came from the pool
+     or the cache. The mesh is named by its side, which determines n. *)
+  let families =
+    [
+      ("list", List.map (fun n -> (n, fun () -> Gen.path n)) list_sizes);
+      ("mesh", List.map (fun s -> (s, fun () -> Gen.square_mesh s)) mesh_sides);
+      ("complete", List.map (fun n -> (n, fun () -> Gen.complete n)) kn_sizes);
+      ("star", List.map (fun n -> (n, fun () -> Gen.star n)) star_sizes);
+    ]
   in
-  let row family graphs ~queue_predicted ~count_predicted =
-    let series = sweep graphs in
+  let point_name family param = Printf.sprintf "%s:%d" family param in
+  let points =
+    List.concat_map
+      (fun (family, cases) ->
+        List.map
+          (fun (param, mk) ->
+            Sweep.point ~name:(point_name family param) (fun ~rng:_ ->
+                let g = mk () in
+                let n = Graph.n g in
+                let requests = all_nodes n in
+                let q = Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
+                let c =
+                  Run.best_counting ~pool:(Sweep.pool ctx) ~graph:g ~requests
+                    ()
+                in
+                Json.Arr
+                  [
+                    Json.Int n;
+                    Json.Int q.normalized_delay;
+                    Json.Int c.normalized_delay;
+                  ]))
+          cases)
+      families
+  in
+  let valid = function
+    | Json.Arr [ Json.Int _; Json.Int _; Json.Int _ ] -> true
+    | _ -> false
+  in
+  let values, _stats = Sweep.run ~valid ctx ~experiment:"E25" points in
+  let by_name = Hashtbl.create 32 in
+  List.iter2
+    (fun name v -> Hashtbl.replace by_name name v)
+    (List.concat_map
+       (fun (family, cases) ->
+         List.map (fun (param, _) -> point_name family param) cases)
+       families)
+    values;
+  let series_of family =
+    let cases = List.assoc family families in
+    List.map
+      (fun (param, _) ->
+        match Hashtbl.find by_name (point_name family param) with
+        | Json.Arr [ Json.Int n; Json.Int q; Json.Int c ] -> (n, q, c)
+        | _ -> assert false)
+      cases
+  in
+  let row family ~queue_predicted ~count_predicted =
+    let series = series_of family in
     let qfit =
       Growth.fit_power_law (List.map (fun (n, q, _) -> (n, q)) series)
     in
@@ -1310,16 +1410,11 @@ let e25_growth_exponents ?quick:(quick = false) () =
   in
   let rows =
     [
-      row "list" (List.map Gen.path list_sizes) ~queue_predicted:1.0
-        ~count_predicted:2.0;
-      row "mesh"
-        (List.map Gen.square_mesh mesh_sides)
-        ~queue_predicted:1.0 ~count_predicted:1.5;
-      row "complete" (List.map Gen.complete kn_sizes) ~queue_predicted:1.0
-        ~count_predicted:1.1
+      row "list" ~queue_predicted:1.0 ~count_predicted:2.0;
+      row "mesh" ~queue_predicted:1.0 ~count_predicted:1.5;
+      row "complete" ~queue_predicted:1.0 ~count_predicted:1.1
       (* n log* n: indistinguishable from ~n^1.1 at these scales *);
-      row "star" (List.map Gen.star star_sizes) ~queue_predicted:2.0
-        ~count_predicted:2.0
+      row "star" ~queue_predicted:2.0 ~count_predicted:2.0
       (* the non-separation: both quadratic *);
     ]
   in
@@ -1437,14 +1532,18 @@ let e26_exhaustive_verification ?quick:(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Most experiments ignore the sweep context; [lift] adapts them to the
+   registry's uniform run type. *)
+let lift run ?quick ?ctx:_ () = run ?quick ()
+
 let all =
   [
-    { id = "E1"; title = "model demo (Fig. 1)"; paper_ref = "Fig. 1"; run = e1_model_demo };
+    { id = "E1"; title = "model demo (Fig. 1)"; paper_ref = "Fig. 1"; run = lift e1_model_demo };
     {
       id = "E2";
       title = "counting lower bound, general graphs";
       paper_ref = "Theorem 3.5";
-      run = e2_counting_lb_general;
+      run = lift e2_counting_lb_general;
     };
     {
       id = "E3";
@@ -1456,31 +1555,31 @@ let all =
       id = "E4";
       title = "influence growth envelope";
       paper_ref = "Lemmas 3.2-3.4";
-      run = e4_influence_growth;
+      run = lift e4_influence_growth;
     };
     {
       id = "E5";
       title = "arrow vs 2x nearest-neighbour TSP";
       paper_ref = "Theorem 4.1";
-      run = e5_arrow_vs_tsp;
+      run = lift e5_arrow_vs_tsp;
     };
     {
       id = "E6";
       title = "list tours vs 3n";
       paper_ref = "Lemmas 4.3/4.4";
-      run = e6_list_tsp;
+      run = lift e6_list_tsp;
     };
     {
       id = "E7";
       title = "perfect m-ary tree tours are O(n)";
       paper_ref = "Theorems 4.7/4.12";
-      run = e7_mary_tree_tsp;
+      run = lift e7_mary_tree_tsp;
     };
     {
       id = "E8";
       title = "NN approximation quality";
       paper_ref = "Corollary 4.2";
-      run = e8_nn_approximation;
+      run = lift e8_nn_approximation;
     };
     {
       id = "E9";
@@ -1498,7 +1597,7 @@ let all =
       id = "E11";
       title = "the star: no separation";
       paper_ref = "Section 5";
-      run = e11_star_no_separation;
+      run = lift e11_star_no_separation;
     };
     {
       id = "E12";
@@ -1516,67 +1615,67 @@ let all =
       id = "E14";
       title = "ablation: arbitration policy";
       paper_ref = "Section 2.1 model";
-      run = e14_arbiter_ablation;
+      run = lift e14_arbiter_ablation;
     };
     {
       id = "E15";
       title = "ablation: counting-network width";
       paper_ref = "reference [1]";
-      run = e15_network_width_ablation;
+      run = lift e15_network_width_ablation;
     };
     {
       id = "E16";
       title = "ablation: arrow spanning tree";
       paper_ref = "Theorem 4.5 vs Corollary 4.2";
-      run = e16_arrow_tree_ablation;
+      run = lift e16_arrow_tree_ablation;
     };
     {
       id = "E17";
       title = "ablation: notification overhead";
       paper_ref = "Section 4 semantics";
-      run = e17_notify_overhead;
+      run = lift e17_notify_overhead;
     };
     {
       id = "E18";
       title = "asynchronous execution";
       paper_ref = "Section 2.1 (async model)";
-      run = e18_async_sensitivity;
+      run = lift e18_async_sensitivity;
     };
     {
       id = "E19";
       title = "fetch&add vs counting";
       paper_ref = "Section 5 open question";
-      run = e19_fetch_add;
+      run = lift e19_fetch_add;
     };
     {
       id = "E20";
       title = "ablation: network families";
       paper_ref = "reference [1]";
-      run = e20_network_families;
+      run = lift e20_network_families;
     };
     {
       id = "E21";
       title = "expanded-step soundness";
       paper_ref = "Section 2.1 simulation";
-      run = e21_expansion_soundness;
+      run = lift e21_expansion_soundness;
     };
     {
       id = "E22";
       title = "other constant-degree networks";
       paper_ref = "Thm 3.5 + Cor 4.2";
-      run = e22_other_networks;
+      run = lift e22_other_networks;
     };
     {
       id = "E23";
       title = "observed influence sets";
       paper_ref = "Section 3, measured";
-      run = e23_observed_influence;
+      run = lift e23_observed_influence;
     };
     {
       id = "E24";
       title = "queuing-protocol ablation";
       paper_ref = "Raymond TOCS'89";
-      run = e24_queuing_ablation;
+      run = lift e24_queuing_ablation;
     };
     {
       id = "E25";
@@ -1588,7 +1687,7 @@ let all =
       id = "E26";
       title = "exhaustive schedule verification";
       paper_ref = "Section 2.2 safety";
-      run = e26_exhaustive_verification;
+      run = lift e26_exhaustive_verification;
     };
   ]
 

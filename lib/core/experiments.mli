@@ -3,13 +3,17 @@
     The paper's evaluation is its theorems; each experiment regenerates
     one claim as a measured table (see DESIGN.md's experiment index).
     Every function takes [?quick] — [true] shrinks the sweep for use in
-    test suites — and returns a renderable {!Table.t}. *)
+    test suites — and returns a renderable {!Table.t}. The grid-shaped
+    experiments (E3, E9, E10, E12, E13, E25) additionally take
+    [?ctx:Sweep.ctx] and evaluate their points on its domain pool,
+    consulting its result cache; the default is {!Sweep.serial} (one
+    lane, no cache), which reproduces them exactly. *)
 
 type spec = {
   id : string;
   title : string;
   paper_ref : string;
-  run : ?quick:bool -> unit -> Table.t;
+  run : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t;
 }
 
 val e1_model_demo : ?quick:bool -> unit -> Table.t
@@ -20,7 +24,7 @@ val e2_counting_lb_general : ?quick:bool -> unit -> Table.t
 (** Theorem 3.5: measured cost of the best counting protocol on K_n
     versus the exact [Ω(n log* n)] sum. *)
 
-val e3_counting_lb_diameter : ?quick:bool -> unit -> Table.t
+val e3_counting_lb_diameter : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
 (** Theorem 3.6: counting on the list and the 2-D mesh versus the
     [Ω(α²)] floor. *)
 
@@ -45,12 +49,13 @@ val e8_nn_approximation : ?quick:bool -> unit -> Table.t
     [O(n log k)], and measured NN/optimal ratios versus the
     Rosenkrantz [log k] guarantee (Held–Karp optima). *)
 
-val e9_hamilton_separation : ?quick:bool -> unit -> Table.t
+val e9_hamilton_separation : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
 (** Theorem 4.5 / Lemma 4.6 — the headline: queuing versus counting
     total delay on K_n, the mesh and the hypercube; the ratio must
     grow with n. *)
 
-val e10_high_diameter_separation : ?quick:bool -> unit -> Table.t
+val e10_high_diameter_separation :
+  ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
 (** Theorem 4.13: the separation on high-diameter constant-degree
     graphs (caterpillars). *)
 
@@ -58,11 +63,11 @@ val e11_star_no_separation : ?quick:bool -> unit -> Table.t
 (** Section 5: on the star, counting and queuing are both Θ(n²) — the
     ratio stays bounded instead of growing. *)
 
-val e12_ordered_multicast : ?quick:bool -> unit -> Table.t
+val e12_ordered_multicast : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
 (** Section 1's application: end-to-end ordered-multicast latency,
     queuing-based versus counting-based. *)
 
-val e13_long_lived_arrow : ?quick:bool -> unit -> Table.t
+val e13_long_lived_arrow : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
 (** Kuhn–Wattenhofer extension: arrow under staggered arrivals stays
     stable with bounded per-operation delay. *)
 
@@ -112,7 +117,7 @@ val e24_queuing_ablation : ?quick:bool -> unit -> Table.t
     displaced — the central queue and the circulating token — across
     request densities. *)
 
-val e25_growth_exponents : ?quick:bool -> unit -> Table.t
+val e25_growth_exponents : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
 (** Fit [cost ~ c·n^e] on R = V sweeps and compare the measured
     exponents with the theorems' predictions — the separations as
     single numbers. *)

@@ -101,6 +101,21 @@ let queuing ?tree ~graph ~protocol ~requests () =
 
 module Faults = Countq_simnet.Faults
 module Monitor = Countq_simnet.Monitor
+module Parallel = Countq_util.Parallel
+
+(* Evaluate two independent runs on the shared pool (the faulty arm and
+   its fault-free baseline); without a pool, sequentially. *)
+let pair pool f g =
+  match pool with
+  | None -> (f (), g ())
+  | Some p -> (
+      match
+        Parallel.pool_map p ~chunk:1
+          (fun h -> h ())
+          [ (fun () -> `Fst (f ())); (fun () -> `Snd (g ())) ]
+      with
+      | [ `Fst a; `Snd b ] -> (a, b)
+      | _ -> assert false)
 
 type faulty_protocol = [ `Arrow | `Central_count | `Central_queue ]
 
@@ -127,7 +142,7 @@ type fault_summary = {
   live : bool;
 }
 
-let run_faulty ?tree ?(retry = false) ?ack_timeout ?max_retries
+let run_faulty ?pool ?tree ?(retry = false) ?ack_timeout ?max_retries
     ?progress_budget ~graph ~protocol ~plan ~requests () =
   let expected = List.length requests in
   let spanning () =
@@ -140,11 +155,13 @@ let run_faulty ?tree ?(retry = false) ?ack_timeout ?max_retries
     match protocol with
     | `Arrow ->
         let tree = spanning () in
-        let r =
-          Arrow.Protocol.run_one_shot_faulty ~retry ?ack_timeout ?max_retries
-            ?progress_budget ~plan ~tree ~requests ()
+        let r, base =
+          pair pool
+            (fun () ->
+              Arrow.Protocol.run_one_shot_faulty ~retry ?ack_timeout
+                ?max_retries ?progress_budget ~plan ~tree ~requests ())
+            (fun () -> Arrow.Protocol.run_one_shot ~tree ~requests ())
         in
-        let base = Arrow.Protocol.run_one_shot ~tree ~requests () in
         ( List.length r.result.outcomes,
           Result.is_ok r.result.order,
           r.result.rounds,
@@ -155,11 +172,13 @@ let run_faulty ?tree ?(retry = false) ?ack_timeout ?max_retries
           base.rounds,
           base.messages )
     | `Central_count ->
-        let r =
-          Counting.Central.run_faulty ~retry ?ack_timeout ?max_retries
-            ?progress_budget ~plan ~graph ~requests ()
+        let r, base =
+          pair pool
+            (fun () ->
+              Counting.Central.run_faulty ~retry ?ack_timeout ?max_retries
+                ?progress_budget ~plan ~graph ~requests ())
+            (fun () -> Counting.Central.run ~graph ~requests ())
         in
-        let base = Counting.Central.run ~graph ~requests () in
         ( List.length r.result.outcomes,
           Result.is_ok r.result.valid,
           r.result.rounds,
@@ -170,11 +189,13 @@ let run_faulty ?tree ?(retry = false) ?ack_timeout ?max_retries
           base.rounds,
           base.messages )
     | `Central_queue ->
-        let r =
-          Queuing.Central_queue.run_faulty ~retry ?ack_timeout ?max_retries
-            ?progress_budget ~plan ~graph ~requests ()
+        let r, base =
+          pair pool
+            (fun () ->
+              Queuing.Central_queue.run_faulty ~retry ?ack_timeout
+                ?max_retries ?progress_budget ~plan ~graph ~requests ())
+            (fun () -> Queuing.Central_queue.run ~graph ~requests ())
         in
-        let base = Queuing.Central_queue.run ~graph ~requests () in
         ( List.length r.result.outcomes,
           Result.is_ok r.result.order,
           r.result.rounds,
@@ -279,11 +300,15 @@ let observe ?tree ?plan ~graph ~protocol ~requests () =
     o_injected;
   }
 
-let best_counting ~graph ~requests =
+let best_counting ?pool ~graph ~requests () =
+  let eval protocol = counting ~graph ~protocol ~requests () in
+  let protocols = [ `Central; `Combining; `Network; `Sweep ] in
+  (* pool_map preserves input order, so the sort below sees candidates
+     in the same order as the sequential path — ties break identically. *)
   let candidates =
-    List.map
-      (fun protocol -> counting ~graph ~protocol ~requests ())
-      [ `Central; `Combining; `Network; `Sweep ]
+    match pool with
+    | None -> List.map eval protocols
+    | Some p -> Parallel.pool_map p ~chunk:1 eval protocols
   in
   match
     List.sort
@@ -293,3 +318,9 @@ let best_counting ~graph ~requests =
   with
   | best :: _ -> best
   | [] -> invalid_arg "Run.best_counting: every counting protocol failed"
+
+let observe_many ?pool ?tree ?plan ~graph ~protocols ~requests () =
+  let eval protocol = observe ?tree ?plan ~graph ~protocol ~requests () in
+  match pool with
+  | None -> List.map eval protocols
+  | Some p -> Parallel.pool_map p ~chunk:1 eval protocols

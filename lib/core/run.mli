@@ -82,6 +82,7 @@ type fault_summary = {
     on the same instance, plus the runtime monitor verdicts. *)
 
 val run_faulty :
+  ?pool:Countq_util.Parallel.pool ->
   ?tree:Countq_topology.Tree.t ->
   ?retry:bool ->
   ?ack_timeout:int ->
@@ -96,7 +97,8 @@ val run_faulty :
 (** Run [protocol] on [graph] under fault plan [plan] (with the
     timeout-and-retransmit layer when [retry], default false), run the
     fault-free baseline with identical parameters, and report the
-    degradation. [tree] (for [`Arrow]) defaults to
+    degradation. With [pool], the faulty arm and its baseline evaluate
+    as two jobs on the shared pool. [tree] (for [`Arrow]) defaults to
     [Spanning.best_for_arrow graph]. *)
 
 type observed_protocol =
@@ -137,8 +139,27 @@ val observe :
     subcommand and the observability experiments. *)
 
 val best_counting :
-  graph:Countq_topology.Graph.t -> requests:int list -> summary
+  ?pool:Countq_util.Parallel.pool ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  summary
 (** The cheapest (by normalised total delay) of the counting portfolio
     on this instance — what the experiments compare against: the
     Section 3 lower bounds must sit below it, and on the separation
-    topologies the arrow protocol's cost must sit below it too. *)
+    topologies the arrow protocol's cost must sit below it too. With
+    [pool], the four candidates evaluate in parallel; [pool_map]
+    preserves candidate order, so the result is identical either way. *)
+
+val observe_many :
+  ?pool:Countq_util.Parallel.pool ->
+  ?tree:Countq_topology.Tree.t ->
+  ?plan:Countq_simnet.Faults.plan ->
+  graph:Countq_topology.Graph.t ->
+  protocols:observed_protocol list ->
+  requests:int list ->
+  unit ->
+  observation list
+(** {!observe} over several protocols on the same instance, in input
+    order — in parallel when [pool] is given. Each observation gets its
+    own metrics recorder, so runs are independent. *)

@@ -1,41 +1,120 @@
-(* Fork-join parallel map over domains. See parallel.mli. *)
+(* Fork-join parallel map over domains, and the shared budget-aware
+   pool the sweep runner schedules on. See parallel.mli. *)
 
 type 'b outcome = Value of 'b | Failed of exn
+
+(* Core executor shared by [map] and [pool_map]: [extra] helper domains
+   plus the caller evaluate [items] by claiming index chunks off an
+   atomic counter. Claims are monotone (chunk bases are dispensed in
+   increasing order) and a claimed chunk is always evaluated to its end,
+   which is what makes the failure semantics deterministic: the first
+   observed failure sets the abort flag so no NEW chunks are claimed,
+   but every index below any claimed index has itself been claimed and
+   therefore evaluated — so the lowest-index failure is always found
+   and is the one re-raised, independent of scheduling. *)
+let exec ~extra ~chunk f items =
+  let k = Array.length items in
+  let results = Array.make k None in
+  let next = Atomic.make 0 in
+  (* Lowest failing index seen so far; max_int = no failure (doubles as
+     the abort flag). *)
+  let failed = Atomic.make max_int in
+  let rec note_failure i =
+    let cur = Atomic.get failed in
+    if i < cur && not (Atomic.compare_and_set failed cur i) then
+      note_failure i
+  in
+  let worker () =
+    let rec loop () =
+      if Atomic.get failed = max_int then begin
+        let base = Atomic.fetch_and_add next chunk in
+        if base < k then begin
+          let stop = min k (base + chunk) in
+          for i = base to stop - 1 do
+            match f items.(i) with
+            | v -> results.(i) <- Some (Value v)
+            | exception e ->
+                results.(i) <- Some (Failed e);
+                note_failure i
+          done;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let domains = List.init extra (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  match Atomic.get failed with
+  | i when i < max_int -> (
+      match results.(i) with
+      | Some (Failed e) -> raise e
+      | _ -> assert false)
+  | _ ->
+      Array.to_list
+        (Array.map
+           (fun cell ->
+             match cell with Some (Value v) -> v | _ -> assert false)
+           results)
 
 let map ~jobs f xs =
   if jobs < 1 then invalid_arg "Parallel.map: jobs must be >= 1";
   if jobs = 1 then List.map f xs
-  else begin
+  else
     let items = Array.of_list xs in
-    let k = Array.length items in
-    let results = Array.make k None in
-    let next = Atomic.make 0 in
-    (* Work-stealing by atomic counter: each domain claims the next
-       unprocessed index until none remain. *)
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < k then begin
-          let r = try Value (f items.(i)) with e -> Failed e in
-          results.(i) <- Some r;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains =
-      List.init (min (jobs - 1) (max 0 (k - 1))) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join domains;
-    Array.to_list
-      (Array.map
-         (fun cell ->
-           match cell with
-           | Some (Value v) -> v
-           | Some (Failed e) -> raise e
-           | None -> assert false)
-         results)
-  end
+    let extra = min (jobs - 1) (max 0 (Array.length items - 1)) in
+    exec ~extra ~chunk:1 f items
 
 let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* ------------------------------------------------------------------ *)
+(* The shared pool. The budget is a single atomic counter of extra
+   worker domains still available; every [pool_map] — including one
+   issued from inside another pool_map's worker — reserves from the
+   same counter, takes only what is available (possibly nothing, which
+   degrades to a sequential map in the calling lane), and releases on
+   completion. Total live domains therefore never exceed [jobs], no
+   matter how experiment-level and point-level fan-out nest. *)
+
+type pool = { total : int; avail : int Atomic.t }
+
+let pool ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.pool: jobs must be >= 1";
+  { total = jobs; avail = Atomic.make (jobs - 1) }
+
+let pool_jobs p = p.total
+
+let rec reserve p want =
+  if want <= 0 then 0
+  else
+    let a = Atomic.get p.avail in
+    if a <= 0 then 0
+    else
+      let take = min a want in
+      if Atomic.compare_and_set p.avail a (a - take) then take
+      else reserve p want
+
+let release p n = if n > 0 then ignore (Atomic.fetch_and_add p.avail n)
+
+let default_chunk ~lanes k = max 1 (min 16 (k / (lanes * 4)))
+
+let pool_map p ?max_extra ?chunk f xs =
+  let items = Array.of_list xs in
+  let k = Array.length items in
+  if k = 0 then []
+  else begin
+    let want = min (p.total - 1) (k - 1) in
+    let want =
+      match max_extra with None -> want | Some m -> min want (max 0 m)
+    in
+    let extra = reserve p want in
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> default_chunk ~lanes:(extra + 1) k
+    in
+    Fun.protect
+      ~finally:(fun () -> release p extra)
+      (fun () -> exec ~extra ~chunk f items)
+  end

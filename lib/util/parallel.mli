@@ -1,18 +1,61 @@
-(** Minimal deterministic fork–join parallelism over OCaml 5 domains.
+(** Deterministic fork–join parallelism over OCaml 5 domains.
 
     Experiments are pure functions of their seeds, so they can be
     evaluated on separate domains with no shared state; results come
-    back in input order regardless of completion order. Used by the
-    benchmark harness's [--jobs] option. *)
+    back in input order regardless of completion order. [map] is the
+    one-shot form; {!pool} / {!pool_map} is the shared, budget-aware
+    form the sweep runner and the CLI schedule on, built so nested
+    fan-out (experiments over points over protocol portfolios) can
+    never oversubscribe the machine. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] evaluates [f] on every element using at most
-    [jobs] domains (plus the caller). Results are in input order. If
-    [f] raises on some element, the exception is re-raised in the
-    caller after all domains are joined (the first failing index
-    wins). [jobs <= 1] degrades to [List.map f xs].
+    [jobs] domains (the caller included). Results are in input order.
+
+    Failure semantics: the first failure aborts the run — no further
+    items are claimed once any [f] has raised (items already being
+    evaluated on other domains still finish) — and the exception
+    re-raised in the caller is deterministically the one from the
+    {e lowest} failing index, independent of scheduling. [jobs = 1]
+    degrades to [List.map f xs].
     @raise Invalid_argument if [jobs < 1]. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1 — a sensible
     default for [--jobs]. *)
+
+(** {1 The shared domain pool} *)
+
+type pool
+(** A budget of worker domains shared by every [pool_map] issued
+    against it, from any nesting depth. *)
+
+val pool : jobs:int -> pool
+(** [pool ~jobs] creates a pool with a total budget of [jobs] lanes:
+    the caller's own lane plus [jobs - 1] spawnable worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val pool_jobs : pool -> int
+(** The pool's total lane budget (the [jobs] it was created with). *)
+
+val pool_map :
+  pool -> ?max_extra:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [pool_map p f xs] is [map]'s shared-budget form: it reserves up to
+    [jobs - 1] helper domains from [p]'s remaining budget (taking fewer
+    — possibly none — when concurrent or enclosing [pool_map] calls
+    hold them), evaluates with the caller participating, and releases
+    the helpers when done. This is the nested-parallelism guard: an
+    inner [pool_map] issued from a worker of an outer one draws on the
+    {e same} budget, so composing per-experiment fan-out with per-point
+    fan-out never exceeds [pool_jobs p] live domains. With no budget
+    available it degrades to a sequential map in the calling lane.
+
+    [max_extra] caps the helpers this call may reserve (coarse outer
+    loops use a small cap to leave budget for inner sweeps). [chunk]
+    sets how many consecutive items a worker claims per atomic
+    operation; the default grows with [|xs|] so small points amortise
+    claim contention, and callers with expensive items should pass
+    [~chunk:1]. Results are in input order; failure semantics are
+    exactly {!map}'s (abort + lowest-index re-raise). Purity of [f] is
+    the caller's contract — results are bit-identical across any jobs
+    count only if [f] depends on nothing but its argument. *)

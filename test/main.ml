@@ -30,6 +30,7 @@ let () =
       ("bitonic", Test_bitonic.suite);
       ("network", Test_network.suite);
       ("sweep", Test_sweep.suite);
+      ("sweep-runner", Test_sweep_runner.suite);
       ("fetch-add", Test_fetch_add.suite);
       ("periodic", Test_periodic.suite);
       ("central-queue", Test_central_queue.suite);

@@ -100,7 +100,7 @@ let test_queuing_driver_all_protocols () =
 let test_best_counting_picks_minimum () =
   let g = Gen.complete 32 in
   let requests = Helpers.all_nodes 32 in
-  let best = Run.best_counting ~graph:g ~requests in
+  let best = Run.best_counting ~graph:g ~requests () in
   List.iter
     (fun protocol ->
       let s = Run.counting ~graph:g ~protocol ~requests () in

@@ -220,7 +220,7 @@ let test_scenario_to_run_pipeline () =
       | Error (`Msg m) -> Alcotest.fail m
       | Ok requests ->
           let q = Countq.Run.queuing ~graph:g ~protocol:`Arrow ~requests () in
-          let c = Countq.Run.best_counting ~graph:g ~requests in
+          let c = Countq.Run.best_counting ~graph:g ~requests () in
           Alcotest.(check bool) "both valid" true (q.valid && c.valid))
 
 let suite =

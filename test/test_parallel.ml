@@ -46,6 +46,124 @@ let test_invalid_jobs () =
   Alcotest.check_raises "jobs=0" (Invalid_argument "Parallel.map: jobs must be >= 1")
     (fun () -> ignore (Parallel.map ~jobs:0 (fun x -> x) [ 1 ]))
 
+let spin_a_little () =
+  let acc = ref 0 in
+  for i = 1 to 5_000 do
+    acc := !acc + (i mod 3)
+  done;
+  ignore !acc
+
+let test_abort_skips_pending () =
+  (* Item 0 fails immediately; once a lane observes the failure no new
+     items are claimed, so the vast majority of the 200 items must
+     never be evaluated. Non-failing items carry enough work that even
+     adversarial preemption cannot let one lane rip through the whole
+     array before the failing lane gets to note its failure. *)
+  let evaluated = Atomic.make 0 in
+  let spin_hard () =
+    let acc = ref 0 in
+    for i = 1 to 50_000 do
+      acc := !acc + (i mod 3)
+    done;
+    ignore !acc
+  in
+  Alcotest.check_raises "re-raised" (Failure "early") (fun () ->
+      ignore
+        (Parallel.map ~jobs:2
+           (fun x ->
+             if x = 0 then failwith "early"
+             else begin
+               Atomic.incr evaluated;
+               spin_hard ();
+               x
+             end)
+           (List.init 200 (fun i -> i))));
+  Alcotest.(check bool) "most items skipped" true (Atomic.get evaluated < 150)
+
+let test_lowest_index_failure_wins () =
+  (* Two failing items: chunk claims are monotone and claimed chunks
+     run to completion, so the lower index is always the one
+     re-raised, whatever the scheduling. *)
+  for _ = 1 to 5 do
+    Alcotest.check_raises "lowest index" (Failure "at-5") (fun () ->
+        ignore
+          (Parallel.map ~jobs:4
+             (fun x ->
+               if x = 5 then failwith "at-5"
+               else if x = 10 then failwith "at-10"
+               else x)
+             (List.init 50 (fun i -> i))))
+  done
+
+(* ---- the shared pool ---- *)
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Parallel.pool: jobs must be >= 1") (fun () ->
+      ignore (Parallel.pool ~jobs:0))
+
+let test_pool_map_matches_sequential () =
+  let p = Parallel.pool ~jobs:4 in
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * 7) - 3 in
+  Alcotest.(check (list int)) "same as List.map" (List.map f xs)
+    (Parallel.pool_map p f xs);
+  (* The budget must be fully released: a second map works the same. *)
+  Alcotest.(check (list int)) "reusable" (List.map f xs)
+    (Parallel.pool_map p f xs)
+
+let test_pool_nested_correct_and_bounded () =
+  (* Nested pool_map draws on the same budget: the inner calls reserve
+     only what the outer left, and in-flight evaluations never exceed
+     the pool's lane budget. *)
+  let jobs = 3 in
+  let p = Parallel.pool ~jobs in
+  let live = Atomic.make 0 in
+  let max_live = Atomic.make 0 in
+  let rec bump_max cur =
+    let m = Atomic.get max_live in
+    if cur > m && not (Atomic.compare_and_set max_live m cur) then
+      bump_max cur
+  in
+  let gauge f x =
+    let cur = 1 + Atomic.fetch_and_add live 1 in
+    bump_max cur;
+    spin_a_little ();
+    let r = f x in
+    Atomic.decr live;
+    r
+  in
+  let inner base =
+    Parallel.pool_map p (gauge (fun y -> base + y)) (List.init 8 (fun i -> i))
+  in
+  let expected =
+    List.map (fun b -> List.map (fun y -> (10 * b) + y) (List.init 8 (fun i -> i)))
+      (List.init 4 (fun i -> i))
+  in
+  let got = Parallel.pool_map p (fun b -> inner (10 * b)) (List.init 4 (fun i -> i)) in
+  Alcotest.(check (list (list int))) "nested results" expected got;
+  Alcotest.(check bool)
+    (Printf.sprintf "max in-flight %d <= %d lanes" (Atomic.get max_live) jobs)
+    true
+    (Atomic.get max_live <= jobs)
+
+let test_pool_max_extra_and_chunk () =
+  let p = Parallel.pool ~jobs:8 in
+  let xs = List.init 37 (fun i -> i * i) in
+  Alcotest.(check (list int)) "max_extra:0 sequential" xs
+    (Parallel.pool_map p ~max_extra:0 (fun x -> x) xs);
+  Alcotest.(check (list int)) "chunk:5" xs
+    (Parallel.pool_map p ~chunk:5 (fun x -> x) xs)
+
+let prop_pool_map_equivalent =
+  QCheck2.Test.make ~name:"pool_map = sequential map" ~count:50
+    QCheck2.Gen.(
+      triple (list (int_range 0 1000)) (int_range 1 8) (int_range 1 5))
+    (fun (xs, jobs, chunk) ->
+      let p = Parallel.pool ~jobs in
+      Parallel.pool_map p ~chunk (fun x -> (5 * x) + 1) xs
+      = List.map (fun x -> (5 * x) + 1) xs)
+
 let test_recommended_positive () =
   Alcotest.(check bool) "at least 1" true (Parallel.recommended_jobs () >= 1)
 
@@ -66,5 +184,16 @@ let suite =
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
     Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
     Alcotest.test_case "recommended jobs" `Quick test_recommended_positive;
+    Alcotest.test_case "abort skips pending" `Quick test_abort_skips_pending;
+    Alcotest.test_case "lowest-index failure wins" `Quick
+      test_lowest_index_failure_wins;
+    Alcotest.test_case "pool invalid jobs" `Quick test_pool_invalid_jobs;
+    Alcotest.test_case "pool_map matches sequential" `Quick
+      test_pool_map_matches_sequential;
+    Alcotest.test_case "nested pool_map bounded" `Quick
+      test_pool_nested_correct_and_bounded;
+    Alcotest.test_case "pool max_extra and chunk" `Quick
+      test_pool_max_extra_and_chunk;
     Helpers.qcheck prop_equivalent_to_map;
+    Helpers.qcheck prop_pool_map_equivalent;
   ]
