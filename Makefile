@@ -24,7 +24,7 @@ JOBS ?= $(shell nproc)
 
 # Full benchmark pass: every experiment table at paper sizes, the
 # engine speedup / metrics overhead / jobs scaling / cache warm probes
-# and the bechamel micro kernels; writes BENCH_4.json (and
+# and the bechamel micro kernels; writes BENCH_5.json (and
 # per-experiment CSVs under bench/out/). Sweep points are cached under
 # bench/out/cache; pass --no-cache through BENCH_FLAGS to recompute.
 bench:

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_4.json; --no-json
+                                                 BENCH_5.json; --no-json
                                                  to skip)
      dune exec bench/main.exe -- --jobs N     -- table+sweep budget of N
                                                  domains (experiments are
@@ -20,7 +20,7 @@
      dune exec bench/main.exe -- --cache-dir D -- cache root (default
                                                  bench/out/cache)
 
-   Every run emits a machine-readable perf snapshot (BENCH_4.json):
+   Every run emits a machine-readable perf snapshot (BENCH_5.json):
    per-experiment wall time and cache hit/miss counts, the
    engine-vs-reference speedup probe on the E3 list-counting sweep, the
    metrics-recorder overhead probe, the jobs-scaling probe (the heavy
@@ -68,7 +68,7 @@ let parse_args () =
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_4.json") in
+  let json_path = ref (Some "BENCH_5.json") in
   let jobs = ref 1 in
   let use_cache = ref true in
   let cache_dir = ref default_cache_dir in
@@ -449,6 +449,188 @@ let cache_warm_probe ~quick ~pool () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Explorer probe: the pre-rewrite model checker (verbatim copy below:
+   depth-first, whole-configuration structural Hashtbl memo, no
+   reduction) against the shipped Explore.run on the same instances.
+   The headline number is the configs-per-second ratio; the seed
+   explorer also visits more configurations on the same instance
+   because it never collapses commuting transmits.                     *)
+
+module Seed_explore = struct
+  type ('s, 'm, 'r) config = {
+    states : 's array;
+    outbox : (int * 'm) list array;
+    links : ((int * int) * 'm list) list;
+    completions : 'r Engine.completion list;
+  }
+
+  let link_get links key =
+    match List.assoc_opt key links with Some q -> q | None -> []
+
+  let link_set links key q =
+    let without = List.remove_assoc key links in
+    if q = [] then without
+    else List.sort (fun (a, _) (b, _) -> compare a b) ((key, q) :: without)
+
+  let run ~graph ~protocol ~check ?(max_configs = 1_000_000) () =
+    let n = Countq_topology.Graph.n graph in
+    let states = Array.init n protocol.Engine.initial_state in
+    let outbox = Array.make n [] in
+    let completions = ref [] in
+    for v = 0 to n - 1 do
+      let s, actions = protocol.Engine.on_start ~node:v states.(v) in
+      states.(v) <- s;
+      List.iter
+        (fun action ->
+          match action with
+          | Engine.Send (dst, msg) -> outbox.(v) <- outbox.(v) @ [ (dst, msg) ]
+          | Engine.Complete value ->
+              completions :=
+                { Engine.node = v; round = 0; value } :: !completions)
+        actions
+    done;
+    let initial = { states; outbox; links = []; completions = !completions } in
+    let visited = Hashtbl.create 4096 in
+    let explored = ref 0 and terminal = ref 0 in
+    let stack = Stack.create () in
+    Stack.push initial stack;
+    while not (Stack.is_empty stack) do
+      let cfg = Stack.pop stack in
+      if not (Hashtbl.mem visited cfg) then begin
+        Hashtbl.replace visited cfg ();
+        incr explored;
+        if !explored > max_configs then
+          invalid_arg "Seed_explore.run: max_configs exceeded";
+        let successors = ref [] in
+        for v = 0 to n - 1 do
+          match cfg.outbox.(v) with
+          | [] -> ()
+          | (dst, msg) :: rest ->
+              let outbox = Array.copy cfg.outbox in
+              outbox.(v) <- rest;
+              let key = (v, dst) in
+              let links =
+                link_set cfg.links key (link_get cfg.links key @ [ msg ])
+              in
+              successors := { cfg with outbox; links } :: !successors
+        done;
+        List.iter
+          (fun ((src, dst), q) ->
+            match q with
+            | [] -> ()
+            | msg :: rest ->
+                let links = link_set cfg.links (src, dst) rest in
+                let event_index =
+                  List.length cfg.completions + List.length cfg.links
+                in
+                let s, actions =
+                  protocol.Engine.on_receive ~round:event_index ~node:dst
+                    ~src msg cfg.states.(dst)
+                in
+                let states = Array.copy cfg.states in
+                states.(dst) <- s;
+                let outbox = Array.copy cfg.outbox in
+                let completions = ref cfg.completions in
+                List.iter
+                  (fun action ->
+                    match action with
+                    | Engine.Send (d, m) -> outbox.(dst) <- outbox.(dst) @ [ (d, m) ]
+                    | Engine.Complete value ->
+                        completions :=
+                          { Engine.node = dst; round = event_index; value }
+                          :: !completions)
+                  actions;
+                successors :=
+                  { states; outbox; links; completions = !completions }
+                  :: !successors)
+          cfg.links;
+        match !successors with
+        | [] ->
+            incr terminal;
+            ignore (check (List.rev cfg.completions))
+        | succs -> List.iter (fun c -> Stack.push c stack) succs
+      end
+    done;
+    (!explored, !terminal)
+end
+
+type explore_row = {
+  xp_name : string;
+  xp_seed_configs : int;
+  xp_seed_s : float;
+  xp_new_configs : int;
+  xp_new_s : float;
+}
+
+let explore_rate configs dt =
+  if dt > 0. then float_of_int configs /. dt else Float.nan
+
+let explore_ratio r =
+  let seed = explore_rate r.xp_seed_configs r.xp_seed_s in
+  let fresh = explore_rate r.xp_new_configs r.xp_new_s in
+  if Float.is_nan seed || Float.is_nan fresh || seed <= 0. then Float.nan
+  else fresh /. seed
+
+let explore_probe ~quick () =
+  let module Explore = Countq_simnet.Explore in
+  let module Gen = Countq_topology.Gen in
+  let arrow_instance name g requests =
+    let tree = Spanning.best_for_arrow g in
+    let graph = Tree.to_graph tree in
+    let protocol () =
+      Countq_arrow.Protocol.one_shot_protocol ~tree ~requests ()
+    in
+    let check _ = Ok () in
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let xp_seed_configs, _ =
+      Seed_explore.run ~graph ~protocol:(protocol ()) ~check
+        ~max_configs:5_000_000 ()
+    in
+    let xp_seed_s = Unix.gettimeofday () -. t0 in
+    (* The checker side runs UNREDUCED so the comparison isolates the
+       encoding (canonical identity + digest memo) from the partial-
+       order reduction; it still visits fewer configurations because
+       the seed's memo keys include the fabricated per-completion round
+       stamps, splitting states that differ only in timing. It is also
+       fast enough (ms) that a stray major GC slice would dominate a
+       single run — take the best of three, each from a clean heap. *)
+    let run_checker () =
+      match
+        Explore.run ~graph ~protocol:(protocol ()) ~check ~reduce:false
+          ~max_configs:5_000_000 ()
+      with
+      | Explore.Exhaustive s | Explore.Budget_exhausted s -> s
+    in
+    let stats = run_checker () in
+    let xp_new_s =
+      List.fold_left
+        (fun best _ ->
+          Gc.major ();
+          let t0 = Unix.gettimeofday () in
+          ignore (run_checker ());
+          min best (Unix.gettimeofday () -. t0))
+        infinity [ (); (); () ]
+    in
+    {
+      xp_name = name;
+      xp_seed_configs;
+      xp_seed_s;
+      xp_new_configs = stats.explored;
+      xp_new_s;
+    }
+  in
+  (* star-5 is the smallest instance where the seed's structural-memo
+     cost dominates measurement noise; quick mode keeps just it. *)
+  if quick then
+    [ arrow_instance "arrow star-5 {1-4}" (Gen.star 5) [ 1; 2; 3; 4 ] ]
+  else
+    [
+      arrow_instance "arrow star-5 {1-4}" (Gen.star 5) [ 1; 2; 3; 4 ];
+      arrow_instance "arrow path-6 all" (Gen.path 6) [ 0; 1; 2; 3; 4; 5 ];
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks: one Test.make per experiment (its quick
    kernel), plus the hot inner kernels each experiment leans on.       *)
 
@@ -565,7 +747,7 @@ let run_micro specs =
   rows
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_4.json: the machine-readable perf snapshot. No JSON library
+(* BENCH_5.json: the machine-readable perf snapshot. No JSON library
    in the dependency set, so it is printed by hand — every name is a
    known identifier and every value a number, but strings are escaped
    anyway for safety. (Countq_util.Json exists now, but the hand
@@ -593,11 +775,11 @@ let hit_rate hits misses =
   else 100. *. float_of_int hits /. float_of_int total
 
 let write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
-    ~kernels =
+    ~explore ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/4\",\n";
+  add "  \"schema\": \"countq-bench/5\",\n";
   add "  \"mode\": \"%s\",\n" (if opts.quick then "quick" else "full");
   add "  \"jobs\": %d,\n" opts.jobs;
   add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -727,6 +909,38 @@ let write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
   add "    \"hit_rate_pct\": %s,\n"
     (json_float (hit_rate warm.wp_hits warm.wp_misses));
   add "    \"identical\": %b\n" warm.wp_identical;
+  add "  },\n";
+  let worst_ratio =
+    List.fold_left
+      (fun acc r ->
+        let x = explore_ratio r in
+        if Float.is_nan acc then x
+        else if Float.is_nan x then acc
+        else min acc x)
+      Float.nan explore
+  in
+  add "  \"explore_checker\": {\n";
+  add
+    "    \"probe\": \"the seed depth-first explorer (whole-config structural \
+     memo, no reduction; verbatim copy) vs the shipped canonical-digest + \
+     partial-order-reduction checker, same instances, checks disabled\",\n";
+  add "    \"min_rate_ratio\": %s,\n" (json_float worst_ratio);
+  add "    \"instances\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"instance\": \"%s\", \"seed_configs\": %d, \"seed_seconds\": \
+         %s, \"seed_configs_per_s\": %s, \"checker_configs\": %d, \
+         \"checker_seconds\": %s, \"checker_configs_per_s\": %s, \
+         \"rate_ratio\": %s}%s\n"
+        (json_escape r.xp_name) r.xp_seed_configs (json_float r.xp_seed_s)
+        (json_float (explore_rate r.xp_seed_configs r.xp_seed_s))
+        r.xp_new_configs (json_float r.xp_new_s)
+        (json_float (explore_rate r.xp_new_configs r.xp_new_s))
+        (json_float (explore_ratio r))
+        (if i = List.length explore - 1 then "" else ","))
+    explore;
+  add "    ]\n";
   add "  }";
   (match kernels with
   | None -> add "\n"
@@ -806,8 +1020,20 @@ let main () =
            results are wrong";
         exit 1
       end;
+      let explore = explore_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[explore probe %s: seed %d cfgs %.3fs (%.0f/s) vs checker %d \
+             cfgs %.3fs (%.0f/s) -> %.0fx]\n%!"
+            r.xp_name r.xp_seed_configs r.xp_seed_s
+            (explore_rate r.xp_seed_configs r.xp_seed_s)
+            r.xp_new_configs r.xp_new_s
+            (explore_rate r.xp_new_configs r.xp_new_s)
+            (explore_ratio r))
+        explore;
       write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
-        ~kernels
+        ~explore ~kernels
 
 let () =
   try main ()

@@ -13,6 +13,9 @@
      trace -t T -n N          -- ASCII timeline of one arrow run
      series -t T --sizes N,…  -- CSV sweep of queuing vs counting
      verify -t T -n N         -- exhaustive schedule check (tiny n)
+     check [--quick] [--jobs N] [--max-configs M]
+                              -- model-check all six protocols on fixed
+                                 instances; nonzero exit on violation
      report [-o FILE] [-j N]  -- regenerate the full markdown report
      faults -t T -n N -p PLAN -- degradation under an injected fault plan
      observe -t T -n N --protocol P [--protocol P…]
@@ -424,11 +427,19 @@ let verify_cmd =
               Countq_simnet.Explore.run ~graph:(Tree.to_graph tree) ~protocol
                 ~check ()
             with
-            | stats ->
+            | Countq_simnet.Explore.Exhaustive stats ->
                 Printf.printf
                   "arrow on %s (n=%d), requests {%s}:\n\
                    ALL SCHEDULES SAFE - %d configurations explored, %d quiescent\n\
                    outcomes checked, every one a single valid total order.\n"
+                  topology nv
+                  (String.concat "," (List.map string_of_int requests))
+                  stats.explored stats.terminal
+            | Countq_simnet.Explore.Budget_exhausted stats ->
+                Printf.printf
+                  "arrow on %s (n=%d), requests {%s}:\n\
+                   BUDGET EXHAUSTED after %d configurations (%d quiescent \
+                   checked, no violation in the explored prefix) - partial.\n"
                   topology nv
                   (String.concat "," (List.map string_of_int requests))
                   stats.explored stats.terminal
@@ -441,6 +452,176 @@ let verify_cmd =
        ~doc:
          "Exhaustively model-check arrow safety on a tiny instance (every schedule; n is capped).")
     Term.(const run $ topology_arg $ n_arg $ requests_arg $ seed_arg)
+
+(* ---- check ---- *)
+
+(* Model-check every shipped protocol on fixed instances: arrow /
+   central queue / token ring against the total-order spec, central
+   counter / combining tree / sweep against the count-set spec. The
+   instance list is the deliverable: 6-7 node instances inside the
+   default budget, which the seed explorer could not reach. *)
+
+let check_cmd =
+  let module Explore = Countq_simnet.Explore in
+  let module Engine = Countq_simnet.Engine in
+  let order_check requests completions =
+    let outcomes =
+      List.map
+        (fun (c : _ Engine.completion) ->
+          let op, pred = c.value in
+          { Countq_arrow.Types.op; pred; found_at = c.node; round = c.round })
+        completions
+    in
+    if List.length outcomes <> List.length requests then
+      Error "wrong completion count"
+    else
+      match Countq_arrow.Order.chain outcomes with
+      | Ok _ -> Ok ()
+      | Error e -> Error (Format.asprintf "%a" Countq_arrow.Order.pp_error e)
+  in
+  let counts_check requests completions =
+    let outcomes =
+      List.map
+        (fun (c : _ Engine.completion) ->
+          let node, count = c.value in
+          { Countq_counting.Counts.node; count; round = c.round })
+        completions
+    in
+    match Countq_counting.Counts.validate ~requests outcomes with
+    | Ok () -> Ok ()
+    | Error e -> Error (Format.asprintf "%a" Countq_counting.Counts.pp_error e)
+  in
+  let max_configs_arg =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "max-configs" ] ~docv:"M"
+          ~doc:"Configuration budget per instance (budget exhaustion is a \
+                reported partial verdict, not a failure).")
+  in
+  let run quick jobs max_configs =
+    let jobs = resolve_jobs jobs in
+    let pool = if jobs > 1 then Some (Parallel.pool ~jobs) else None in
+    let violations = ref 0 in
+    let instance ~protocol_name ~instance_name ~graph ~protocol ~check ~k =
+      let t0 = Unix.gettimeofday () in
+      let verdict, stats =
+        match Explore.run ~graph ~protocol ~check ~max_configs ?pool () with
+        | Explore.Exhaustive stats -> ("all schedules safe", stats)
+        | Explore.Budget_exhausted stats -> ("budget exhausted (partial)", stats)
+        | exception Explore.Violation m ->
+            incr violations;
+            ( "VIOLATION: " ^ m,
+              { Explore.explored = 0; terminal = 0; max_frontier = 0;
+                dedup_hits = 0 } )
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let candidates = stats.explored + stats.dedup_hits in
+      let dedup_pct =
+        if candidates = 0 then 0.0
+        else 100.0 *. float_of_int stats.dedup_hits /. float_of_int candidates
+      in
+      let rate =
+        if dt <= 0.0 then 0.0 else float_of_int stats.explored /. dt
+      in
+      [
+        protocol_name;
+        instance_name;
+        Table.cell_int k;
+        Table.cell_int stats.explored;
+        Table.cell_int stats.terminal;
+        Table.cell_float ~decimals:1 dedup_pct;
+        Printf.sprintf "%.0f" rate;
+        verdict;
+      ]
+    in
+    let arrow name g requests =
+      let tree = Spanning.best_for_arrow g in
+      instance ~protocol_name:"arrow" ~instance_name:name
+        ~graph:(Tree.to_graph tree)
+        ~protocol:(Countq_arrow.Protocol.one_shot_protocol ~tree ~requests ())
+        ~check:(order_check requests) ~k:(List.length requests)
+    in
+    let central name g requests =
+      instance ~protocol_name:"central-count" ~instance_name:name ~graph:g
+        ~protocol:(Countq_counting.Central.one_shot_protocol ~graph:g ~requests ())
+        ~check:(counts_check requests) ~k:(List.length requests)
+    in
+    let central_queue name g requests =
+      instance ~protocol_name:"central-queue" ~instance_name:name ~graph:g
+        ~protocol:
+          (Countq_queuing.Central_queue.one_shot_protocol ~graph:g ~requests ())
+        ~check:(order_check requests) ~k:(List.length requests)
+    in
+    let combining name g requests =
+      let tree = Spanning.bfs g ~root:0 in
+      instance ~protocol_name:"combining" ~instance_name:name
+        ~graph:(Tree.to_graph tree)
+        ~protocol:(Countq_counting.Combining.one_shot_protocol ~tree ~requests ())
+        ~check:(counts_check requests) ~k:(List.length requests)
+    in
+    let token_ring name g requests =
+      let tree = Spanning.bfs g ~root:0 in
+      instance ~protocol_name:"token-ring" ~instance_name:name
+        ~graph:(Tree.to_graph tree)
+        ~protocol:(Countq_queuing.Token_ring.one_shot_protocol ~tree ~requests ())
+        ~check:(order_check requests) ~k:(List.length requests)
+    in
+    let sweep name g requests =
+      let tree = Spanning.bfs g ~root:0 in
+      instance ~protocol_name:"sweep" ~instance_name:name
+        ~graph:(Tree.to_graph tree)
+        ~protocol:(Countq_counting.Sweep.one_shot_protocol ~tree ~requests ())
+        ~check:(counts_check requests) ~k:(List.length requests)
+    in
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      if quick then
+        [
+          arrow "star-4" (Gen.star 4) [ 1; 2; 3 ];
+          central "star-4" (Gen.star 4) [ 1; 2; 3 ];
+          central_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
+          combining "path-4" (Gen.path 4) [ 0; 1; 2; 3 ];
+          token_ring "path-4" (Gen.path 4) [ 0; 2; 3 ];
+          sweep "star-4" (Gen.star 4) [ 0; 1; 2; 3 ];
+        ]
+      else
+        [
+          arrow "star-6" (Gen.star 6) [ 1; 2; 3; 4; 5 ];
+          arrow "path-7" (Gen.path 7) [ 0; 1; 2; 3; 4; 5; 6 ];
+          arrow "complete-6" (Gen.complete 6) [ 0; 1; 2; 3; 4; 5 ];
+          central "star-6" (Gen.star 6) [ 1; 2; 3; 4; 5 ];
+          central "complete-6" (Gen.complete 6) [ 0; 1; 2; 3; 4; 5 ];
+          central_queue "star-6" (Gen.star 6) [ 1; 2; 3; 4; 5 ];
+          combining "star-6" (Gen.star 6) [ 0; 1; 2; 3; 4; 5 ];
+          token_ring "path-7" (Gen.path 7) [ 0; 2; 4; 6 ];
+          sweep "star-7" (Gen.star 7) [ 0; 1; 2; 3; 4; 5; 6 ];
+        ]
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Table.print
+      (Table.make ~id:"CHECK"
+         ~title:"exhaustive model check, every shipped protocol"
+         ~paper_ref:"Section 2.2 safety specifications under every schedule"
+         ~headers:
+           [ "protocol"; "instance"; "k"; "explored"; "terminal"; "dedup %";
+             "configs/s"; "verdict" ]
+         ~notes:
+           [ Printf.sprintf
+               "budget %d configs/instance; jobs %d; wall time %.2fs"
+               max_configs jobs dt ]
+         rows);
+    if !violations > 0 then begin
+      Printf.eprintf "check: %d violation(s) found\n" !violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check all six protocols exhaustively on fixed 4-7 node \
+          instances; exits nonzero on any safety violation.")
+    Term.(const run $ quick_arg $ jobs_arg $ max_configs_arg)
 
 (* ---- report ---- *)
 
@@ -922,4 +1103,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; experiments_cmd; cache_cmd;
             compare_cmd; topo_cmd; trace_cmd; series_cmd; report_cmd;
-            verify_cmd; faults_cmd; observe_cmd ]))
+            verify_cmd; check_cmd; faults_cmd; observe_cmd ]))

@@ -58,6 +58,12 @@ let prepare ~root ~route ~graph ~requests =
     on_tick = Engine.no_tick;
   }
 
+type checker_state = state
+type checker_msg = msg
+
+let one_shot_protocol ?(root = 0) ?route ~graph ~requests () =
+  prepare ~root ~route ~graph ~requests
+
 let finish (res : (Types.op * Types.pred) Engine.result) =
   let outcomes =
     List.map

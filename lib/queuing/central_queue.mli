@@ -21,6 +21,24 @@ val run :
     outcome/validation types. [root] defaults to 0; [route] to
     all-pairs shortest-path routing; config to the base model. *)
 
+type checker_state
+type checker_msg
+(** Abstract internals, exposed for the exhaustive schedule explorer. *)
+
+val one_shot_protocol :
+  ?root:int ->
+  ?route:Countq_simnet.Route.t ->
+  graph:Countq_topology.Graph.t ->
+  requests:int list ->
+  unit ->
+  (checker_state, checker_msg, Countq_arrow.Types.op * Countq_arrow.Types.pred)
+  Countq_simnet.Engine.protocol
+(** The raw protocol value ({!run} without the engine invocation), for
+    the model checker and engine-equivalence harnesses; completions are
+    [(op, predecessor)] pairs — validate with
+    {!Countq_arrow.Order.chain}.
+    @raise Invalid_argument on bad requests or root. *)
+
 val run_observed :
   ?config:Countq_simnet.Engine.config ->
   ?root:int ->

@@ -6,7 +6,10 @@ module Types = Countq_arrow.Types
 module Order = Countq_arrow.Order
 module Sweep = Countq_counting.Sweep
 
-let run ?config ~tree ~requests () =
+type checker_state = unit
+type checker_msg = int
+
+let one_shot_protocol ~tree ~requests () =
   let n = Tree.n tree in
   let requesting = Array.make n false in
   List.iter
@@ -15,7 +18,6 @@ let run ?config ~tree ~requests () =
       if requesting.(v) then invalid_arg "Token_ring.run: duplicate request node";
       requesting.(v) <- true)
     requests;
-  let config = Option.value config ~default:Engine.default_config in
   let walk = Sweep.euler_walk tree in
   (* Predecessor of each requester in first-visit order (computed in
      the free initialisation, like the sweep counter's ranks). *)
@@ -46,17 +48,19 @@ let run ?config ~tree ~requests () =
     in
     complete @ forward
   in
-  let protocol =
-    {
-      Engine.name = "token-ring-queue";
-      initial_state = (fun _ -> ());
-      on_start =
-        (fun ~node s ->
-          if node = Tree.root tree then (s, actions_at node 0) else (s, []));
-      on_receive = (fun ~round:_ ~node ~src:_ i s -> (s, actions_at node i));
-      on_tick = Engine.no_tick;
-    }
-  in
+  {
+    Engine.name = "token-ring-queue";
+    initial_state = (fun _ -> ());
+    on_start =
+      (fun ~node s ->
+        if node = Tree.root tree then (s, actions_at node 0) else (s, []));
+    on_receive = (fun ~round:_ ~node ~src:_ i s -> (s, actions_at node i));
+    on_tick = Engine.no_tick;
+  }
+
+let run ?config ~tree ~requests () =
+  let protocol = one_shot_protocol ~tree ~requests () in
+  let config = Option.value config ~default:Engine.default_config in
   let graph = Tree.to_graph tree in
   let res = Engine.run ~graph ~config ~protocol () in
   let outcomes =

@@ -11,6 +11,22 @@
     sparse requester it still pays a full sweep where the arrow pays
     one path. Experiment E24 tabulates the contrast. *)
 
+type checker_state
+type checker_msg
+(** Abstract internals, exposed for the exhaustive schedule explorer. *)
+
+val one_shot_protocol :
+  tree:Countq_topology.Tree.t ->
+  requests:int list ->
+  unit ->
+  (checker_state, checker_msg, Countq_arrow.Types.op * Countq_arrow.Types.pred)
+  Countq_simnet.Engine.protocol
+(** The raw protocol value ({!run} without the engine invocation), for
+    the model checker and engine-equivalence harnesses; completions are
+    [(op, predecessor)] pairs — validate with
+    {!Countq_arrow.Order.chain}.
+    @raise Invalid_argument on out-of-range or duplicate requests. *)
+
 val run :
   ?config:Countq_simnet.Engine.config ->
   tree:Countq_topology.Tree.t ->

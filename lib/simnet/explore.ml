@@ -1,19 +1,32 @@
-(* Exhaustive interleaving exploration. See explore.mli. *)
+(* Bounded model checker over asynchronous interleavings. See
+   explore.mli for the canonicalisation and reduction arguments. *)
 
 module Graph = Countq_topology.Graph
+module Parallel = Countq_util.Parallel
 
-type stats = { explored : int; terminal : int; max_frontier : int }
+type stats = {
+  explored : int;
+  terminal : int;
+  max_frontier : int;
+  dedup_hits : int;
+}
+
+type outcome = Exhaustive of stats | Budget_exhausted of stats
 
 exception Violation of string
 
 (* An immutable configuration. Queues are lists with the head first;
-   everything inside must be hashable/comparable structurally, which
-   holds for the pure-state protocols this checker targets. *)
+   everything inside must be pure and structural (no closures or
+   cycles), which holds for the pure-state protocols this checker
+   targets. [events] is the monotone event counter of the
+   representative execution that first reached the configuration; it
+   is deliberately NOT part of the configuration's identity. *)
 type ('s, 'm, 'r) config = {
   states : 's array;
-  outbox : (int * 'm) list array; (* per node, FIFO *)
+  outbox : (int * 'm) list array; (* per node, FIFO; all empty when reduced *)
   links : ((int * int) * 'm list) list; (* sorted by key, FIFO per link *)
   completions : 'r Engine.completion list; (* reverse order of occurrence *)
+  events : int;
 }
 
 let link_get links key =
@@ -24,41 +37,125 @@ let link_set links key q =
   if q = [] then without
   else List.sort (fun (a, _) (b, _) -> compare a b) ((key, q) :: without)
 
-let run ~graph ~protocol ~check ?(max_configs = 1_000_000) () =
+(* The canonical serialisation. States, outboxes and links are
+   canonical by construction (links sorted, empty queues dropped);
+   completions drop their round stamps, which describe the
+   representative execution rather than the state. Marshal without
+   sharing is purely structural — equal values serialise equally. *)
+let canonical_key cfg =
+  Marshal.to_string
+    ( cfg.states,
+      cfg.outbox,
+      cfg.links,
+      List.map
+        (fun (c : _ Engine.completion) -> (c.node, c.value))
+        cfg.completions )
+    [ Marshal.No_sharing ]
+
+let run ~graph ~protocol ~check ?(max_configs = 1_000_000) ?(reduce = true)
+    ?pool () =
   let n = Graph.n graph in
-  (* Initial configuration: on_start everywhere. *)
-  let states = Array.init n protocol.Engine.initial_state in
-  let outbox = Array.make n [] in
-  let completions = ref [] in
-  for v = 0 to n - 1 do
-    let s, actions = protocol.Engine.on_start ~node:v states.(v) in
-    states.(v) <- s;
-    List.iter
-      (fun action ->
-        match action with
-        | Engine.Send (dst, msg) ->
-            if not (Graph.has_edge graph v dst) then
-              raise (Engine.Not_a_neighbor { node = v; dst });
-            outbox.(v) <- outbox.(v) @ [ (dst, msg) ]
-        | Engine.Complete value ->
-            completions := { Engine.node = v; round = 0; value } :: !completions)
-      actions
-  done;
-  let initial = { states; outbox; links = []; completions = !completions } in
-  let visited = Hashtbl.create 4096 in
-  let explored = ref 0 and terminal = ref 0 and max_frontier = ref 0 in
-  let stack = Stack.create () in
-  Stack.push initial stack;
-  while not (Stack.is_empty stack) do
-    max_frontier := max !max_frontier (Stack.length stack);
-    let cfg = Stack.pop stack in
-    if not (Hashtbl.mem visited cfg) then begin
-      Hashtbl.replace visited cfg ();
-      incr explored;
-      if !explored > max_configs then
-        invalid_arg "Explore.run: max_configs exceeded";
-      (* Enumerate enabled events. *)
-      let successors = ref [] in
+  (* One shared all-empty outbox for every drained configuration: the
+     reduction keeps outboxes empty, so there is no point allocating
+     (or serialising differently) a fresh array per state. Never
+     mutated. *)
+  let empty_outbox = Array.make n [] in
+  let check_send ~node dst =
+    if not (Graph.has_edge graph node dst) then
+      raise (Engine.Not_a_neighbor { node; dst })
+  in
+  (* Append [sends] (FIFO order, all from [src]) onto their links: the
+     canonical transmit chain the reduction collapses into the
+     delivery step that produced them. Each transmit is one event. *)
+  let drain ~src ~links ~events sends =
+    List.fold_left
+      (fun (links, events) (dst, msg) ->
+        let key = (src, dst) in
+        (link_set links key (link_get links key @ [ msg ]), events + 1))
+      (links, events) sends
+  in
+  (* Initial configuration: on_start everywhere at time 0. *)
+  let initial =
+    let states = Array.init n protocol.Engine.initial_state in
+    let outbox = Array.make n [] in
+    let completions = ref [] in
+    for v = 0 to n - 1 do
+      let s, actions = protocol.Engine.on_start ~node:v states.(v) in
+      states.(v) <- s;
+      List.iter
+        (fun action ->
+          match action with
+          | Engine.Send (dst, msg) ->
+              check_send ~node:v dst;
+              outbox.(v) <- outbox.(v) @ [ (dst, msg) ]
+          | Engine.Complete value ->
+              completions :=
+                { Engine.node = v; round = 0; value } :: !completions)
+        actions
+    done;
+    if reduce then begin
+      let links, events = ref [], ref 0 in
+      Array.iteri
+        (fun v q ->
+          let l, e = drain ~src:v ~links:!links ~events:!events q in
+          links := l;
+          events := e)
+        outbox;
+      {
+        states;
+        outbox = empty_outbox;
+        links = !links;
+        completions = !completions;
+        events = !events;
+      }
+    end
+    else
+      { states; outbox; links = []; completions = !completions; events = 0 }
+  in
+  (* Deliver the head of link [key]; returns the post-receive pieces
+     with the sends not yet placed (the two modes place them
+     differently). *)
+  let deliver cfg ((src, dst) as key) q =
+    match q with
+    | [] -> None
+    | msg :: rest ->
+        let links = link_set cfg.links key rest in
+        let events = cfg.events + 1 in
+        let s, actions =
+          protocol.Engine.on_receive ~round:events ~node:dst ~src msg
+            cfg.states.(dst)
+        in
+        let states = Array.copy cfg.states in
+        states.(dst) <- s;
+        let completions = ref cfg.completions in
+        let sends = ref [] in
+        List.iter
+          (fun action ->
+            match action with
+            | Engine.Send (d, m) ->
+                check_send ~node:dst d;
+                sends := (d, m) :: !sends
+            | Engine.Complete value ->
+                completions :=
+                  { Engine.node = dst; round = events; value } :: !completions)
+          actions;
+        Some (states, links, List.rev !sends, !completions, events)
+  in
+  let successors cfg =
+    if reduce then
+      (* Drained mode: one successor per non-empty link (deliver its
+         head, then drain the sends it produced). Transmit branching
+         is gone — see the persistent-set argument in the .mli. *)
+      List.filter_map
+        (fun ((_, dst) as key, q) ->
+          match deliver cfg key q with
+          | None -> None
+          | Some (states, links, sends, completions, events) ->
+              let links, events = drain ~src:dst ~links ~events sends in
+              Some { states; outbox = empty_outbox; links; completions; events })
+        cfg.links
+    else begin
+      let succs = ref [] in
       (* (a) transmit an outbox head onto its link. *)
       for v = 0 to n - 1 do
         match cfg.outbox.(v) with
@@ -67,52 +164,95 @@ let run ~graph ~protocol ~check ?(max_configs = 1_000_000) () =
             let outbox = Array.copy cfg.outbox in
             outbox.(v) <- rest;
             let key = (v, dst) in
-            let links = link_set cfg.links key (link_get cfg.links key @ [ msg ]) in
-            successors := { cfg with outbox; links } :: !successors
+            let links =
+              link_set cfg.links key (link_get cfg.links key @ [ msg ])
+            in
+            succs :=
+              { cfg with outbox; links; events = cfg.events + 1 } :: !succs
       done;
       (* (b) deliver a link head. *)
       List.iter
-        (fun ((src, dst), q) ->
-          match q with
-          | [] -> ()
-          | msg :: rest ->
-              let links = link_set cfg.links (src, dst) rest in
-              let event_index =
-                List.length cfg.completions + List.length cfg.links
-              in
-              let s, actions =
-                protocol.Engine.on_receive ~round:event_index ~node:dst ~src msg
-                  cfg.states.(dst)
-              in
-              let states = Array.copy cfg.states in
-              states.(dst) <- s;
+        (fun ((_, dst) as key, q) ->
+          match deliver cfg key q with
+          | None -> ()
+          | Some (states, links, sends, completions, events) ->
               let outbox = Array.copy cfg.outbox in
-              let completions = ref cfg.completions in
-              List.iter
-                (fun action ->
-                  match action with
-                  | Engine.Send (d, m) ->
-                      if not (Graph.has_edge graph dst d) then
-                        raise (Engine.Not_a_neighbor { node = dst; dst = d });
-                      outbox.(dst) <- outbox.(dst) @ [ (d, m) ]
-                  | Engine.Complete value ->
-                      completions :=
-                        { Engine.node = dst; round = event_index; value }
-                        :: !completions)
-                actions;
-              successors :=
-                { states; outbox; links; completions = !completions }
-                :: !successors)
+              outbox.(dst) <- outbox.(dst) @ sends;
+              succs := { states; outbox; links; completions; events } :: !succs)
         cfg.links;
-      match !successors with
-      | [] -> begin
-          (* Quiescent: apply the safety check. *)
-          incr terminal;
-          match check (List.rev cfg.completions) with
-          | Ok () -> ()
-          | Error msg -> raise (Violation msg)
-        end
-      | succs -> List.iter (fun c -> Stack.push c stack) succs
+      List.rev !succs
     end
-  done;
-  { explored = !explored; terminal = !terminal; max_frontier = !max_frontier }
+  in
+  (* A worker's pure verdict on one frontier configuration: successors
+     (digests precomputed off the merge path) or, when quiescent, the
+     safety check tagged with the canonical key so the lowest failing
+     configuration wins deterministically. *)
+  let expand cfg =
+    match successors cfg with
+    | [] -> `Terminal (canonical_key cfg, check (List.rev cfg.completions))
+    | succs ->
+        `Succs (List.map (fun c -> (Digest.string (canonical_key c), c)) succs)
+  in
+  let map_f f xs =
+    match pool with
+    | None -> List.map f xs
+    | Some p -> Parallel.pool_map p f xs
+  in
+  let visited = Hashtbl.create 4096 in
+  let explored = ref 0
+  and terminal = ref 0
+  and max_frontier = ref 0
+  and dedup_hits = ref 0 in
+  let stats () =
+    {
+      explored = !explored;
+      terminal = !terminal;
+      max_frontier = !max_frontier;
+      dedup_hits = !dedup_hits;
+    }
+  in
+  Hashtbl.replace visited (Digest.string (canonical_key initial)) ();
+  explored := 1;
+  (* Breadth-first by layers: workers expand a whole layer in
+     parallel; dedup, counting and budget enforcement happen here, in
+     input order, so the run is bit-identical for every jobs count. *)
+  let rec loop frontier =
+    match frontier with
+    | [] -> Exhaustive (stats ())
+    | layer ->
+        max_frontier := max !max_frontier (List.length layer);
+        let expanded = map_f expand layer in
+        let next = ref [] in
+        let exhausted = ref false in
+        let violation = ref None in
+        List.iter
+          (fun result ->
+            match result with
+            | `Terminal (ckey, verdict) -> (
+                incr terminal;
+                match verdict with
+                | Ok () -> ()
+                | Error msg -> (
+                    match !violation with
+                    | Some (best, _) when best <= ckey -> ()
+                    | _ -> violation := Some (ckey, msg)))
+            | `Succs succs ->
+                List.iter
+                  (fun (dg, c) ->
+                    if Hashtbl.mem visited dg then incr dedup_hits
+                    else if not !exhausted then
+                      if !explored >= max_configs then exhausted := true
+                      else begin
+                        Hashtbl.replace visited dg ();
+                        incr explored;
+                        next := c :: !next
+                      end)
+                  succs)
+          expanded;
+        (match !violation with
+        | Some (_, msg) -> raise (Violation msg)
+        | None -> ());
+        if !exhausted then Budget_exhausted (stats ())
+        else loop (List.rev !next)
+  in
+  loop [ initial ]

@@ -1,4 +1,4 @@
-(** Exhaustive schedule exploration: a bounded model checker for
+(** Bounded model checker: exhaustive schedule exploration for
     protocols.
 
     The property tests sample random schedules; this module tries
@@ -12,36 +12,102 @@
     predicate checked on every reachable quiescent configuration
     therefore holds under {e every} schedule of either engine.
 
-    State spaces explode quickly: intended for instances with a handful
-    of nodes and operations (the test suite verifies the arrow
-    protocol's total-order safety and the central counter's count-set
-    property on all schedules of 3–5 node instances — typically a few
-    thousand configurations). *)
+    {2 How the state space is kept small}
+
+    {b Canonical configurations.} Link queues live in an assoc list
+    sorted by [(src, dst)] with empty queues dropped, so two
+    configurations that differ only in representation hash identically.
+    The visited set stores 16-byte digests of a canonical structural
+    serialisation ([Marshal] without sharing, then MD5) instead of full
+    configurations: memory per visited state is constant, and lookups
+    never fall into the pathological collision chains of the
+    polymorphic hash (which only inspects a bounded prefix of a deep
+    structure). A digest collision would merge two distinct states; at
+    the ≤ 2{^ 24} states a bounded run can visit the probability is
+    below 2{^ -80} — negligible next to the model's own abstractions.
+
+    {b Partial-order reduction.} A transmit event commutes with every
+    other enabled event: it pops one outbox head and appends to one
+    link tail, while any other event either pops that same link's head
+    (FIFO queues make pop-head and append-tail commute) or touches
+    disjoint state, and nothing can disable it. Each singleton
+    {transmit at the lowest busy node} is therefore a persistent set,
+    so exploring only that event whenever any transmit is enabled
+    preserves every reachable quiescent configuration — including its
+    completion sequence, because transmits complete nothing and
+    delivery interleavings are not restricted. The checker goes one
+    step further and collapses the whole canonical transmit chain:
+    configurations are kept {e drained} (all outboxes empty, every sent
+    message already on its link), and a successor is one delivery
+    followed by re-draining. Since eager transmission only makes
+    deliveries enabled earlier, and FIFO constraints are identical
+    either way, the drained graph reaches {e exactly} the terminal
+    completion sequences of the full interleaving graph (a property the
+    test suite pins by comparing against the unreduced explorer on
+    random small instances). Pass [~reduce:false] to explore the full
+    transmit/deliver branching instead.
+
+    {b Parallel frontier.} Exploration is breadth-first, layer by
+    layer; passing [~pool] evaluates each layer's successor expansion
+    and terminal checks on the shared domain pool. Dedup and counting
+    happen sequentially in the caller in input order, so stats, the
+    visited set and the reported violation are bit-identical for every
+    jobs count. Violations are deterministic regardless of schedule:
+    the whole layer is expanded and the failing quiescent configuration
+    with the lowest canonical serialisation wins.
+
+    State spaces still explode with concurrency: intended for instances
+    with a handful of nodes (the test suite and [countq check] verify
+    the arrow protocol's total-order safety and the central counter's
+    count-set property on all schedules of 4–7 node instances). *)
 
 type stats = {
   explored : int;  (** distinct configurations visited. *)
   terminal : int;  (** quiescent configurations checked. *)
-  max_frontier : int;  (** peak DFS stack depth. *)
+  max_frontier : int;  (** peak BFS frontier width. *)
+  dedup_hits : int;
+      (** successor configurations that were already in the visited
+          set — the canonicalisation's work, visible. *)
 }
+
+type outcome =
+  | Exhaustive of stats
+      (** every reachable configuration was visited and every quiescent
+          one passed the check: a proof by exhaustion. *)
+  | Budget_exhausted of stats
+      (** the [max_configs] budget ran out first; the stats cover the
+          explored prefix and every quiescent configuration inside it
+          passed, but unexplored schedules remain — a partial result,
+          not an error. *)
 
 exception Violation of string
 (** Raised by {!run} when the predicate rejects some reachable
-    quiescent configuration; carries the predicate's message. *)
+    quiescent configuration; carries the predicate's message (from the
+    lowest-canonical failing configuration of the earliest failing
+    layer, so the report is deterministic). *)
 
 val run :
   graph:Countq_topology.Graph.t ->
   protocol:('s, 'm, 'r) Engine.protocol ->
   check:('r Engine.completion list -> (unit, string) result) ->
   ?max_configs:int ->
+  ?reduce:bool ->
+  ?pool:Countq_util.Parallel.pool ->
   unit ->
-  stats
+  outcome
 (** [run ~graph ~protocol ~check ()] explores every interleaving of the
     protocol's one-shot execution ([on_start] at time 0; [on_tick] is
     ignored) and applies [check] to the completion list of each
-    quiescent configuration (completions carry the event index as their
-    [round], so delay-based checks are not meaningful here — check
-    values, not times). Visited configurations are memoised
-    structurally.
-    @raise Violation on the first failing configuration.
-    @raise Invalid_argument if [max_configs] (default 1_000_000) is
-    exceeded — shrink the instance. *)
+    quiescent configuration. Completions are stamped with a monotone
+    event counter as their [round] (each transmit or delivery is one
+    event), taken from the representative execution that first reached
+    the configuration — stamps are monotone along that path but carry
+    no timing meaning, so check {e values}, not times. [reduce]
+    (default [true]) applies the partial-order reduction described
+    above; [pool] parallelises each frontier layer (the outcome is
+    identical with or without it). [max_configs] (default 1_000_000)
+    bounds the visited set; exceeding it yields {!Budget_exhausted}
+    with the partial stats rather than an error.
+    @raise Violation on a failing quiescent configuration (checked
+    before the budget verdict, so a violation inside the explored
+    prefix is always reported). *)

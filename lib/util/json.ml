@@ -116,18 +116,49 @@ let of_string s =
               | 'r' -> Buffer.add_char buf '\r'
               | 't' -> Buffer.add_char buf '\t'
               | 'u' ->
-                  if !pos + 4 > n then fail "truncated \\u escape";
-                  let hex = String.sub s !pos 4 in
-                  pos := !pos + 4;
-                  let code =
-                    try int_of_string ("0x" ^ hex)
-                    with _ -> fail "bad \\u escape"
+                  (* Any \uXXXX decodes to UTF-8, with surrogate pairs
+                     combined; unpaired surrogates are malformed JSON
+                     text and rejected. *)
+                  let hex4 () =
+                    if !pos + 4 > n then fail "truncated \\u escape";
+                    let v = ref 0 in
+                    for _ = 1 to 4 do
+                      let d =
+                        match s.[!pos] with
+                        | '0' .. '9' as c -> Char.code c - Char.code '0'
+                        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                        | _ -> fail "bad \\u escape"
+                      in
+                      v := (!v lsl 4) lor d;
+                      advance ()
+                    done;
+                    !v
                   in
-                  (* The emitters only escape control characters, so a
-                     code point above 0xff would be a foreign file;
-                     decode the latin-1 range and reject the rest. *)
-                  if code < 0x100 then Buffer.add_char buf (Char.chr code)
-                  else fail "\\u escape beyond latin-1 unsupported"
+                  let code = hex4 () in
+                  let code =
+                    if code >= 0xd800 && code <= 0xdbff then begin
+                      if
+                        !pos + 2 <= n
+                        && s.[!pos] = '\\'
+                        && s.[!pos + 1] = 'u'
+                      then begin
+                        advance ();
+                        advance ();
+                        let low = hex4 () in
+                        if low >= 0xdc00 && low <= 0xdfff then
+                          0x10000
+                          + ((code - 0xd800) lsl 10)
+                          + (low - 0xdc00)
+                        else fail "unpaired high surrogate"
+                      end
+                      else fail "unpaired high surrogate"
+                    end
+                    else if code >= 0xdc00 && code <= 0xdfff then
+                      fail "unpaired low surrogate"
+                    else code
+                  in
+                  Buffer.add_utf_8_uchar buf (Uchar.of_int code)
               | c -> fail (Printf.sprintf "bad escape \\%c" c));
               go ())
       | Some c ->

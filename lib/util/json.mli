@@ -26,7 +26,9 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 (** Parse one JSON value (leading/trailing whitespace allowed). Numbers
     without [.], [e] or [E] parse as [Int]; anything unparseable
-    returns [Error] with a position-tagged message. *)
+    returns [Error] with a position-tagged message. [\uXXXX] escapes
+    decode to UTF-8 for the whole Unicode range — surrogate pairs
+    combine into one code point; an unpaired surrogate is an error. *)
 
 (** {1 Accessors} — tiny helpers for the importers. *)
 

@@ -59,17 +59,33 @@ let histogram ?(bins = 10) samples =
   if samples = [] then invalid_arg "Stats.histogram: empty sample list";
   let lo = List.fold_left min max_int samples in
   let hi = List.fold_left max min_int samples in
-  let span = hi - lo + 1 in
-  let bins = min bins span in
+  (* The span [hi - lo + 1] exceeds the native int range when the
+     samples straddle a wide interval (e.g. one near [min_int], one
+     near [max_int]), so the bucket arithmetic runs in Int64 with
+     unsigned division: every bucket BOUND is a sample-range value and
+     fits a native int, only the span and the per-bucket offsets need
+     the wider (modular) arithmetic. *)
+  let span = Int64.add (Int64.sub (Int64.of_int hi) (Int64.of_int lo)) 1L in
+  let bins =
+    if Int64.unsigned_compare (Int64.of_int bins) span > 0 then
+      Int64.to_int span
+    else bins
+  in
   (* Equal-width buckets; the first [span mod bins] buckets absorb the
      remainder so the widths differ by at most one. *)
-  let base = span / bins and extra = span mod bins in
+  let base = Int64.unsigned_div span (Int64.of_int bins)
+  and extra = Int64.to_int (Int64.unsigned_rem span (Int64.of_int bins)) in
   let bounds =
     Array.init bins (fun i ->
-        let width j = base + if j < extra then 1 else 0 in
-        let rec start j acc = if j >= i then acc else start (j + 1) (acc + width j) in
-        let l = lo + start 0 0 in
-        (l, l + width i - 1))
+        let start =
+          Int64.add
+            (Int64.mul (Int64.of_int i) base)
+            (Int64.of_int (min i extra))
+        in
+        let width = Int64.add base (if i < extra then 1L else 0L) in
+        let l = Int64.add (Int64.of_int lo) start in
+        let h = Int64.sub (Int64.add l width) 1L in
+        (Int64.to_int l, Int64.to_int h))
   in
   let counts = Array.make bins 0 in
   List.iter

@@ -41,7 +41,9 @@ val histogram : ?bins:int -> int list -> bucket list
     partition the range ([b.hi + 1 = next.lo]), every sample lands in
     exactly one bucket, and bucket counts sum to the sample count.
     When the data span is smaller than [bins], one bucket per distinct
-    value is used instead of empty padding.
+    value is used instead of empty padding. The bucket arithmetic is
+    exact over the whole int range — samples straddling [min_int] and
+    [max_int] (a span wider than a native int) bucket correctly.
     @raise Invalid_argument on an empty list or [bins < 1]. *)
 
 val render_histogram : ?width:int -> bucket list -> string

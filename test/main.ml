@@ -5,6 +5,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("stats", Test_stats.suite);
+      ("json", Test_json.suite);
       ("heap", Test_heap.suite);
       ("parallel", Test_parallel.suite);
       ("graph", Test_graph.suite);

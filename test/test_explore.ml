@@ -1,5 +1,7 @@
 (* Exhaustive-schedule verification: safety on EVERY interleaving of
-   small instances, not just the sampled ones. *)
+   small instances, not just the sampled ones — plus the soundness pin
+   for the checker's own partial-order reduction (reduced and
+   unreduced explorers must agree on the reachable terminal set). *)
 
 module Gen = Countq_topology.Gen
 module Tree = Countq_topology.Tree
@@ -9,6 +11,14 @@ module Explore = Countq_simnet.Explore
 module Arrow = Countq_arrow
 module Central = Countq_counting.Central
 module Counts = Countq_counting.Counts
+
+let stats_of = function
+  | Explore.Exhaustive s | Explore.Budget_exhausted s -> s
+
+let check_exhaustive outcome =
+  match outcome with
+  | Explore.Exhaustive s -> s
+  | Explore.Budget_exhausted _ -> Alcotest.fail "budget unexpectedly exhausted"
 
 let arrow_check requests completions =
   let outcomes =
@@ -25,32 +35,46 @@ let arrow_check requests completions =
     | Ok _ -> Ok ()
     | Error e -> Error (Format.asprintf "%a" Arrow.Order.pp_error e)
 
-let explore_arrow g requests =
+let explore_arrow ?max_configs ?reduce ?pool g requests =
   let tree = Spanning.best_for_arrow g in
   let protocol = Arrow.Protocol.one_shot_protocol ~tree ~requests () in
   Explore.run ~graph:(Tree.to_graph tree) ~protocol
-    ~check:(arrow_check requests) ()
+    ~check:(arrow_check requests) ?max_configs ?reduce ?pool ()
 
 let test_arrow_all_schedules_path () =
-  let stats = explore_arrow (Gen.path 4) [ 1; 2; 3 ] in
+  let stats = check_exhaustive (explore_arrow (Gen.path 4) [ 1; 2; 3 ]) in
   Alcotest.(check bool) "nontrivial space" true (stats.explored > 10);
   Alcotest.(check bool) "terminals checked" true (stats.terminal >= 1)
 
 let test_arrow_all_schedules_star () =
-  let stats = explore_arrow (Gen.star 4) [ 1; 2; 3 ] in
-  Alcotest.(check bool) "explored" true (stats.explored > 10)
+  let stats = check_exhaustive (explore_arrow (Gen.star 4) [ 1; 2; 3 ]) in
+  Alcotest.(check bool) "explored" true (stats.explored > 10);
+  Alcotest.(check bool) "canonicalisation dedups" true (stats.dedup_hits > 0)
 
 let test_arrow_all_schedules_mesh_corner () =
   (* 2x2 mesh, all four requesting: concurrent path reversal from every
      corner, every interleaving. *)
-  let stats = explore_arrow (Gen.square_mesh 2) [ 0; 1; 2; 3 ] in
-  Alcotest.(check bool) "explored" true (stats.explored > 20)
+  let stats =
+    check_exhaustive (explore_arrow (Gen.square_mesh 2) [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check bool) "explored" true (stats.explored > 10);
+  Alcotest.(check bool) "orderings checked" true (stats.terminal >= 6)
 
 let test_arrow_all_schedules_deeper_path () =
   (* Node 0 is the tail (local completion), so the space is small but
      the two travelling messages still interleave. *)
-  let stats = explore_arrow (Gen.path 5) [ 0; 2; 4 ] in
-  Alcotest.(check bool) "explored" true (stats.explored > 10)
+  let stats = check_exhaustive (explore_arrow (Gen.path 5) [ 0; 2; 4 ]) in
+  Alcotest.(check bool) "explored" true (stats.explored >= 10);
+  Alcotest.(check bool) "interleavings reach terminals" true
+    (stats.terminal >= 2)
+
+let test_arrow_six_nodes () =
+  (* A 6-node instance at the default budget: the canonical encoding
+     and the reduction are what make this routine. *)
+  let stats =
+    check_exhaustive (explore_arrow (Gen.star 6) [ 1; 2; 3; 4; 5 ])
+  in
+  Alcotest.(check bool) "terminals checked" true (stats.terminal >= 1)
 
 let counting_check requests completions =
   let outcomes =
@@ -69,7 +93,8 @@ let test_central_all_schedules () =
     (fun (g, requests) ->
       let protocol = Central.one_shot_protocol ~graph:g ~requests () in
       let stats =
-        Explore.run ~graph:g ~protocol ~check:(counting_check requests) ()
+        check_exhaustive
+          (Explore.run ~graph:g ~protocol ~check:(counting_check requests) ())
       in
       Alcotest.(check bool) "terminals checked" true (stats.terminal >= 1))
     [
@@ -123,21 +148,128 @@ let test_fifo_preserved_in_all_interleavings () =
     | [ "a"; "b" ] -> Ok ()
     | other -> Error (String.concat "," other)
   in
-  let stats = Explore.run ~graph:(Gen.path 2) ~protocol ~check () in
-  Alcotest.(check bool) "several interleavings" true (stats.terminal >= 1)
+  let stats =
+    check_exhaustive (Explore.run ~graph:(Gen.path 2) ~protocol ~check ())
+  in
+  Alcotest.(check bool) "terminals checked" true (stats.terminal >= 1)
 
 let test_config_budget () =
+  (* Budget exhaustion is a reported outcome with partial stats, not an
+     Invalid_argument: the caller asked a well-formed question that was
+     too big, which is not a usage error. *)
   let g = Gen.complete 4 in
-  let tree = Spanning.best_for_arrow g in
-  let protocol =
-    Arrow.Protocol.one_shot_protocol ~tree ~requests:[ 0; 1; 2; 3 ] ()
+  match explore_arrow ~max_configs:5 g [ 0; 1; 2; 3 ] with
+  | Explore.Budget_exhausted stats ->
+      Alcotest.(check bool) "some progress" true (stats.explored >= 1);
+      Alcotest.(check bool) "budget respected" true (stats.explored <= 5)
+  | Explore.Exhaustive _ -> Alcotest.fail "budget must exhaust at 5 configs"
+
+let test_monotone_event_rounds () =
+  (* Completion [round] stamps are a monotone event counter along the
+     representative execution, so within every terminal's completion
+     list (occurrence order) they never decrease. *)
+  let requests = [ 1; 2; 3 ] in
+  let check completions =
+    let rounds = List.map (fun (c : _ Engine.completion) -> c.round) completions in
+    let rec sorted = function
+      | a :: (b :: _ as rest) -> a <= b && sorted rest
+      | _ -> true
+    in
+    if sorted rounds then arrow_check requests completions
+    else Error "non-monotone rounds"
   in
-  Alcotest.check_raises "budget exceeded"
-    (Invalid_argument "Explore.run: max_configs exceeded") (fun () ->
-      ignore
-        (Explore.run ~graph:(Tree.to_graph tree) ~protocol
-           ~check:(fun _ -> Ok ())
-           ~max_configs:5 ()))
+  let tree = Spanning.best_for_arrow (Gen.star 4) in
+  let protocol = Arrow.Protocol.one_shot_protocol ~tree ~requests () in
+  let stats =
+    check_exhaustive
+      (Explore.run ~graph:(Tree.to_graph tree) ~protocol ~check ())
+  in
+  Alcotest.(check bool) "terminals checked" true (stats.terminal >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Soundness of the partial-order reduction: on random 3-4 node
+   instances the reduced explorer must reach exactly the terminal
+   completion sequences of the full interleaving graph. Completions
+   are compared without their round stamps (representative-execution
+   timing, not state). *)
+
+let terminal_set ~reduce ~graph ~protocol =
+  let terminals = ref [] in
+  let check completions =
+    (* One string per terminal (structural serialisation of the
+       round-stripped completion sequence) so terminal sets of
+       different protocols share a comparable type. *)
+    terminals :=
+      Marshal.to_string
+        (List.map
+           (fun (c : _ Engine.completion) -> (c.node, c.value))
+           completions)
+        [ Marshal.No_sharing ]
+      :: !terminals;
+    Ok ()
+  in
+  (match Explore.run ~graph ~protocol ~check ~reduce () with
+  | Explore.Exhaustive _ -> ()
+  | Explore.Budget_exhausted _ -> Alcotest.fail "pin instance too large");
+  List.sort compare !terminals
+
+let por_instance_gen =
+  let open QCheck2.Gen in
+  let* pick = int_range 0 3 in
+  let name, g =
+    match pick with
+    | 0 -> ("path-4", Gen.path 4)
+    | 1 -> ("star-4", Gen.star 4)
+    | 2 -> ("complete-3", Gen.complete 3)
+    | _ -> ("path-3", Gen.path 3)
+  in
+  let n = Countq_topology.Graph.n g in
+  let* mask = list_size (return n) bool in
+  let requests =
+    List.filteri (fun i _ -> List.nth mask i) (List.init n (fun i -> i))
+  in
+  let requests = if requests = [] then [ n - 1 ] else requests in
+  let* proto = int_range 0 1 in
+  return (name, g, requests, (if proto = 0 then `Arrow else `Central))
+
+let prop_por_sound =
+  QCheck2.Test.make ~name:"POR: reduced = unreduced terminal sets" ~count:40
+    ~print:(fun (name, _, requests, proto) ->
+      Printf.sprintf "%s R={%s} %s" name
+        (String.concat "," (List.map string_of_int requests))
+        (match proto with `Arrow -> "arrow" | `Central -> "central"))
+    por_instance_gen
+    (fun (_, g, requests, proto) ->
+      let graph, run_both =
+        match proto with
+        | `Arrow ->
+            let tree = Spanning.best_for_arrow g in
+            let graph = Tree.to_graph tree in
+            ( graph,
+              fun reduce ->
+                terminal_set ~reduce ~graph
+                  ~protocol:(Arrow.Protocol.one_shot_protocol ~tree ~requests ())
+            )
+        | `Central ->
+            ( g,
+              fun reduce ->
+                terminal_set ~reduce ~graph:g
+                  ~protocol:(Central.one_shot_protocol ~graph:g ~requests ()) )
+      in
+      ignore graph;
+      run_both true = run_both false)
+
+let test_parallel_frontier_identical () =
+  (* Same instance, with and without a worker pool: stats and the
+     outcome must be bit-identical (the pool only parallelises each
+     layer's expansion; dedup and counting stay sequential). *)
+  let g = Gen.star 5 in
+  let requests = [ 1; 2; 3; 4 ] in
+  let sequential = explore_arrow g requests in
+  let pool = Countq_util.Parallel.pool ~jobs:3 in
+  let parallel = explore_arrow ~pool g requests in
+  Alcotest.(check bool) "same outcome" true (sequential = parallel);
+  Alcotest.(check bool) "nontrivial" true ((stats_of sequential).explored > 50)
 
 let suite =
   [
@@ -149,10 +281,17 @@ let suite =
       test_arrow_all_schedules_mesh_corner;
     Alcotest.test_case "arrow: all schedules, deeper path" `Quick
       test_arrow_all_schedules_deeper_path;
+    Alcotest.test_case "arrow: six nodes in budget" `Quick
+      test_arrow_six_nodes;
     Alcotest.test_case "central counter: all schedules" `Quick
       test_central_all_schedules;
     Alcotest.test_case "violations detected" `Quick test_violation_detected;
     Alcotest.test_case "FIFO preserved everywhere" `Quick
       test_fifo_preserved_in_all_interleavings;
     Alcotest.test_case "config budget" `Quick test_config_budget;
+    Alcotest.test_case "monotone event rounds" `Quick
+      test_monotone_event_rounds;
+    Helpers.qcheck prop_por_sound;
+    Alcotest.test_case "parallel frontier identical" `Quick
+      test_parallel_frontier_identical;
   ]

@@ -1,0 +1,101 @@
+(* The shared JSON core: printer/parser round-trips and the \uXXXX
+   decoder (full Unicode range, surrogate pairs, malformed escapes). *)
+
+module Json = Countq_util.Json
+
+let parse s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_err s =
+  match Json.of_string s with
+  | Ok _ -> Alcotest.failf "parse %S: expected an error" s
+  | Error e -> e
+
+let roundtrip v =
+  Alcotest.(check bool) "round-trip" true (parse (Json.to_string v) = v)
+
+let test_roundtrip_basics () =
+  List.iter roundtrip
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int 42;
+      Json.Int (-7);
+      Json.Float 3.25;
+      Json.Str "plain";
+      Json.Str "tab\tnewline\nquote\"backslash\\";
+      Json.Arr [ Json.Int 1; Json.Str "two"; Json.Null ];
+      Json.Obj [ ("a", Json.Int 1); ("b", Json.Arr []) ];
+    ]
+
+let test_unicode_escape_latin1 () =
+  (* é is é: the decoder must produce UTF-8 (0xc3 0xa9), not the
+     bare latin-1 byte 0xe9. *)
+  Alcotest.(check string) "e-acute" "caf\xc3\xa9" (
+    match parse {|"caf\u00e9"|} with
+    | Json.Str s -> s
+    | _ -> Alcotest.fail "expected a string")
+
+let test_unicode_escape_bmp () =
+  (* Beyond latin-1 but inside the basic multilingual plane. *)
+  match parse {|"\u0416\u4e2d\u20ac"|} with
+  | Json.Str s ->
+      Alcotest.(check string) "Zhe, zhong, euro"
+        "\xd0\x96\xe4\xb8\xad\xe2\x82\xac" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_unicode_surrogate_pair () =
+  (* U+1F600 (emoji) = surrogate pair D83D DE00; decodes to 4-byte
+     UTF-8. *)
+  match parse {|"\ud83d\ude00"|} with
+  | Json.Str s -> Alcotest.(check string) "emoji" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_unicode_escape_roundtrips_with_literal () =
+  (* An escaped code point and the literal UTF-8 bytes must parse to
+     the same string, and the printer's output must parse back. *)
+  let escaped = parse {|"\u00E9\u4E2D\uD83D\uDE00"|} in
+  let literal = parse "\"\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80\"" in
+  Alcotest.(check bool) "escaped = literal" true (escaped = literal);
+  roundtrip escaped
+
+let test_unpaired_surrogates_rejected () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [
+      {|"\ud83d"|} (* lone high *);
+      {|"\ud83dx"|} (* high then junk *);
+      {|"\ud83dA"|} (* high then non-low *);
+      {|"\ude00"|} (* lone low *);
+    ]
+
+let test_malformed_escapes_rejected () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [ {|"\u12"|}; {|"\u12g4"|}; {|"\q"|}; {|"\u"|} ]
+
+let test_control_chars_escape_and_return () =
+  (* The printer escapes control characters as \u00XX; they must come
+     back byte-identical. *)
+  roundtrip (Json.Str "\x00\x01\x1f bell\x07")
+
+let suite =
+  [
+    Alcotest.test_case "round-trip basics" `Quick test_roundtrip_basics;
+    Alcotest.test_case "\\u latin-1 range decodes to UTF-8" `Quick
+      test_unicode_escape_latin1;
+    Alcotest.test_case "\\u BMP decodes to UTF-8" `Quick
+      test_unicode_escape_bmp;
+    Alcotest.test_case "surrogate pair combines" `Quick
+      test_unicode_surrogate_pair;
+    Alcotest.test_case "escaped = literal UTF-8" `Quick
+      test_unicode_escape_roundtrips_with_literal;
+    Alcotest.test_case "unpaired surrogates rejected" `Quick
+      test_unpaired_surrogates_rejected;
+    Alcotest.test_case "malformed escapes rejected" `Quick
+      test_malformed_escapes_rejected;
+    Alcotest.test_case "control characters round-trip" `Quick
+      test_control_chars_escape_and_return;
+  ]

@@ -97,6 +97,109 @@ let test_render_histogram_golden () =
   in
   Alcotest.(check string) "golden" expected rendered
 
+let check_buckets name ~expect_n ~samples ~bins =
+  let bs = Stats.histogram ~bins samples in
+  let lo = List.fold_left min max_int samples in
+  let hi = List.fold_left max min_int samples in
+  Alcotest.(check int) (name ^ ": bucket count") expect_n (List.length bs);
+  Alcotest.(check int) (name ^ ": first lo") lo (List.hd bs).lo;
+  Alcotest.(check int)
+    (name ^ ": last hi")
+    hi
+    (List.nth bs (List.length bs - 1)).hi;
+  Alcotest.(check int)
+    (name ^ ": counts conserve")
+    (List.length samples)
+    (List.fold_left (fun acc (b : Stats.bucket) -> acc + b.bcount) 0 bs);
+  let rec contiguous = function
+    | (a : Stats.bucket) :: (b : Stats.bucket) :: rest ->
+        Alcotest.(check int) (name ^ ": contiguous") (a.hi + 1) b.lo;
+        contiguous (b :: rest)
+    | _ -> ()
+  in
+  contiguous bs;
+  bs
+
+let test_histogram_single_value () =
+  (* All-equal samples: span 1, so exactly one bucket regardless of the
+     bin budget. *)
+  match check_buckets "single" ~expect_n:1 ~samples:[ 5; 5; 5 ] ~bins:10 with
+  | [ { lo = 5; hi = 5; bcount = 3 } ] -> ()
+  | _ -> Alcotest.fail "single-value histogram"
+
+let test_histogram_bins_exceed_span () =
+  (* bins > span: one bucket per value in the range, including the
+     empty middle one. *)
+  match
+    check_buckets "bins>span" ~expect_n:3 ~samples:[ 7; 9; 9 ] ~bins:100
+  with
+  | [
+      { lo = 7; hi = 7; bcount = 1 };
+      { lo = 8; hi = 8; bcount = 0 };
+      { lo = 9; hi = 9; bcount = 2 };
+    ] ->
+      ()
+  | _ -> Alcotest.fail "bins-exceed-span histogram"
+
+let test_histogram_extreme_span () =
+  (* min_int and max_int together: the span [hi - lo + 1] does not fit
+     a native int, the buckets must still partition exactly. *)
+  let bs =
+    check_buckets "extreme" ~expect_n:4
+      ~samples:[ min_int; -1; 0; max_int ]
+      ~bins:4
+  in
+  List.iter
+    (fun (b : Stats.bucket) ->
+      Alcotest.(check bool) "extreme: bounds ordered" true (b.lo <= b.hi))
+    bs;
+  (* Width of each bucket is span/4 = 2^61 exactly: check via the
+     difference, which fits an int. *)
+  List.iter
+    (fun (b : Stats.bucket) ->
+      Alcotest.(check int) "extreme: width" (1 lsl 61) (b.hi - b.lo + 1))
+    bs
+
+let test_histogram_extreme_span_remainder () =
+  (* A full-range span minus a little, with bins that do not divide it:
+     the first [span mod bins] buckets are one wider. *)
+  let bs =
+    check_buckets "extreme-rem" ~expect_n:3
+      ~samples:[ min_int + 1; max_int ]
+      ~bins:3
+  in
+  let widths = List.map (fun (b : Stats.bucket) -> b.hi - b.lo) bs in
+  (* span = 2^63 - 1 (as a mathematical value); widths differ by at
+     most one, wider buckets first. *)
+  (match widths with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "extreme-rem: monotone widths" true
+        (a >= b && b >= c && a - c <= 1)
+  | _ -> Alcotest.fail "bucket count");
+  Alcotest.(check int) "extreme-rem: total samples" 2
+    (List.fold_left (fun acc (b : Stats.bucket) -> acc + b.bcount) 0 bs)
+
+let test_histogram_remainder_widths () =
+  (* span 10 over 4 bins: widths 3,3,2,2 (remainder spread first). *)
+  let bs =
+    check_buckets "remainder" ~expect_n:4
+      ~samples:[ 0; 3; 5; 9 ]
+      ~bins:4
+  in
+  Alcotest.(check (list int))
+    "remainder: widths" [ 3; 3; 2; 2 ]
+    (List.map (fun (b : Stats.bucket) -> b.hi - b.lo + 1) bs)
+
+let test_percentile_single_value () =
+  let sorted = [| 42. |] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "q=%.2f" q)
+        42.
+        (Stats.percentile sorted q))
+    [ 0.; 0.25; 0.5; 0.95; 1. ]
+
 let prop_bounds_hold =
   QCheck2.Test.make ~name:"min <= median <= p95 <= max, mean in range"
     ~count:200
@@ -120,6 +223,18 @@ let suite =
     Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
     Alcotest.test_case "percentile_ints" `Quick test_percentile_ints;
     Alcotest.test_case "histogram small span" `Quick test_histogram_small_span;
+    Alcotest.test_case "histogram single value" `Quick
+      test_histogram_single_value;
+    Alcotest.test_case "histogram bins exceed span" `Quick
+      test_histogram_bins_exceed_span;
+    Alcotest.test_case "histogram extreme span" `Quick
+      test_histogram_extreme_span;
+    Alcotest.test_case "histogram extreme span, remainder" `Quick
+      test_histogram_extreme_span_remainder;
+    Alcotest.test_case "histogram remainder widths" `Quick
+      test_histogram_remainder_widths;
+    Alcotest.test_case "percentile single value" `Quick
+      test_percentile_single_value;
     Alcotest.test_case "render histogram golden" `Quick
       test_render_histogram_golden;
     Helpers.qcheck prop_histogram_partitions;
