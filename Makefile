@@ -23,8 +23,9 @@ report:
 JOBS ?= $(shell nproc)
 
 # Full benchmark pass: every experiment table at paper sizes, the
-# engine speedup / metrics overhead / jobs scaling / cache warm probes
-# and the bechamel micro kernels; writes BENCH_5.json (and
+# engine speedup / metrics overhead / dynamic overhead / churn / jobs
+# scaling / cache warm probes
+# and the bechamel micro kernels; writes BENCH_6.json (and
 # per-experiment CSVs under bench/out/). Sweep points are cached under
 # bench/out/cache; pass --no-cache through BENCH_FLAGS to recompute.
 bench:

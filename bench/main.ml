@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_5.json; --no-json
+                                                 BENCH_6.json; --no-json
                                                  to skip)
      dune exec bench/main.exe -- --jobs N     -- table+sweep budget of N
                                                  domains (experiments are
@@ -20,16 +20,21 @@
      dune exec bench/main.exe -- --cache-dir D -- cache root (default
                                                  bench/out/cache)
 
-   Every run emits a machine-readable perf snapshot (BENCH_5.json):
+   Every run emits a machine-readable perf snapshot (BENCH_6.json):
    per-experiment wall time and cache hit/miss counts, the
    engine-vs-reference speedup probe on the E3 list-counting sweep, the
-   metrics-recorder overhead probe, the jobs-scaling probe (the heavy
-   sweep grids regenerated at jobs = 1/2/4/8, honest wall times plus
-   the core count so a 1-core container's flat curve reads as what it
-   is), the cache-warm probe (cold vs warm pass over the grid
-   experiments on a scratch cache, asserting bit-identical tables), and
-   — unless --no-micro — Bechamel ns/run per kernel. Tracked from PR 2
-   onward so perf regressions show up as a diff, not an anecdote.
+   metrics-recorder overhead probe, the dynamic-schedule overhead probe
+   (the same sweep with the identity topology schedule attached — the
+   price of leaving the dynamic machinery on for a static run), the
+   churn probe (the dynamic queue and the route-repaired arrow on the
+   mesh, identity vs the seeded flap schedule, wall time next to the
+   degradation), the jobs-scaling probe (the heavy sweep grids
+   regenerated at jobs = 1/2/4/8, honest wall times plus the core count
+   so a 1-core container's flat curve reads as what it is), the
+   cache-warm probe (cold vs warm pass over the grid experiments on a
+   scratch cache, asserting bit-identical tables), and — unless
+   --no-micro — Bechamel ns/run per kernel. Tracked from PR 2 onward so
+   perf regressions show up as a diff, not an anecdote.
 
    Sweep results are cached under bench/out/cache keyed by content
    (schema version, experiment, seed, config tag, point name), and one
@@ -44,6 +49,7 @@ module Cache = Countq.Cache
 module Parallel = Countq_util.Parallel
 module Engine = Countq_simnet.Engine
 module Reference = Countq_simnet.Reference
+module Dynamic = Countq_simnet.Dynamic
 module Graph = Countq_topology.Graph
 module TGen = Countq_topology.Gen
 module Tree = Countq_topology.Tree
@@ -68,7 +74,7 @@ let parse_args () =
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_5.json") in
+  let json_path = ref (Some "BENCH_6.json") in
   let jobs = ref 1 in
   let use_cache = ref true in
   let cache_dir = ref default_cache_dir in
@@ -372,6 +378,138 @@ let metrics_overhead_probe ~quick () =
       let plain_s, metrics_s = time_pair reps plain with_metrics in
       { mo_n = n; plain_s; metrics_s })
     sizes
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic-schedule overhead probe: the same E3 sweep, timed through
+   Engine.run bare and with the identity Dynamic schedule attached.
+   Attaching any schedule moves the run onto the faulty/dynamic loop
+   and puts a usable-link test on the per-transmission hot path, so
+   this is the honest price of the dynamic machinery for a static run
+   (the identity schedule is pinned bit-identical in behaviour).       *)
+
+type dyn_row = {
+  dn_n : int;
+  bare_s : float;
+  dyn_s : float;
+}
+
+let dyn_overhead_pct r =
+  if r.bare_s > 0. then ((r.dyn_s /. r.bare_s) -. 1.) *. 100. else Float.nan
+
+let dynamic_overhead_probe ~quick () =
+  let module C = Countq_counting in
+  let sizes = if quick then [ 128; 512 ] else [ 128; 256; 512 ] in
+  let rounds = if quick then 3 else 15 in
+  (* Same pairing/median discipline as the metrics probe, and for the
+     same reason: the two arms alternate so drift cancels in the
+     per-pair ratio. *)
+  let time_pair reps f g =
+    let timed h =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        h ()
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int reps
+    in
+    let ratios = Array.make rounds 0. in
+    let best_f = ref infinity in
+    for i = 0 to rounds - 1 do
+      let tf, tg =
+        if i land 1 = 0 then
+          let a = timed f in
+          let b = timed g in
+          (a, b)
+        else
+          let b = timed g in
+          let a = timed f in
+          (a, b)
+      in
+      if tf < !best_f then best_f := tf;
+      ratios.(i) <- tg /. tf
+    done;
+    Array.sort compare ratios;
+    (!best_f, !best_f *. ratios.(rounds / 2))
+  in
+  List.map
+    (fun n ->
+      let tree = Spanning.best_for_arrow (TGen.path n) in
+      let graph = Tree.to_graph tree in
+      let requests = List.init n (fun i -> i) in
+      let protocol = C.Sweep.one_shot_protocol ~tree ~requests () in
+      let config = Engine.default_config in
+      let ident = Dynamic.identity graph in
+      let bare () = ignore (Engine.run ~graph ~config ~protocol ()) in
+      let with_dyn () =
+        ignore
+          (Engine.run ~dynamic:(Dynamic.start ident) ~graph ~config ~protocol
+             ())
+      in
+      let reps = max (if quick then 5 else 50) (200_000 / n) in
+      bare ();
+      with_dyn ();
+      let bare_s, dyn_s = time_pair reps bare with_dyn in
+      { dn_n = n; bare_s; dyn_s })
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Churn probe: the dynamic queue and the route-repaired arrow on the
+   mesh, identity schedule vs the seeded flap schedule. Wall time sits
+   next to the degradation numbers so a perf regression in the repair
+   layers shows up in the same diff as a behavioural one.              *)
+
+type churn_row = {
+  ch_name : string;
+  ch_wall : float;
+  ch_completed : int;
+  ch_expected : int;
+  ch_rounds : int;
+  ch_messages : int;
+}
+
+let churn_probe ~quick () =
+  let module Dq = Countq_queuing.Dynamic_queue in
+  let side = if quick then 3 else 4 in
+  let g = TGen.square_mesh side in
+  let n = Graph.n g in
+  let requests = List.init n (fun i -> i) in
+  let tree = Spanning.best_for_arrow g in
+  let flaps () = Dynamic.link_flaps ~seed:77L ~rate:0.4 ~epoch:4 g in
+  let reps = if quick then 3 else 10 in
+  let timed name run =
+    (* Best-of-[reps]: the runs are deterministic, so repetition only
+       fights scheduler noise. The report comes from the first run. *)
+    let report = run () in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (run ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    let result = (report : Dq.report).result in
+    {
+      ch_name = name;
+      ch_wall = !best;
+      ch_completed = List.length result.outcomes;
+      ch_expected = n;
+      ch_rounds = result.rounds;
+      ch_messages = result.messages;
+    }
+  in
+  [
+    timed
+      (Printf.sprintf "dynamic-queue mesh-%dx%d identity" side side)
+      (fun () -> Dq.run ~graph:g ~requests ());
+    timed
+      (Printf.sprintf "dynamic-queue mesh-%dx%d flaps(0.4)" side side)
+      (fun () -> Dq.run ~sched:(flaps ()) ~graph:g ~requests ());
+    timed
+      (Printf.sprintf "arrow+route mesh-%dx%d identity" side side)
+      (fun () -> fst (Dq.run_arrow ~graph:g ~tree ~requests ()));
+    timed
+      (Printf.sprintf "arrow+route mesh-%dx%d flaps(0.4)" side side)
+      (fun () -> fst (Dq.run_arrow ~sched:(flaps ()) ~graph:g ~tree ~requests ()));
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Jobs-scaling probe: the heavy sweep grids regenerated end-to-end at
@@ -774,12 +912,12 @@ let hit_rate hits misses =
   if total = 0 then Float.nan
   else 100. *. float_of_int hits /. float_of_int total
 
-let write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
-    ~explore ~kernels =
+let write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~churn ~scaling
+    ~warm ~explore ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/5\",\n";
+  add "  \"schema\": \"countq-bench/6\",\n";
   add "  \"mode\": \"%s\",\n" (if opts.quick then "quick" else "full");
   add "  \"jobs\": %d,\n" opts.jobs;
   add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -866,6 +1004,52 @@ let write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
         (json_float (overhead_pct r))
         (if i = List.length overhead - 1 then "" else ","))
     overhead;
+  add "    ]\n";
+  add "  },\n";
+  let dyn_worst =
+    List.fold_left
+      (fun acc r ->
+        match acc with Some a when a.dn_n >= r.dn_n -> acc | _ -> Some r)
+      None dyn
+  in
+  add "  \"dynamic_overhead\": {\n";
+  add
+    "    \"probe\": \"E3 list-counting sweep timed through Engine.run bare \
+     and with the identity Dynamic schedule attached (the dynamic machinery's \
+     price on a static run)\",\n";
+  (match dyn_worst with
+  | Some r ->
+      add "    \"ceiling_n\": %d,\n" r.dn_n;
+      add "    \"overhead_pct_at_ceiling\": %s,\n"
+        (json_float (dyn_overhead_pct r))
+  | None -> ());
+  add "    \"sizes\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"n\": %d, \"bare_seconds\": %s, \"dynamic_seconds\": %s, \
+         \"overhead_pct\": %s}%s\n"
+        r.dn_n (json_float r.bare_s) (json_float r.dyn_s)
+        (json_float (dyn_overhead_pct r))
+        (if i = List.length dyn - 1 then "" else ","))
+    dyn;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"churn\": {\n";
+  add
+    "    \"probe\": \"dynamic queue and route-repaired arrow on the square \
+     mesh, identity schedule vs seeded link flaps (rate 0.4, epoch 4, seed \
+     77); wall time next to the degradation\",\n";
+  add "    \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"name\": \"%s\", \"wall_seconds\": %s, \"completed\": %d, \
+         \"expected\": %d, \"rounds\": %d, \"messages\": %d}%s\n"
+        (json_escape r.ch_name) (json_float r.ch_wall) r.ch_completed
+        r.ch_expected r.ch_rounds r.ch_messages
+        (if i = List.length churn - 1 then "" else ","))
+    churn;
   add "    ]\n";
   add "  },\n";
   let base_wall = match scaling with r :: _ -> r.sc_wall | [] -> Float.nan in
@@ -1001,6 +1185,22 @@ let main () =
              %8.6fs -> %+.1f%%]\n%!"
             r.mo_n r.plain_s r.metrics_s (overhead_pct r))
         overhead;
+      let dyn = dynamic_overhead_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[dynamic overhead probe n=%4d: bare %8.6fs vs identity-schedule \
+             %8.6fs -> %+.1f%%]\n%!"
+            r.dn_n r.bare_s r.dyn_s (dyn_overhead_pct r))
+        dyn;
+      let churn = churn_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[churn probe %-36s %8.6fs, %d/%d in %d rounds, %d msgs]\n%!"
+            r.ch_name r.ch_wall r.ch_completed r.ch_expected r.ch_rounds
+            r.ch_messages)
+        churn;
       let scaling = jobs_scaling_probe ~quick:opts.quick () in
       let cores = Domain.recommended_domain_count () in
       List.iter
@@ -1032,8 +1232,8 @@ let main () =
             (explore_rate r.xp_new_configs r.xp_new_s)
             (explore_ratio r))
         explore;
-      write_json ~path ~opts ~experiments ~speedup ~overhead ~scaling ~warm
-        ~explore ~kernels
+      write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~churn
+        ~scaling ~warm ~explore ~kernels
 
 let () =
   try main ()

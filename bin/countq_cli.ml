@@ -18,6 +18,9 @@
                                  instances; nonzero exit on violation
      report [-o FILE] [-j N]  -- regenerate the full markdown report
      faults -t T -n N -p PLAN -- degradation under an injected fault plan
+     churn -t T -n N -a ADV   -- degradation under a dynamic-topology
+                                 schedule (link flaps, node churn,
+                                 T-interval connectivity, …)
      observe -t T -n N --protocol P [--protocol P…]
                               -- metrics + spans: heatmap, delay
                                  percentiles, optional JSONL export
@@ -574,6 +577,12 @@ let check_cmd =
         ~protocol:(Countq_counting.Sweep.one_shot_protocol ~tree ~requests ())
         ~check:(counts_check requests) ~k:(List.length requests)
     in
+    let dynamic_queue name g requests =
+      instance ~protocol_name:"dynamic-queue" ~instance_name:name ~graph:g
+        ~protocol:
+          (Countq_queuing.Dynamic_queue.one_shot_protocol ~graph:g ~requests ())
+        ~check:(order_check requests) ~k:(List.length requests)
+    in
     let t0 = Unix.gettimeofday () in
     let rows =
       if quick then
@@ -584,6 +593,7 @@ let check_cmd =
           combining "path-4" (Gen.path 4) [ 0; 1; 2; 3 ];
           token_ring "path-4" (Gen.path 4) [ 0; 2; 3 ];
           sweep "star-4" (Gen.star 4) [ 0; 1; 2; 3 ];
+          dynamic_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
         ]
       else
         [
@@ -596,6 +606,8 @@ let check_cmd =
           combining "star-6" (Gen.star 6) [ 0; 1; 2; 3; 4; 5 ];
           token_ring "path-7" (Gen.path 7) [ 0; 2; 4; 6 ];
           sweep "star-7" (Gen.star 7) [ 0; 1; 2; 3; 4; 5; 6 ];
+          dynamic_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
+          dynamic_queue "complete-3" (Gen.complete 3) [ 0; 1; 2 ];
         ]
     in
     let dt = Unix.gettimeofday () -. t0 in
@@ -619,7 +631,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Model-check all six protocols exhaustively on fixed 4-7 node \
+         "Model-check all seven protocols exhaustively on fixed 3-7 node \
           instances; exits nonzero on any safety violation.")
     Term.(const run $ quick_arg $ jobs_arg $ max_configs_arg)
 
@@ -832,6 +844,166 @@ let faults_cmd =
     Term.(
       const run $ topology_arg $ n_arg $ requests_arg $ seed_arg $ plan_arg
       $ list_plans_arg $ monitors_arg $ jobs_arg)
+
+(* ---- churn ---- *)
+
+let churn_cmd =
+  let module Dynamic = Countq_simnet.Dynamic in
+  let adversary_arg =
+    Arg.(
+      value
+      & opt string "flaps"
+      & info [ "adversary"; "a" ] ~docv:"NAME"
+          ~doc:
+            "Topology adversary: flaps | churn | t-interval | rewire | \
+             partition | tree-attack | identity.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 0.3
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Per-epoch down probability (flaps and churn only).")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "interval"; "i" ] ~docv:"T"
+          ~doc:
+            "Window length in rounds: the epoch for flaps, churn and \
+             tree-attack, the connectivity interval for t-interval, the \
+             rewiring period for rewire, and the cut round for partition.")
+  in
+  let monitors_arg =
+    Arg.(
+      value & flag
+      & info [ "monitors" ] ~doc:"Also print every run's monitor verdicts.")
+  in
+  let run topology n req_spec seed adversary rate interval quick show_monitors
+      jobs =
+    let n = if quick then min n 9 else n in
+    match build_topology topology n with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok graph -> (
+        let n = Graph.n graph in
+        let tree = Spanning.best_for_arrow graph in
+        let sched =
+          let seed = Int64.of_int seed in
+          match adversary with
+          | "identity" -> Ok (Dynamic.identity graph)
+          | "flaps" ->
+              Ok (Dynamic.link_flaps ~seed ~rate ~epoch:interval graph)
+          | "churn" ->
+              Ok (Dynamic.node_churn ~seed ~rate ~epoch:interval graph)
+          | "t-interval" -> Ok (Dynamic.t_interval ~seed ~t:interval graph)
+          | "rewire" ->
+              Ok (Dynamic.periodic_rewire ~seed ~period:interval graph)
+          | "partition" ->
+              Ok (Dynamic.partition ~at:interval ~island:[ n - 1 ] graph)
+          | "tree-attack" ->
+              Ok
+                (Dynamic.tree_attack ~period:interval
+                   ~tree:(Tree.to_graph tree) graph)
+          | other ->
+              Error
+                (Printf.sprintf
+                   "unknown adversary %S; try flaps, churn, t-interval, \
+                    rewire, partition, tree-attack or identity"
+                   other)
+        in
+        match sched with
+        | Error e ->
+            prerr_endline e;
+            exit 2
+        | Ok sched -> (
+            match
+              Countq.Scenario.requests ~seed:(Int64.of_int seed) ~n req_spec
+            with
+            | Error (`Msg m) ->
+                prerr_endline m;
+                exit 2
+            | Ok requests ->
+                let k = List.length requests in
+                let pool = Parallel.pool ~jobs:(resolve_jobs jobs) in
+                let protocols =
+                  [ `Arrow_static; `Arrow_routed; `Dynamic_queue;
+                    `Central_count ]
+                in
+                let summaries =
+                  try
+                    Parallel.pool_map pool ~chunk:1
+                      (fun protocol ->
+                        Run.run_churn ~pool ~tree ~graph ~protocol ~sched
+                          ~requests ())
+                      protocols
+                  with
+                  | Countq_simnet.Engine.Round_limit_exceeded
+                      { limit; outstanding; queued; held; busiest } ->
+                      report_round_limit ~limit ~outstanding ~queued ~held
+                        ~busiest;
+                      exit 1
+                in
+                let rows =
+                  List.map
+                    (fun (s : Run.churn_summary) ->
+                      [
+                        s.c_protocol;
+                        Printf.sprintf "%d/%d" s.c_completed s.c_expected;
+                        Table.cell_bool s.c_valid;
+                        Table.cell_int s.c_rounds;
+                        Table.cell_int s.c_extra_rounds;
+                        Table.cell_int s.c_messages;
+                        Table.cell_int s.c_extra_messages;
+                        Table.cell_int s.topo.link_drops;
+                        Table.cell_int s.topo.node_drops;
+                        Table.cell_bool s.c_safe;
+                        Table.cell_bool s.c_live;
+                      ])
+                    summaries
+                in
+                Table.print
+                  (Table.make ~id:"churn"
+                     ~title:
+                       (Printf.sprintf
+                          "degradation under schedule %s on %s (n=%d, k=%d)"
+                          (Dynamic.label sched) topology n k)
+                     ~paper_ref:
+                       "dynamic-network extension (Sharma-Busch; \
+                        Kuhn-Lynch-Oshman)"
+                     ~headers:
+                       [ "protocol"; "done"; "valid"; "rounds"; "+rounds";
+                         "msgs"; "+msgs"; "link-drops"; "node-drops"; "safe";
+                         "live" ]
+                     ~notes:
+                       [
+                         "+rounds/+msgs compare against the identity-schedule \
+                          baseline on the same instance.";
+                         "arrow-static keeps the paper's protocol on its \
+                          fixed spanning tree; arrow+route repairs routes \
+                          around cuts; the dynamic queue needs no fixed \
+                          structure.";
+                       ]
+                     rows);
+                if show_monitors then
+                  List.iter
+                    (fun (s : Run.churn_summary) ->
+                      Format.printf "@.%s:@.%a@." s.c_protocol
+                        Countq_simnet.Monitor.pp_report s.c_monitors)
+                    summaries))
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Run the queuing and counting portfolio under an adversarial \
+          dynamic-topology schedule and tabulate the degradation against \
+          the static baseline.")
+    Term.(
+      const run $ topology_arg $ n_arg $ requests_arg $ seed_arg
+      $ adversary_arg $ rate_arg $ interval_arg $ quick_arg $ monitors_arg
+      $ jobs_arg)
 
 (* ---- observe ---- *)
 
@@ -1103,4 +1275,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; experiments_cmd; cache_cmd;
             compare_cmd; topo_cmd; trace_cmd; series_cmd; report_cmd;
-            verify_cmd; check_cmd; faults_cmd; observe_cmd ]))
+            verify_cmd; check_cmd; faults_cmd; churn_cmd; observe_cmd ]))

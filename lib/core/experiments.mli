@@ -126,6 +126,17 @@ val e26_exhaustive_verification : ?quick:bool -> unit -> Table.t
 (** Model-check the Section 2.2 safety specifications on every
     asynchronous interleaving of small instances. *)
 
+val e27_churn_degradation : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
+(** Queuing vs counting under a seeded link-flap adversary, swept over
+    the flap rate: the static arrow dies with its spanning tree while
+    the dynamic queue, the route-repaired arrow and the retrying
+    central counter degrade measurably instead. *)
+
+val e28_interval_connectivity : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
+(** Dynamic queuing under the worst-case T-interval-connectivity
+    adversary: liveness at every T, cost degrading gracefully as the
+    interval shrinks. *)
+
 val all : spec list
 (** Every experiment, in id order. *)
 

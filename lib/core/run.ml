@@ -224,6 +224,211 @@ let run_faulty ?pool ?tree ?(retry = false) ?ack_timeout ?max_retries
     live = Monitor.liveness_ok monitors;
   }
 
+module Dynamic = Countq_simnet.Dynamic
+module Engine = Countq_simnet.Engine
+module Reliable = Countq_simnet.Reliable
+module Types = Countq_arrow.Types
+
+type churn_protocol =
+  [ `Dynamic_queue | `Arrow_static | `Arrow_routed | `Central_count ]
+
+let churn_protocol_name = function
+  | `Dynamic_queue -> "queue/dynamic"
+  | `Arrow_static -> "queue/arrow-static"
+  | `Arrow_routed -> "queue/arrow+route"
+  | `Central_count -> "count/central+retry"
+
+type churn_summary = {
+  c_protocol : string;
+  schedule : string;
+  c_expected : int;
+  c_completed : int;
+  c_valid : bool;
+  c_rounds : int;
+  c_extra_rounds : int;
+  c_messages : int;
+  c_extra_messages : int;
+  topo : Dynamic.stats;
+  c_monitors : Monitor.report;
+  c_safe : bool;
+  c_live : bool;
+  c_stalled : bool;
+  route : Queuing.Dynamic_queue.route_stats option;
+  c_retry : Countq_simnet.Reliable.stats option;
+}
+
+(* One arm of the churn comparison: run [protocol] under [sched] and
+   report what completed. The static arrow and the retrying central
+   counter have no dynamic-aware runner of their own — they are run
+   here directly on the engine, which is the point: the arrow is the
+   victim (a fixed spanning structure under a moving graph) and the
+   central counter shows what hop-by-hop retransmission alone buys. *)
+let churn_arm ?tree ?ack_timeout ?max_retries ?progress_budget ~graph ~protocol
+    ~sched ~requests () =
+  let expected = List.length requests in
+  let spanning () =
+    match tree with Some t -> t | None -> Spanning.best_for_arrow graph
+  in
+  let chain_monitors () =
+    [
+      Monitor.chain_consistent
+        ~op:(fun ((op : Types.op), _) -> (op.origin, op.seq))
+        ~pred:(fun ((_ : Types.op), pred) ->
+          match pred with
+          | Types.Init -> None
+          | Types.Op p -> Some (p.origin, p.seq));
+      Monitor.completes ~expected;
+    ]
+  in
+  let outcomes_of completions =
+    List.map
+      (fun (c : _ Engine.completion) ->
+        let op, pred = c.value in
+        { Types.op; pred; found_at = c.node; round = c.round })
+      completions
+  in
+  match protocol with
+  | `Dynamic_queue ->
+      let r =
+        Queuing.Dynamic_queue.run ?progress_budget ~sched ~graph ~requests ()
+      in
+      ( List.length r.result.outcomes,
+        Result.is_ok r.result.order,
+        r.result.rounds,
+        r.result.messages,
+        r.topo,
+        r.monitors,
+        None,
+        None )
+  | `Arrow_routed ->
+      let r, route =
+        Queuing.Dynamic_queue.run_arrow ?ack_timeout ?max_retries
+          ?progress_budget ~sched ~graph ~tree:(spanning ()) ~requests ()
+      in
+      ( List.length r.result.outcomes,
+        Result.is_ok r.result.order,
+        r.result.rounds,
+        r.result.messages,
+        r.topo,
+        r.monitors,
+        Some route,
+        None )
+  | `Arrow_static ->
+      (* The unmodified arrow on its spanning tree, with the schedule
+         tearing at the tree links and nothing repairing them. *)
+      let tree = spanning () in
+      let protocol = Arrow.Protocol.one_shot_protocol ~tree ~requests () in
+      let dynamic = Dynamic.start sched in
+      let last_holder = ref (Countq_topology.Tree.root tree) in
+      let diagnose ~round =
+        Some (Dynamic.describe_cut sched ~round ~from:!last_holder)
+      in
+      let monitors =
+        chain_monitors ()
+        @ [ Monitor.progress ?budget:progress_budget ~diagnose () ]
+      in
+      let mon_obs = Monitor.observe monitors in
+      let observer =
+        {
+          mon_obs with
+          Engine.on_complete =
+            (fun ~round ~node ~value ->
+              last_holder := (fst value).Types.origin;
+              mon_obs.on_complete ~round ~node ~value);
+        }
+      in
+      let res =
+        Engine.run ~dynamic ~observer ~graph:(Countq_topology.Tree.to_graph tree)
+          ~config:
+            (Engine.config_with_capacity
+               (max 1 (Countq_topology.Tree.max_degree tree)))
+          ~protocol ()
+      in
+      let outcomes = outcomes_of res.completions in
+      ( List.length outcomes,
+        Result.is_ok (Arrow.Order.chain outcomes),
+        res.rounds,
+        res.messages,
+        Dynamic.stats dynamic,
+        Monitor.finalise monitors,
+        None,
+        None )
+  | `Central_count ->
+      (* The centralised counter with hop-by-hop retransmission: every
+         link heals itself, but the root stays a fixed rendezvous the
+         schedule can wall off. *)
+      let at = Option.value ack_timeout ~default:8 in
+      let mr = Option.value max_retries ~default:5 in
+      let budget =
+        match progress_budget with
+        | Some b -> b
+        | None -> max 512 (4 * at * (1 lsl mr))
+      in
+      let inner = Counting.Central.one_shot_protocol ~graph ~requests () in
+      let protocol, h = Reliable.wrap ~ack_timeout:at ~max_retries:mr inner in
+      let dynamic = Dynamic.start sched in
+      let diagnose ~round = Some (Dynamic.describe_cut sched ~round ~from:0) in
+      let monitors =
+        [
+          Monitor.distinct_ranks ~rank:snd;
+          Monitor.unique_completion ~node_of:(fun ~node:_ (who, _) -> who);
+          Monitor.completes ~expected;
+          Monitor.progress ~budget ~diagnose ();
+        ]
+      in
+      let res =
+        Engine.run ~dynamic ~observer:(Monitor.observe monitors)
+          ~keep_alive:(Reliable.keep_alive h) ~graph
+          ~config:Engine.default_config ~protocol ()
+      in
+      let rr = Counting.Counts.of_engine ~requests res in
+      ( List.length rr.outcomes,
+        Result.is_ok rr.valid,
+        rr.rounds,
+        rr.messages,
+        Dynamic.stats dynamic,
+        Monitor.finalise monitors,
+        None,
+        Some (Reliable.stats h) )
+
+let run_churn ?pool ?tree ?ack_timeout ?max_retries ?progress_budget ~graph
+    ~protocol ~sched ~requests () =
+  let arm s () =
+    churn_arm ?tree ?ack_timeout ?max_retries ?progress_budget ~graph ~protocol
+      ~sched:s ~requests ()
+  in
+  (* The identity-schedule baseline isolates what the adversary (and
+     the repair machinery's reaction to it) costs on this instance. *)
+  let ( completed,
+        valid,
+        rounds,
+        messages,
+        topo,
+        monitors,
+        route,
+        retry ),
+      (_, _, base_rounds, base_messages, _, _, _, _) =
+    pair pool (arm sched) (arm (Dynamic.identity graph))
+  in
+  {
+    c_protocol = churn_protocol_name protocol;
+    schedule = Dynamic.label sched;
+    c_expected = List.length requests;
+    c_completed = completed;
+    c_valid = valid;
+    c_rounds = rounds;
+    c_extra_rounds = rounds - base_rounds;
+    c_messages = messages;
+    c_extra_messages = messages - base_messages;
+    topo;
+    c_monitors = monitors;
+    c_safe = Monitor.safety_ok monitors;
+    c_live = Monitor.liveness_ok monitors;
+    c_stalled = Monitor.stalled monitors;
+    route;
+    c_retry = retry;
+  }
+
 module Metrics = Countq_simnet.Metrics
 module Span = Countq_simnet.Span
 

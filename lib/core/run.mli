@@ -101,6 +101,58 @@ val run_faulty :
     as two jobs on the shared pool. [tree] (for [`Arrow]) defaults to
     [Spanning.best_for_arrow graph]. *)
 
+type churn_protocol =
+  [ `Dynamic_queue | `Arrow_static | `Arrow_routed | `Central_count ]
+(** The protocols comparable under a dynamic topology schedule: the
+    Sharma–Busch-style dynamic queue, the unmodified arrow left to die
+    on its spanning tree, the arrow over the route-repair layer, and
+    the centralised counter with hop-by-hop retransmission. *)
+
+val churn_protocol_name : churn_protocol -> string
+
+type churn_summary = {
+  c_protocol : string;
+  schedule : string;  (** the {!Countq_simnet.Dynamic} schedule label. *)
+  c_expected : int;  (** requests issued. *)
+  c_completed : int;  (** operations that completed. *)
+  c_valid : bool;  (** completed output met the problem spec. *)
+  c_rounds : int;
+  c_extra_rounds : int;  (** rounds minus the identity-schedule baseline's. *)
+  c_messages : int;
+  c_extra_messages : int;  (** messages minus the baseline's. *)
+  topo : Countq_simnet.Dynamic.stats;  (** what the schedule dropped. *)
+  c_monitors : Countq_simnet.Monitor.report;
+  c_safe : bool;  (** every safety monitor passed. *)
+  c_live : bool;  (** every liveness monitor passed. *)
+  c_stalled : bool;  (** a progress monitor halted the run. *)
+  route : Countq_queuing.Dynamic_queue.route_stats option;
+      (** repair-layer tally; [`Arrow_routed] only. *)
+  c_retry : Countq_simnet.Reliable.stats option;
+      (** retransmit tally; [`Central_count] only. *)
+}
+(** Degradation report under a moving graph: the run under the
+    adversarial schedule next to the identity-schedule baseline on the
+    same instance. *)
+
+val run_churn :
+  ?pool:Countq_util.Parallel.pool ->
+  ?tree:Countq_topology.Tree.t ->
+  ?ack_timeout:int ->
+  ?max_retries:int ->
+  ?progress_budget:int ->
+  graph:Countq_topology.Graph.t ->
+  protocol:churn_protocol ->
+  sched:Countq_simnet.Dynamic.schedule ->
+  requests:int list ->
+  unit ->
+  churn_summary
+(** Run [protocol] on [graph] under topology schedule [sched], run the
+    identity-schedule baseline with identical parameters, and report
+    the degradation. With [pool], the two arms evaluate as two jobs on
+    the shared pool. [tree] (for the arrow variants) defaults to
+    [Spanning.best_for_arrow graph]; [ack_timeout]/[max_retries] tune
+    the repair and retransmit layers where present. *)
+
 type observed_protocol =
   [ `Arrow | `Arrow_notify | `Central_count | `Central_queue | `Sweep ]
 (** The protocols with full-observability runners (metrics + spans). *)

@@ -138,8 +138,8 @@ let max_delay res =
 
 let completion_count res = List.length res.completions
 
-let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
-    ?metrics ~graph ~config ~protocol () =
+let run ?faults ?dynamic ?(observer = null_observer)
+    ?(keep_alive = no_keep_alive) ?metrics ~graph ~config ~protocol () =
   if config.receive_capacity < 1 || config.send_capacity < 1 then
     invalid_arg "Engine.run: capacities must be >= 1";
   let n = Graph.n graph in
@@ -370,10 +370,33 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
         Metrics.note_backlog m ~node:dst ~backlog
     | None -> ()
   in
-  (* Same, or discard the message if the receiver is down. *)
+  (* Dynamic-topology tests, compiled to constant [false] when no
+     schedule is attached so the faults-only path pays nothing new. *)
+  let node_down =
+    match dynamic with
+    | None -> fun _ ~round:_ -> false
+    | Some dr ->
+        let s = Dynamic.sched dr in
+        fun node ~round -> not (Dynamic.node_up s ~round ~node)
+  in
+  let link_severed =
+    match dynamic with
+    | None -> fun ~src:_ ~dst:_ ~round:_ -> false
+    | Some dr ->
+        let s = Dynamic.sched dr in
+        fun ~src ~dst ~round -> not (Dynamic.link_up s ~round ~u:src ~v:dst)
+  in
+  (* Same, or discard the message if the receiver is down — crashed by
+     the fault plan, or churned out by the dynamic schedule. *)
   let enqueue_faulty fr t src dst msg =
     if Faults.crashed fr ~node:dst ~round:t then begin
       Faults.note_crash_drop fr;
+      match metrics with
+      | Some m -> Metrics.note_crash_drop m ~dst
+      | None -> ()
+    end
+    else if node_down dst ~round:t then begin
+      (match dynamic with Some dr -> Dynamic.note_node_drop dr | None -> ());
       match metrics with
       | Some m -> Metrics.note_crash_drop m ~dst
       | None -> ()
@@ -465,7 +488,16 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
       (match metrics with
       | Some m -> Metrics.note_transmit m ~src:v ~dst ~round:t
       | None -> ());
-      (match Faults.decide fr ~src:v ~dst ~round:t with
+      if link_severed ~src:v ~dst ~round:t then begin
+        (* A transmission over a down link is lost at the sender's end;
+           the fault plan's decision stream is not consumed for it. *)
+        (match dynamic with Some dr -> Dynamic.note_link_drop dr | None -> ());
+        match metrics with
+        | Some m -> Metrics.note_drop m ~src:v ~dst
+        | None -> ()
+      end
+      else
+        (match Faults.decide fr ~src:v ~dst ~round:t with
       | Faults.Deliver -> enqueue_faulty fr t v dst msg
       | Faults.Drop -> (
           match metrics with
@@ -493,8 +525,9 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
     let w = ref 0 in
     for i = 0 to m - 1 do
       let v = Vec.get senders i in
-      if Faults.crashed fr ~node:v ~round:t then begin
-        (* A crashed sender keeps its outbox and stays on the list. *)
+      if Faults.crashed fr ~node:v ~round:t || node_down v ~round:t then begin
+        (* A crashed or churned-out sender keeps its outbox and stays
+           on the list. *)
         Vec.set senders !w v;
         incr w
       end
@@ -557,8 +590,10 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
     let w = ref 0 in
     for i = 0 to m - 1 do
       let v = Vec.get receivers i in
-      (* A crashed receiver keeps its queued messages for later. *)
-      if not (Faults.crashed fr ~node:v ~round:t) then recv_node t v;
+      (* A crashed or churned-out receiver keeps its queued messages
+         for later. *)
+      if not (Faults.crashed fr ~node:v ~round:t || node_down v ~round:t)
+      then recv_node t v;
       if pending.(v) = 0 then Bytes.unsafe_set on_recv_list v '\000'
       else begin
         Vec.set receivers !w v;
@@ -580,7 +615,8 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
   in
   let tick_phase_faulty fr tick t =
     for v = 0 to n - 1 do
-      if not (Faults.crashed fr ~node:v ~round:t) then begin
+      if not (Faults.crashed fr ~node:v ~round:t || node_down v ~round:t)
+      then begin
         let s, actions = tick ~round:t ~node:v states.(v) in
         states.(v) <- s;
         apply_actions v t actions
@@ -595,8 +631,8 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
       | `Halt -> halted := true
     end
   in
-  (match faults with
-  | None ->
+  (match (faults, dynamic) with
+  | None, None ->
       while
         (not !halted)
         && (!outstanding_sends > 0 || !queued_total > 0
@@ -621,7 +657,14 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = no_keep_alive)
           round_end t
         end
       done
-  | Some fr ->
+  | _ ->
+      (* A dynamic schedule without a fault plan runs the faulty loop
+         against the no-op plan — [Faults.none] never crashes a node
+         and always decides [Deliver], so the only behavioural
+         difference from the free loop is the schedule itself. *)
+      let fr =
+        match faults with Some fr -> fr | None -> Faults.start Faults.none
+      in
       while
         (not !halted)
         && (!outstanding_sends > 0 || !queued_total > 0 || !held_count > 0

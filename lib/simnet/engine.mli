@@ -162,6 +162,7 @@ val no_keep_alive : unit -> bool
 
 val run :
   ?faults:Faults.runtime ->
+  ?dynamic:Dynamic.runtime ->
   ?observer:'r observer ->
   ?keep_alive:(unit -> bool) ->
   ?metrics:Metrics.t ->
@@ -183,6 +184,15 @@ val run :
     protocols) even when the network is quiescent — the hook a
     timeout-and-retransmit layer ({!Reliable}) uses to wait out its
     retry timers. [max_rounds] still bounds the run.
+
+    [dynamic] attaches a started {!Dynamic} topology schedule: in each
+    round only the schedule's up nodes send, receive and tick (down
+    nodes keep their state, outbox and queued messages — crash with
+    rejoin), and a transmission over a down link is dropped at the
+    sender's end without consuming the fault plan's decision stream.
+    The identity schedule is bit-identical to passing no [dynamic] at
+    all, including the metrics recording and the fault plan's
+    transmission indices (pinned by qcheck in [test/test_dynamic.ml]).
 
     [metrics] attaches a per-node / per-edge counter recorder (see
     {!Metrics}). The recorder is passive: the run's result, observer

@@ -5,7 +5,7 @@ type kind = Safety | Liveness
 type status =
   | Pass
   | Violated of string
-  | Stalled of { round : int; last_progress : int }
+  | Stalled of { round : int; last_progress : int; detail : string option }
 
 type outcome = { name : string; kind : kind; status : status }
 
@@ -104,25 +104,42 @@ let chain_consistent ~op ~pred =
                round)
       | None -> Hashtbl.add claimed p o)
 
-let progress ?(budget = 512) () =
-  if budget < 1 then invalid_arg "Monitor.progress: budget must be >= 1";
+(* [progress] and [completion_progress] differ only in which events
+   reset the silence clock. [diagnose] runs once, at the stall, so a
+   costly diagnosis (e.g. a reachability sweep) is off the hot path. *)
+let progress_monitor ~name ~count_delivers ?(budget = 512) ?diagnose () =
+  if budget < 1 then invalid_arg ("Monitor." ^ name ^ ": budget must be >= 1");
   let last = ref 0 in
   let verdict = ref None in
+  let bump ~round = last := max !last round in
   {
-    mon_name = "liveness-progress";
+    mon_name = name;
     mon_kind = Liveness;
-    deliver = (fun ~round ~src:_ ~dst:_ -> last := max !last round);
-    complete = (fun ~round ~node:_ _ -> last := max !last round);
+    deliver =
+      (if count_delivers then fun ~round ~src:_ ~dst:_ -> bump ~round
+       else nop_deliver);
+    complete = (fun ~round ~node:_ _ -> bump ~round);
     round_end =
       (fun ~round ~in_flight:_ ->
         if !verdict = None && round - !last >= budget then begin
-          verdict := Some (Stalled { round; last_progress = !last });
+          let detail =
+            match diagnose with None -> None | Some f -> f ~round
+          in
+          verdict := Some (Stalled { round; last_progress = !last; detail });
           true
         end
         else false);
     at_end = (fun () -> ());
     status = (fun () -> Option.value !verdict ~default:Pass);
   }
+
+let progress ?budget ?diagnose () =
+  progress_monitor ~name:"liveness-progress" ~count_delivers:true ?budget
+    ?diagnose ()
+
+let completion_progress ?budget ?diagnose () =
+  progress_monitor ~name:"liveness-completion-progress" ~count_delivers:false
+    ?budget ?diagnose ()
 
 let completes ~expected =
   let count = ref 0 in
@@ -187,9 +204,10 @@ let pp_outcome ppf o =
   match o.status with
   | Pass -> Format.fprintf ppf "%s [%s]: pass" o.name k
   | Violated m -> Format.fprintf ppf "%s [%s]: VIOLATED - %s" o.name k m
-  | Stalled { round; last_progress } ->
-      Format.fprintf ppf "%s [%s]: STALLED at round %d (no progress since %d)"
+  | Stalled { round; last_progress; detail } ->
+      Format.fprintf ppf "%s [%s]: STALLED at round %d (no progress since %d)%s"
         o.name k round last_progress
+        (match detail with None -> "" | Some d -> " - " ^ d)
 
 let pp_report ppf report =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_outcome ppf report

@@ -27,9 +27,11 @@ type kind = Safety | Liveness
 type status =
   | Pass
   | Violated of string  (** a safety property broke; the message says how. *)
-  | Stalled of { round : int; last_progress : int }
+  | Stalled of { round : int; last_progress : int; detail : string option }
       (** liveness verdict: no progress since [last_progress] when the
-          budget ran out at [round]. *)
+          budget ran out at [round]. [detail], when present, names the
+          cause a diagnosis hook identified at the stall — e.g. the
+          network partition that walled off the token holder. *)
 
 type outcome = { name : string; kind : kind; status : status }
 
@@ -70,13 +72,22 @@ val chain_consistent :
 
 (** {1 Liveness monitors} *)
 
-val progress : ?budget:int -> unit -> 'r t
+val progress : ?budget:int -> ?diagnose:(round:int -> string option) -> unit -> 'r t
 (** ["liveness-progress"]: if [budget] (default 512) consecutive
     rounds pass with no delivery and no completion while the run is
     still alive, the verdict becomes [Stalled] and the monitor asks
     the engine to halt. Pick a budget larger than the longest
     legitimate silent wait — e.g. a retransmit layer's maximum backoff
-    — or the monitor will kill a run that was about to recover. *)
+    — or the monitor will kill a run that was about to recover.
+    [diagnose] is invoked once, at the stall, to attach a cause to the
+    verdict (e.g. [Dynamic.describe_cut] of the token holder). *)
+
+val completion_progress :
+  ?budget:int -> ?diagnose:(round:int -> string option) -> unit -> 'r t
+(** ["liveness-completion-progress"]: like {!progress}, but only
+    completions count as progress — the stall detector for gossiping
+    protocols whose periodic re-flooding never lets the network go
+    silent even when a partition has frozen the logical queue. *)
 
 val completes : expected:int -> 'r t
 (** ["liveness-completion"]: at the end of the run, fewer than

@@ -25,8 +25,8 @@ type 'm node_rt = {
   mutable pending : int;
 }
 
-let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
-    ?metrics ~graph ~config ~protocol () =
+let run ?faults ?dynamic ?(observer = null_observer)
+    ?(keep_alive = fun () -> false) ?metrics ~graph ~config ~protocol () =
   if config.receive_capacity < 1 || config.send_capacity < 1 then
     invalid_arg "Engine.run: capacities must be >= 1";
   let n = Graph.n graph in
@@ -59,6 +59,19 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
     match faults with
     | None -> false
     | Some fr -> Faults.crashed fr ~node:v ~round
+  in
+  let dyn_down v round =
+    match dynamic with
+    | None -> false
+    | Some dr -> not (Dynamic.node_up (Dynamic.sched dr) ~round ~node:v)
+  in
+  (* Crashed by the fault plan or churned out by the dynamic schedule:
+     either way the node is silent this round but keeps its state. *)
+  let down v round = crashed v round || dyn_down v round in
+  let severed u w round =
+    match dynamic with
+    | None -> false
+    | Some dr -> not (Dynamic.link_up (Dynamic.sched dr) ~round ~u ~v:w)
   in
   let apply_actions v round actions =
     List.iter
@@ -128,6 +141,12 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
       | Some m -> Metrics.note_crash_drop m ~dst
       | None -> ()
     end
+    else if dyn_down dst t then begin
+      (match dynamic with Some dr -> Dynamic.note_node_drop dr | None -> ());
+      match metrics with
+      | Some m -> Metrics.note_crash_drop m ~dst
+      | None -> ()
+    end
     else begin
       let nd = rt.(dst) in
       let qi = Hashtbl.find nd.nbr_index src in
@@ -192,7 +211,7 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
     flush_held ();
     (* Send phase. *)
     for v = 0 to n - 1 do
-      if not (crashed v t) then begin
+      if not (down v t) then begin
         let nv = rt.(v) in
         let budget = ref config.send_capacity in
         while !budget > 0 && not (Queue.is_empty nv.outbox) do
@@ -203,12 +222,23 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
           (match metrics with
           | Some m -> Metrics.note_transmit m ~src:v ~dst ~round:t
           | None -> ());
-          let decision =
-            match faults with
-            | None -> Faults.Deliver
-            | Some fr -> Faults.decide fr ~src:v ~dst ~round:t
-          in
-          match decision with
+          if severed v dst t then begin
+            (* Lost at the sender's end; the fault plan's decision
+               stream is not consumed for a severed link. *)
+            (match dynamic with
+            | Some dr -> Dynamic.note_link_drop dr
+            | None -> ());
+            match metrics with
+            | Some m -> Metrics.note_drop m ~src:v ~dst
+            | None -> ()
+          end
+          else
+            let decision =
+              match faults with
+              | None -> Faults.Deliver
+              | Some fr -> Faults.decide fr ~src:v ~dst ~round:t
+            in
+            match decision with
           | Faults.Deliver -> enqueue_at t v dst msg
           | Faults.Drop -> (
               match metrics with
@@ -233,7 +263,7 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
     (* Receive phase. *)
     for v = 0 to n - 1 do
       let nv = rt.(v) in
-      if nv.pending > 0 && not (crashed v t) then begin
+      if nv.pending > 0 && not (down v t) then begin
         let budget = ref (min config.receive_capacity nv.pending) in
         while !budget > 0 do
           match pick nv t v with
@@ -264,7 +294,7 @@ let run ?faults ?(observer = null_observer) ?(keep_alive = fun () -> false)
     | None -> ()
     | Some tick ->
         for v = 0 to n - 1 do
-          if not (crashed v t) then begin
+          if not (down v t) then begin
             let s, actions = tick ~round:t ~node:v states.(v) in
             states.(v) <- s;
             apply_actions v t actions

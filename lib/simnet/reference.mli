@@ -15,6 +15,7 @@
 
 val run :
   ?faults:Faults.runtime ->
+  ?dynamic:Dynamic.runtime ->
   ?observer:'r Engine.observer ->
   ?keep_alive:(unit -> bool) ->
   ?metrics:Metrics.t ->

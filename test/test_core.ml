@@ -113,7 +113,7 @@ let test_best_counting_picks_minimum () =
 (* ---- experiments ---- *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "26 experiments" 26 (List.length Experiments.all);
+  Alcotest.(check int) "28 experiments" 28 (List.length Experiments.all);
   List.iteri
     (fun i (s : Experiments.spec) ->
       Alcotest.(check string) "ids in order"
@@ -137,18 +137,23 @@ let test_all_experiments_quick () =
 
 let test_experiment_checks_pass () =
   (* Every yes/NO cell in the quick tables must read "yes": these cells
-     encode the paper's inequalities. *)
+     encode the paper's inequalities. One exception: E27's
+     queue/arrow-static rows are the sacrificial baseline — the static
+     arrow losing operations under churn is the experiment's claim, so
+     a NO there is the expected shape (test_dynamic.ml pins it) while
+     a NO on any surviving protocol is still a failure. *)
   List.iter
     (fun (s : Experiments.spec) ->
       let t = s.run ~quick:true () in
       List.iter
         (fun row ->
-          List.iter
-            (fun cell ->
-              if cell = "NO" then
-                Alcotest.fail
-                  (Printf.sprintf "%s has a failing check cell" s.id))
-            row)
+          if not (s.id = "E27" && List.mem "queue/arrow-static" row) then
+            List.iter
+              (fun cell ->
+                if cell = "NO" then
+                  Alcotest.fail
+                    (Printf.sprintf "%s has a failing check cell" s.id))
+              row)
         t.rows)
     Experiments.all
 

@@ -281,6 +281,38 @@ let test_crash_restart_with_retry_recovers () =
   Alcotest.(check bool) "the crash actually cost messages" true
     (r.injected.crash_dropped > 0)
 
+let test_crash_rejoin_reliable_dedup () =
+  (* Crash→rejoin is not amnesia: a node that comes back keeps its
+     Reliable sequencing tables (and its unsent outbox) from before the
+     outage. Crash a leaf right after its request reaches the root: the
+     root's ack is crash-dropped, so after rejoining the leaf's frozen
+     retransmit timer fires and re-sends a payload the root has already
+     released — which the root must discard as a duplicate (and re-ack)
+     rather than count twice. The run completes, the count stays valid,
+     and the dedup tally proves the replay actually happened. *)
+  let g = Gen.star 8 in
+  let plan =
+    Faults.crash_only ~label:"nap-replay"
+      [ { Faults.node = 3; at_round = 2; recover_at = Some 12 } ]
+  in
+  let r =
+    Central.run_faulty ~retry:true ~ack_timeout:4 ~max_retries:8 ~plan ~graph:g
+      ~requests:(all_requests g) ()
+  in
+  Alcotest.(check bool) "counts valid after rejoin" true
+    (Result.is_ok r.result.valid);
+  Alcotest.(check bool) "monitors pass" true (Monitor.all_pass r.monitors);
+  Alcotest.(check bool) "the ack was lost to the crash" true
+    (r.injected.crash_dropped > 0);
+  let retry =
+    match r.retry with Some s -> s | None -> Alcotest.fail "retry stats missing"
+  in
+  Alcotest.(check bool) "the rejoined node replayed its payload" true
+    (retry.retransmits > 0);
+  Alcotest.(check bool) "the replay was deduplicated, not re-counted" true
+    (retry.duplicates_ignored > 0);
+  Alcotest.(check int) "nothing abandoned" 0 retry.gave_up
+
 let test_permanent_crash_stalls_not_hangs () =
   (* Node 0 (the root) dies forever: the run must end with a structured
      liveness verdict, not spin to the round limit. *)
@@ -352,6 +384,8 @@ let suite =
       test_central_queue_retry_heals;
     Alcotest.test_case "crash+restart recovers" `Quick
       test_crash_restart_with_retry_recovers;
+    Alcotest.test_case "crash+rejoin replays are deduplicated" `Quick
+      test_crash_rejoin_reliable_dedup;
     Alcotest.test_case "permanent crash -> stall verdict" `Quick
       test_permanent_crash_stalls_not_hangs;
     Alcotest.test_case "degradation summary" `Quick
