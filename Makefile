@@ -25,7 +25,7 @@ JOBS ?= $(shell nproc)
 # Full benchmark pass: every experiment table at paper sizes, the
 # engine speedup / metrics overhead / dynamic overhead / churn / jobs
 # scaling / cache warm probes
-# and the bechamel micro kernels; writes BENCH_6.json (and
+# and the bechamel micro kernels; writes BENCH_7.json (and
 # per-experiment CSVs under bench/out/). Sweep points are cached under
 # bench/out/cache; pass --no-cache through BENCH_FLAGS to recompute.
 bench:

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_6.json; --no-json
+                                                 BENCH_7.json; --no-json
                                                  to skip)
      dune exec bench/main.exe -- --jobs N     -- table+sweep budget of N
                                                  domains (experiments are
@@ -20,12 +20,17 @@
      dune exec bench/main.exe -- --cache-dir D -- cache root (default
                                                  bench/out/cache)
 
-   Every run emits a machine-readable perf snapshot (BENCH_6.json):
+   Every run emits a machine-readable perf snapshot (BENCH_7.json):
    per-experiment wall time and cache hit/miss counts, the
    engine-vs-reference speedup probe on the E3 list-counting sweep, the
    metrics-recorder overhead probe, the dynamic-schedule overhead probe
    (the same sweep with the identity topology schedule attached — the
    price of leaving the dynamic machinery on for a static run), the
+   n-scaling probe (one-shot queuing on implicit lists and tori from
+   10^3 to 10^6 nodes through the event engine, wall ns per message so
+   near-linear-in-work cost is checkable at a glance), the open-loop
+   saturation probe (Poisson arrivals at rates below and above
+   counting's service ceiling, queuing next to counting), the
    churn probe (the dynamic queue and the route-repaired arrow on the
    mesh, identity vs the seeded flap schedule, wall time next to the
    degradation), the jobs-scaling probe (the heavy sweep grids
@@ -74,7 +79,7 @@ let parse_args () =
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_6.json") in
+  let json_path = ref (Some "BENCH_7.json") in
   let jobs = ref 1 in
   let use_cache = ref true in
   let cache_dir = ref default_cache_dir in
@@ -512,6 +517,127 @@ let churn_probe ~quick () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* n-scaling probe: one-shot queuing through the event engine on
+   implicit lists and tori from 10^3 to 10^6 nodes, every 16th node
+   requesting. The implicit families are never materialised and idle
+   nodes hold no state, so the honest cost metric is wall ns per
+   message — near-constant across three orders of magnitude of n means
+   the engine's cost tracks the work, not the graph.                   *)
+
+type nscale_row = {
+  ns_family : string;
+  ns_n : int;
+  ns_requests : int;
+  ns_completed : int;
+  ns_rounds : int;
+  ns_messages : int;
+  ns_touched : int;
+  ns_wall : float;
+}
+
+let ns_per_message r =
+  if r.ns_messages > 0 then r.ns_wall *. 1e9 /. float_of_int r.ns_messages
+  else Float.nan
+
+let nscale_probe ~quick () =
+  let module Implicit = Countq_topology.Implicit in
+  let module Event = Countq_simnet.Event_engine in
+  let module Load = Countq.Load in
+  let sizes =
+    if quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  let stride = 16 in
+  let torus_side n = max 3 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+  let one topo =
+    let n = Implicit.n topo in
+    let requests = List.init (n / stride) (fun i -> i * stride) in
+    (* One warm-up run, then best-of-3: the big runs are allocation
+       dominated, so a clean heap per attempt keeps GC slices out of
+       the small sizes' numbers. Stats are per-run (they accumulate
+       across runs sharing a recorder). *)
+    let run () =
+      let stats = Event.fresh_stats () in
+      (Load.one_shot ~stats ~topo ~workload:Load.Queuing ~requests (), stats)
+    in
+    ignore (run ());
+    let best = ref infinity in
+    let r = ref (run ()) in
+    for _ = 1 to 3 do
+      Gc.major ();
+      let t0 = Unix.gettimeofday () in
+      r := run ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    let s, stats = !r in
+    let s = ref s in
+    {
+      ns_family = Implicit.label topo;
+      ns_n = n;
+      ns_requests = (!s).Load.os_requests;
+      ns_completed = (!s).Load.os_completed;
+      ns_rounds = (!s).Load.os_rounds;
+      ns_messages = (!s).Load.os_messages;
+      ns_touched = stats.Event.touched;
+      ns_wall = !best;
+    }
+  in
+  List.map (fun n -> one (Implicit.list n)) sizes
+  @ List.map
+      (fun n ->
+        let side = torus_side n in
+        one (Implicit.torus ~dims:[ side; side ]))
+      sizes
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop saturation probe: Poisson arrivals on the implicit list,
+   one rate well below counting's ~1 op/round service ceiling and one
+   well above it, queuing next to counting. The separation shows up as
+   counting's throughput pinning at the ceiling while queuing tracks
+   the offered rate; wall time rides along so a slowdown in the
+   injection path is caught by the same snapshot.                      *)
+
+type loadgen_row = {
+  lg_workload : string;
+  lg_rate : float;
+  lg_injected : int;
+  lg_completed : int;
+  lg_throughput : float;
+  lg_p95 : float;
+  lg_saturated : bool;
+  lg_wall : float;
+}
+
+let loadgen_probe ~quick () =
+  let module Implicit = Countq_topology.Implicit in
+  let module Load = Countq.Load in
+  let n = if quick then 256 else 1024 in
+  let horizon = if quick then 256 else 512 in
+  let topo = Implicit.list n in
+  let rates = [ 0.25; 2.0 ] in
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun rate ->
+          let t0 = Unix.gettimeofday () in
+          let s =
+            Load.run ~topo ~workload ~arrival:(Load.Poisson rate) ~horizon ()
+          in
+          let lg_wall = Unix.gettimeofday () -. t0 in
+          {
+            lg_workload = s.Load.workload;
+            lg_rate = rate;
+            lg_injected = s.Load.injected;
+            lg_completed = s.Load.completed;
+            lg_throughput = s.Load.throughput;
+            lg_p95 = s.Load.p95;
+            lg_saturated = s.Load.saturated;
+            lg_wall;
+          })
+        rates)
+    [ Load.Queuing; Load.Counting ]
+
+(* ------------------------------------------------------------------ *)
 (* Jobs-scaling probe: the heavy sweep grids regenerated end-to-end at
    increasing pool budgets, cache off so every point really computes.
    Wall times are reported as measured, next to the machine's core
@@ -912,12 +1038,12 @@ let hit_rate hits misses =
   if total = 0 then Float.nan
   else 100. *. float_of_int hits /. float_of_int total
 
-let write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~churn ~scaling
-    ~warm ~explore ~kernels =
+let write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~nscale
+    ~loadgen ~churn ~scaling ~warm ~explore ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/6\",\n";
+  add "  \"schema\": \"countq-bench/7\",\n";
   add "  \"mode\": \"%s\",\n" (if opts.quick then "quick" else "full");
   add "  \"jobs\": %d,\n" opts.jobs;
   add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -1033,6 +1159,56 @@ let write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~churn ~scaling
         (json_float (dyn_overhead_pct r))
         (if i = List.length dyn - 1 then "" else ","))
     dyn;
+  add "    ]\n";
+  add "  },\n";
+  let ns_worst =
+    List.fold_left
+      (fun acc r ->
+        let x = ns_per_message r in
+        if Float.is_nan acc then x
+        else if Float.is_nan x then acc
+        else max acc x)
+      Float.nan nscale
+  in
+  add "  \"n_scaling\": {\n";
+  add
+    "    \"probe\": \"one-shot queuing through the event engine on implicit \
+     lists and tori, every 16th node requesting, best of 3 runs; \
+     near-constant ns_per_message across n means cost tracks the work, not \
+     the graph\",\n";
+  add "    \"max_ns_per_message\": %s,\n" (json_float ns_worst);
+  add "    \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"family\": \"%s\", \"n\": %d, \"requests\": %d, \
+         \"completed\": %d, \"rounds\": %d, \"messages\": %d, \"touched\": \
+         %d, \"wall_seconds\": %s, \"ns_per_message\": %s}%s\n"
+        (json_escape r.ns_family) r.ns_n r.ns_requests r.ns_completed
+        r.ns_rounds r.ns_messages r.ns_touched (json_float r.ns_wall)
+        (json_float (ns_per_message r))
+        (if i = List.length nscale - 1 then "" else ","))
+    nscale;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"open_loop\": {\n";
+  add
+    "    \"probe\": \"Poisson arrivals on the implicit list through the \
+     event engine's injection calendar, one rate below counting's ~1 \
+     op/round service ceiling and one above; queuing's throughput tracks \
+     the offered rate, counting's pins at the ceiling\",\n";
+  add "    \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"workload\": \"%s\", \"rate\": %s, \"injected\": %d, \
+         \"completed\": %d, \"throughput\": %s, \"p95_delay\": %s, \
+         \"saturated\": %b, \"wall_seconds\": %s}%s\n"
+        (json_escape r.lg_workload) (json_float r.lg_rate) r.lg_injected
+        r.lg_completed (json_float r.lg_throughput) (json_float r.lg_p95)
+        r.lg_saturated (json_float r.lg_wall)
+        (if i = List.length loadgen - 1 then "" else ","))
+    loadgen;
   add "    ]\n";
   add "  },\n";
   add "  \"churn\": {\n";
@@ -1193,6 +1369,23 @@ let main () =
              %8.6fs -> %+.1f%%]\n%!"
             r.dn_n r.bare_s r.dyn_s (dyn_overhead_pct r))
         dyn;
+      let nscale = nscale_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[n-scaling probe %-14s n=%7d: %8d msgs in %8.4fs -> %6.1f \
+             ns/msg]\n%!"
+            r.ns_family r.ns_n r.ns_messages r.ns_wall (ns_per_message r))
+        nscale;
+      let loadgen = loadgen_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[open-loop probe %-8s rate %4.2f: %4d/%4d done, thr %5.3f, p95 \
+             %6.1f, saturated=%b, %.4fs]\n%!"
+            r.lg_workload r.lg_rate r.lg_completed r.lg_injected
+            r.lg_throughput r.lg_p95 r.lg_saturated r.lg_wall)
+        loadgen;
       let churn = churn_probe ~quick:opts.quick () in
       List.iter
         (fun r ->
@@ -1232,8 +1425,8 @@ let main () =
             (explore_rate r.xp_new_configs r.xp_new_s)
             (explore_ratio r))
         explore;
-      write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~churn
-        ~scaling ~warm ~explore ~kernels
+      write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~nscale
+        ~loadgen ~churn ~scaling ~warm ~explore ~kernels
 
 let () =
   try main ()

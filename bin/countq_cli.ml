@@ -24,6 +24,10 @@
      observe -t T -n N --protocol P [--protocol P…]
                               -- metrics + spans: heatmap, delay
                                  percentiles, optional JSONL export
+     load -t SPEC --rates R,… -- open-loop traffic on the event-driven
+                                 engine over an implicit topology:
+                                 latency vs offered load, counting vs
+                                 queuing
 *)
 
 open Cmdliner
@@ -1212,6 +1216,205 @@ let observe_cmd =
       const run $ topology_arg $ n_arg $ requests_arg $ seed_arg $ quick_arg
       $ protocol_arg $ plan_arg $ json_arg $ spans_arg $ jobs_arg)
 
+(* ---- load ---- *)
+
+let load_cmd =
+  let module Load = Countq.Load in
+  let module Implicit = Countq_topology.Implicit in
+  let topo_arg =
+    Arg.(
+      value
+      & opt string "list:4096"
+      & info [ "topology"; "t" ] ~docv:"SPEC"
+          ~doc:
+            "Implicit topology spec, family:size - list:N, ring:N, mesh:N or \
+             mesh:AxB, torus:N or torus:AxB, tree:N or tree:ARITYxN. Sizes up \
+             to a million nodes are fine; the graph is never materialised.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("both", `Both); ("queuing", `Queuing); ("counting", `Counting) ]) `Both
+      & info [ "workload"; "w" ] ~docv:"W"
+          ~doc:"Workload to drive: both | queuing | counting.")
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"R,R,…"
+          ~doc:
+            "Offered rates to sweep, in operations per round over the whole \
+             network (default 0.1,0.25,0.5,0.75,1,1.5,2; --quick 0.25,1).")
+  in
+  let arrival_arg =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty); ("diurnal", `Diurnal) ]) `Poisson
+      & info [ "arrival" ] ~docv:"A"
+          ~doc:
+            "Arrival process: poisson | bursty (4-round bursts every 16) | \
+             diurnal (sinusoidal, period 64). All share the given mean rate.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 2048
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:
+            "Arrival window in rounds; the run drains for another T rounds \
+             before it is cut off (--quick caps T at 256).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write per-operation spans as JSONL: one meta line per \
+             (workload, rate) run, then one span per operation.")
+  in
+  let parse_rates s =
+    try
+      let rates =
+        List.map
+          (fun tok ->
+            let r = float_of_string (String.trim tok) in
+            if r <= 0. || not (Float.is_finite r) then failwith "rate";
+            r)
+          (String.split_on_char ',' s)
+      in
+      if rates = [] then Error "empty rate list" else Ok rates
+    with _ -> Error (Printf.sprintf "bad --rates %S (want comma-separated positive numbers)" s)
+  in
+  let run topo_spec workload rates_spec arrival_kind horizon quick seed
+      json_path =
+    let horizon = if quick then min horizon 256 else horizon in
+    let rates =
+      match rates_spec with
+      | Some s -> parse_rates s
+      | None -> Ok (if quick then [ 0.25; 1.0 ] else [ 0.1; 0.25; 0.5; 0.75; 1.0; 1.5; 2.0 ])
+    in
+    match (Implicit.parse topo_spec, rates) with
+    | Error (`Msg m), _ | _, Error m ->
+        prerr_endline m;
+        exit 2
+    | Ok topo, Ok rates -> (
+        let arrival_of rate =
+          match arrival_kind with
+          | `Poisson -> Load.Poisson rate
+          | `Bursty -> Load.Bursty { rate; on = 4; off = 12 }
+          | `Diurnal -> Load.Diurnal { rate; period = 64 }
+        in
+        let workloads =
+          match workload with
+          | `Both -> [ Load.Queuing; Load.Counting ]
+          | `Queuing -> [ Load.Queuing ]
+          | `Counting -> [ Load.Counting ]
+        in
+        let keep_spans = json_path <> None in
+        match
+          List.concat_map
+            (fun w ->
+              List.map
+                (fun rate ->
+                  Load.run ~seed:(Int64.of_int seed) ~keep_spans ~topo
+                    ~workload:w ~arrival:(arrival_of rate) ~horizon ())
+                rates)
+            workloads
+        with
+        | exception Countq_simnet.Engine.Round_limit_exceeded
+            { limit; outstanding; queued; held; busiest } ->
+            report_round_limit ~limit ~outstanding ~queued ~held ~busiest;
+            exit 1
+        | summaries ->
+            let rows =
+              List.map
+                (fun (s : Load.summary) ->
+                  [
+                    s.workload;
+                    s.arrival;
+                    Table.cell_float ~decimals:3 s.offered;
+                    Table.cell_int s.injected;
+                    Table.cell_int s.completed;
+                    Table.cell_float ~decimals:3 s.throughput;
+                    Table.cell_float ~decimals:1 s.p50;
+                    Table.cell_float ~decimals:1 s.p95;
+                    Table.cell_float ~decimals:1 s.p99;
+                    Table.cell_int s.max_delay;
+                    Table.cell_int s.max_backlog;
+                    Table.cell_int s.peak_in_flight;
+                    Table.cell_int s.touched;
+                    Table.cell_bool s.saturated;
+                  ])
+                summaries
+            in
+            let table =
+              Table.make ~id:"LOAD"
+                ~title:
+                  (Printf.sprintf
+                     "latency vs offered load on %s (horizon %d)"
+                     (Implicit.label topo) horizon)
+                ~paper_ref:"open-loop view of the counting/queuing separation"
+                ~headers:
+                  [
+                    "workload"; "arrival"; "offered"; "injected"; "done";
+                    "thr"; "p50"; "p95"; "p99"; "max"; "backlog"; "in-flight";
+                    "touched"; "saturated";
+                  ]
+                ~notes:
+                  [
+                    "delay percentiles in rounds over completed operations";
+                    "saturated = >5% of injected operations missed the drain \
+                     window";
+                  ]
+                rows
+            in
+            Table.print table;
+            Option.iter
+              (fun path ->
+                let module J = Countq_util.Json in
+                let module Span = Countq_simnet.Span in
+                let oc = open_out path in
+                List.iter
+                  (fun (s : Load.summary) ->
+                    let meta =
+                      J.Obj
+                        [
+                          ("type", J.Str "meta");
+                          ("schema", J.Str "countq-load/1");
+                          ("workload", J.Str s.workload);
+                          ("topology", J.Str s.topology);
+                          ("arrival", J.Str s.arrival);
+                          ("horizon", J.Int s.horizon);
+                          ("injected", J.Int s.injected);
+                          ("completed", J.Int s.completed);
+                          ("throughput", J.Float s.throughput);
+                          ("p50", J.Float s.p50);
+                          ("p95", J.Float s.p95);
+                          ("p99", J.Float s.p99);
+                          ("max_backlog", J.Int s.max_backlog);
+                          ("saturated", J.Bool s.saturated);
+                        ]
+                    in
+                    output_string oc (J.to_string meta);
+                    output_char oc '\n';
+                    output_string oc (Span.to_jsonl s.spans))
+                  summaries;
+                close_out oc;
+                Printf.printf "wrote %s\n" path)
+              json_path)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop traffic on the event-driven engine: sweep offered load \
+          and report per-operation delay percentiles, throughput and \
+          backpressure for queuing vs counting - the separation as a \
+          saturation curve.")
+    Term.(
+      const run $ topo_arg $ workload_arg $ rates_arg $ arrival_arg
+      $ horizon_arg $ quick_arg $ seed_arg $ json_arg)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -1275,4 +1478,5 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; experiments_cmd; cache_cmd;
             compare_cmd; topo_cmd; trace_cmd; series_cmd; report_cmd;
-            verify_cmd; check_cmd; faults_cmd; churn_cmd; observe_cmd ]))
+            verify_cmd; check_cmd; faults_cmd; churn_cmd; observe_cmd;
+            load_cmd ]))

@@ -137,6 +137,19 @@ val e28_interval_connectivity : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
     adversary: liveness at every T, cost degrading gracefully as the
     interval shrinks. *)
 
+val e29_latency_vs_load : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
+(** Open-loop arrivals on the event engine: per-operation delay
+    percentiles and throughput as the offered rate sweeps past
+    counting's service capacity — the separation as a saturation
+    curve. *)
+
+val e30_event_engine_scaling :
+  ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
+(** One-shot runs on implicit lists from 10^3 to 10^6 nodes: queuing's
+    cost tracks the work (linear in n), counting's quadratic message
+    bill caps its rows at 10^4 — the scaling ceiling is itself the
+    separation. *)
+
 val all : spec list
 (** Every experiment, in id order. *)
 

@@ -1,0 +1,343 @@
+(* Open-loop workload layer. See load.mli. *)
+
+module Engine = Countq_simnet.Engine
+module Event = Countq_simnet.Event_engine
+module Span = Countq_simnet.Span
+module Metrics = Countq_simnet.Metrics
+module Implicit = Countq_topology.Implicit
+module Rng = Countq_util.Rng
+module Stats = Countq_util.Stats
+
+type arrival =
+  | Poisson of float
+  | Bursty of { rate : float; on : int; off : int }
+  | Diurnal of { rate : float; period : int }
+
+let arrival_label = function
+  | Poisson r -> Printf.sprintf "poisson-%g" r
+  | Bursty { rate; on; off } -> Printf.sprintf "bursty-%g-%d-%d" rate on off
+  | Diurnal { rate; period } -> Printf.sprintf "diurnal-%g-%d" rate period
+
+(* Knuth's product method, chunked so the e^-λ factor never
+   underflows: Poisson(λ) is the sum of ⌈λ/10⌉ independent
+   Poisson(λ/⌈λ/10⌉) draws. *)
+let poisson_draw rng lambda =
+  if lambda <= 0. then 0
+  else begin
+    let chunks = max 1 (int_of_float (ceil (lambda /. 10.))) in
+    let per = lambda /. float_of_int chunks in
+    let l = exp (-.per) in
+    let total = ref 0 in
+    for _ = 1 to chunks do
+      let k = ref 0 and p = ref 1.0 in
+      let continue = ref true in
+      while !continue do
+        p := !p *. Rng.float rng;
+        if !p > l then incr k else continue := false
+      done;
+      total := !total + !k
+    done;
+    !total
+  end
+
+let rate_at arrival t =
+  match arrival with
+  | Poisson r -> r
+  | Bursty { rate; on; off } ->
+      if (t - 1) mod (on + off) < on then
+        rate *. float_of_int (on + off) /. float_of_int on
+      else 0.
+  | Diurnal { rate; period } ->
+      rate
+      *. (1. +. sin (2. *. Float.pi *. float_of_int t /. float_of_int period))
+
+let schedule ~seed arrival ~n ~horizon =
+  if horizon < 1 then invalid_arg "Load.schedule: horizon must be >= 1";
+  if n < 1 then invalid_arg "Load.schedule: n must be >= 1";
+  let rng = Rng.create seed in
+  let acc = ref [] in
+  for t = 1 to horizon do
+    let k = poisson_draw rng (rate_at arrival t) in
+    let origins = Array.init k (fun _ -> Rng.below rng n) in
+    Array.sort compare origins;
+    (* Prepend in ascending order; the final [List.rev] restores
+       ascending (round, node) order. *)
+    for i = 0 to k - 1 do
+      acc := (t, origins.(i)) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+type workload = Queuing | Counting
+
+let workload_label = function Queuing -> "queuing" | Counting -> "counting"
+
+type summary = {
+  workload : string;
+  topology : string;
+  arrival : string;
+  horizon : int;
+  injected : int;
+  completed : int;
+  unfinished : int;
+  offered : float;
+  throughput : float;
+  mean_delay : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max_delay : int;
+  max_backlog : int;
+  peak_in_flight : int;
+  touched : int;
+  executed_rounds : int;
+  rounds : int;
+  messages : int;
+  saturated : bool;
+  spans : Span.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Queuing: arrow path reversal (Raymond / Demmer–Herlihy) over the
+   implicit topology. link(v) points toward the current queue tail
+   (self when v holds it); id(v) is the last operation issued at v.
+   Completion values are global op indices; predecessor identity is
+   tracked (it is the protocol) but the open-loop observable is the
+   completion instant.                                                 *)
+
+type q_state = { link : int; last : int (* op index, -1 = Init *) }
+type q_msg = Queue of int
+
+let queuing_protocol ~topo ~tail =
+  let nn = Implicit.n topo in
+  if tail < 0 || tail >= nn then invalid_arg "Load.run: tail out of range";
+  {
+    Engine.name = "open-loop-arrow";
+    initial_state =
+      (fun v ->
+        {
+          link = (if v = tail then v else Implicit.next_hop topo ~src:v ~dst:tail);
+          last = -1;
+        });
+    on_start = (fun ~node:_ s -> (s, []));
+    on_receive =
+      (fun ~round:_ ~node ~src (Queue i) s ->
+        let w = s.link in
+        let s = { s with link = src } in
+        if w = node then (s, [ Engine.Complete i ])
+        else (s, [ Engine.Send (w, Queue i) ]));
+    on_tick = Engine.no_tick;
+  }
+
+(* Issuing operation [i] at [v]: local completion if v holds the tail,
+   else fire queue(i) at the arrow; either way v becomes the tail. *)
+let issue_q v i s =
+  if s.link = v then ({ s with last = i }, [ Engine.Complete i ])
+  else ({ link = v; last = i }, [ Engine.Send (s.link, Queue i) ])
+
+(* ------------------------------------------------------------------ *)
+(* Counting: a central fetch-and-add. Requests route hop-by-hop to the
+   centre, the counter increments, the response routes back; the
+   operation completes when its origin receives the response. State is
+   the counter (meaningful at the centre only).                        *)
+
+type c_msg = { op_idx : int; resp : bool }
+
+let counting_protocol ~topo ~center ~origin_of =
+  let nn = Implicit.n topo in
+  if center < 0 || center >= nn then invalid_arg "Load.run: center out of range";
+  {
+    Engine.name = "open-loop-counter";
+    initial_state = (fun _ -> 0);
+    on_start = (fun ~node:_ s -> (s, []));
+    on_receive =
+      (fun ~round:_ ~node ~src:_ m s ->
+        let target = if m.resp then origin_of m.op_idx else center in
+        if m.resp && node = target then (s, [ Engine.Complete m.op_idx ])
+        else if (not m.resp) && node = center then
+          let m' = { m with resp = true } in
+          let dst = origin_of m.op_idx in
+          if dst = center then (s + 1, [ Engine.Complete m.op_idx ])
+          else
+            (s + 1, [ Engine.Send (Implicit.next_hop topo ~src:node ~dst, m') ])
+        else (s, [ Engine.Send (Implicit.next_hop topo ~src:node ~dst:target, m) ]));
+    on_tick = Engine.no_tick;
+  }
+
+let issue_c ~topo ~center v i s =
+  if v = center then (s + 1, [ Engine.Complete i ])
+  else
+    ( s,
+      [
+        Engine.Send
+          (Implicit.next_hop topo ~src:v ~dst:center, { op_idx = i; resp = false });
+      ] )
+
+(* ------------------------------------------------------------------ *)
+
+let summarise ~workload ~topo ~arrival ~horizon ~keep_spans ~cal ~stats
+    ~(result : int Engine.result) =
+  let injected = Array.length cal in
+  let completion_round = Array.make injected (-1) in
+  List.iter
+    (fun (c : int Engine.completion) -> completion_round.(c.value) <- c.round)
+    result.completions;
+  let delays = ref [] in
+  let completed = ref 0 in
+  let max_delay = ref 0 in
+  let sum_delay = ref 0 in
+  Array.iteri
+    (fun i (at, _) ->
+      if completion_round.(i) >= 0 then begin
+        incr completed;
+        let d = completion_round.(i) - at in
+        delays := d :: !delays;
+        sum_delay := !sum_delay + d;
+        if d > !max_delay then max_delay := d
+      end)
+    cal;
+  let completed = !completed in
+  let pct q =
+    if completed = 0 then 0. else Stats.percentile_ints !delays q
+  in
+  let spans =
+    if not keep_spans then []
+    else
+      Array.to_list
+        (Array.mapi
+           (fun i (at, _) ->
+             {
+               Span.op = i;
+               inject_round = at;
+               hops = [];
+               completion_round =
+                 (if completion_round.(i) >= 0 then Some completion_round.(i)
+                  else None);
+             })
+           cal)
+  in
+  let unfinished = injected - completed in
+  {
+    workload = workload_label workload;
+    topology = Implicit.label topo;
+    arrival = arrival_label arrival;
+    horizon;
+    injected;
+    completed;
+    unfinished;
+    offered = float_of_int injected /. float_of_int horizon;
+    throughput = float_of_int completed /. float_of_int horizon;
+    mean_delay =
+      (if completed = 0 then 0.
+       else float_of_int !sum_delay /. float_of_int completed);
+    p50 = pct 0.5;
+    p95 = pct 0.95;
+    p99 = pct 0.99;
+    max_delay = !max_delay;
+    max_backlog = result.max_link_backlog;
+    peak_in_flight = stats.Event.peak_in_flight;
+    touched = stats.Event.touched;
+    executed_rounds = stats.Event.executed_rounds;
+    rounds = result.rounds;
+    messages = result.messages;
+    saturated = unfinished * 20 > injected;
+    spans;
+  }
+
+let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
+    ?center ?drain ?(keep_spans = false) ?metrics ~topo ~workload ~arrival
+    ~horizon () =
+  let n = Implicit.n topo in
+  let center = match center with Some c -> c | None -> n / 2 in
+  let drain = match drain with Some d -> max 0 d | None -> horizon in
+  let cal = schedule ~seed arrival ~n ~horizon in
+  let stats = Event.fresh_stats () in
+  let halt_after = horizon + drain in
+  let result =
+    match workload with
+    | Queuing ->
+        let protocol = queuing_protocol ~topo ~tail in
+        let injections =
+          Array.mapi
+            (fun i (at, node) ->
+              { Event.at; node; inject = (fun s -> issue_q node i s) })
+            cal
+        in
+        Event.run ?metrics ~injections ~halt_after ~stats ~starters:[] ~topo
+          ~config ~protocol ()
+    | Counting ->
+        let origin_of i = snd cal.(i) in
+        let protocol = counting_protocol ~topo ~center ~origin_of in
+        let injections =
+          Array.mapi
+            (fun i (at, node) ->
+              { Event.at; node; inject = (fun s -> issue_c ~topo ~center node i s) })
+            cal
+        in
+        Event.run ?metrics ~injections ~halt_after ~stats ~starters:[] ~topo
+          ~config ~protocol ()
+  in
+  summarise ~workload ~topo ~arrival ~horizon ~keep_spans ~cal ~stats ~result
+
+type one_shot_summary = {
+  os_requests : int;
+  os_completed : int;
+  os_rounds : int;
+  os_messages : int;
+  os_max_backlog : int;
+  os_total_delay : int;
+  os_max_delay : int;
+}
+
+let one_shot ?(config = Engine.default_config) ?(tail = 0) ?center ?stats
+    ~topo ~workload ~requests () =
+  let n = Implicit.n topo in
+  let center = match center with Some c -> c | None -> n / 2 in
+  let req = Array.of_list requests in
+  let idx_of = Hashtbl.create (Array.length req) in
+  Array.iteri (fun i v -> Hashtbl.replace idx_of v i) req;
+  let result =
+    match workload with
+    | Queuing ->
+        let base = queuing_protocol ~topo ~tail in
+        let protocol =
+          {
+            base with
+            on_start =
+              (fun ~node s ->
+                match Hashtbl.find_opt idx_of node with
+                | Some i -> issue_q node i s
+                | None -> (s, []));
+          }
+        in
+        Event.run ?stats ~starters:requests ~topo ~config ~protocol ()
+    | Counting ->
+        let origin_of i = req.(i) in
+        let base = counting_protocol ~topo ~center ~origin_of in
+        let protocol =
+          {
+            base with
+            on_start =
+              (fun ~node s ->
+                match Hashtbl.find_opt idx_of node with
+                | Some i -> issue_c ~topo ~center node i s
+                | None -> (s, []));
+          }
+        in
+        Event.run ?stats ~starters:requests ~topo ~config ~protocol ()
+  in
+  let total = ref 0 and maxd = ref 0 in
+  List.iter
+    (fun (c : int Engine.completion) ->
+      total := !total + c.round;
+      if c.round > !maxd then maxd := c.round)
+    result.completions;
+  {
+    os_requests = Array.length req;
+    os_completed = List.length result.completions;
+    os_rounds = result.rounds;
+    os_messages = result.messages;
+    os_max_backlog = result.max_link_backlog;
+    os_total_delay = !total;
+    os_max_delay = !maxd;
+  }

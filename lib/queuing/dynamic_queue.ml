@@ -54,6 +54,66 @@ let rec extend v know ~leader =
     | [] -> know
     | op :: rest -> extend v { chain = op :: know.chain; pend = rest } ~leader
 
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Deltas: what flooding actually puts on the wire.                    *)
+(*                                                                     *)
+(* Full-state flooding re-sends the entire chain on every growth step  *)
+(* — O(n·k) traffic per change, the ROADMAP item 2 blocker. Because    *)
+(* every chain in the system is a prefix of one global chain (the      *)
+(* single-extender argument below), a sender only owes a neighbour the *)
+(* chain entries above what that neighbour already has plus the        *)
+(* pending ops it has not seen, and the receiver can splice the        *)
+(* suffix directly onto its own chain.                                 *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  d_base : int;  (** receiver-side chain length the suffix extends. *)
+  d_suffix : Types.op list;  (** chain entries above [d_base], newest-first. *)
+  d_pend : Types.op list;  (** pending ops the receiver has not seen. *)
+}
+
+(* The delta owed to a neighbour believed to hold [sent_chain] chain
+   entries and to know the pending ops [sent_pend]; [None] when it
+   already knows everything. [sent_chain <= length k.chain] is an
+   invariant: beliefs only advance to lengths this node itself holds
+   (after a send) or has just merged past (after a receive). *)
+let delta_for k ~sent_chain ~sent_pend =
+  let len = List.length k.chain in
+  let suffix = if len > sent_chain then take (len - sent_chain) k.chain else [] in
+  let pend =
+    List.filter
+      (fun o -> not (List.exists (fun p -> Types.compare_op p o = 0) sent_pend))
+      k.pend
+  in
+  if suffix = [] && pend = [] then None
+  else Some { d_base = sent_chain; d_suffix = suffix; d_pend = pend }
+
+(* Merge a delta into local knowledge. When [d_base <= |chain|] the
+   prefix property makes the splice exact: our chain is the sender's
+   first [|chain|] entries, so suffix entries above it reconstruct the
+   sender's chain verbatim. A gap ([d_base > |chain|], possible only
+   when an earlier delta was lost to churn) degrades to learning the
+   suffix ops as pending — safe, because extension happens only at the
+   holder of the globally longest chain, whose own chain already
+   contains every chained op, so its pend (kept disjoint from its
+   chain by [merge_know]) can never re-chain one. The periodic refresh
+   re-sends the full chain and closes the gap. *)
+let apply_delta node k d ~leader =
+  let len = List.length k.chain in
+  let incoming =
+    if d.d_base <= len then begin
+      let extra = d.d_base + List.length d.d_suffix - len in
+      if extra <= 0 then { chain = []; pend = d.d_pend }
+      else { chain = take extra d.d_suffix @ k.chain; pend = d.d_pend }
+    end
+    else { chain = []; pend = d.d_suffix @ d.d_pend }
+  in
+  extend node (merge_know k incoming) ~leader
+
 (* Predecessor of [op] in a newest-first chain that contains it. *)
 let rec pred_in_chain op = function
   | [] -> assert false
@@ -87,15 +147,54 @@ let check_requests ~who ~n ~leader requests =
 (* Receive-driven core: static graph, explorable.                      *)
 (* ------------------------------------------------------------------ *)
 
-type checker_state = { ck : know; cmine : Types.op option }
-type checker_msg = know
+(* Per neighbour: the knowledge this node believes that neighbour
+   holds, advanced by both what it sends there and what arrives from
+   there. Beliefs make flooding self-pruning — a neighbour that owes
+   nothing gets nothing, which subsumes the don't-echo-to-[src]
+   special case full-state flooding needed. Updates are functional
+   (copy-on-write) so the state stays structural for [Explore]. *)
+type peer = { p_chain : int; p_pend : Types.op list }
+
+let fresh_peers graph v =
+  Array.map (fun _ -> { p_chain = 0; p_pend = [] }) (Graph.neighbors graph v)
+
+let note_peer peers slot d =
+  let peers = Array.copy peers in
+  let p = peers.(slot) in
+  peers.(slot) <-
+    {
+      p_chain = max p.p_chain (d.d_base + List.length d.d_suffix);
+      p_pend = List.sort_uniq Types.compare_op (d.d_pend @ p.p_pend);
+    };
+  peers
+
+type checker_state = { ck : know; cmine : Types.op option; cpeers : peer array }
+type checker_msg = delta
 
 let one_shot_protocol ?(leader = 0) ~graph ~requests () =
   let n = Graph.n graph in
   let requesting =
     check_requests ~who:"Dynamic_queue.one_shot_protocol" ~n ~leader requests
   in
-  let flood node k = Array.map (fun w -> Engine.Send (w, k)) (Graph.neighbors graph node) in
+  (* Send every neighbour the delta it is owed, advancing beliefs. *)
+  let flood node k peers =
+    let nbrs = Graph.neighbors graph node in
+    let peers = Array.copy peers in
+    let sends = ref [] in
+    for i = Array.length nbrs - 1 downto 0 do
+      let p = peers.(i) in
+      match delta_for k ~sent_chain:p.p_chain ~sent_pend:p.p_pend with
+      | None -> ()
+      | Some d ->
+          peers.(i) <-
+            {
+              p_chain = List.length k.chain;
+              p_pend = List.sort_uniq Types.compare_op (d.d_pend @ p.p_pend);
+            };
+          sends := Engine.Send (nbrs.(i), d) :: !sends
+    done;
+    (peers, !sends)
+  in
   {
     Engine.name = "dynamic-queue";
     initial_state =
@@ -108,31 +207,25 @@ let one_shot_protocol ?(leader = 0) ~graph ~requests () =
           | Some op -> { empty_know with pend = [ op ] }
           | None -> empty_know
         in
-        { ck = k; cmine = mine });
+        { ck = k; cmine = mine; cpeers = fresh_peers graph v });
     on_start =
       (fun ~node s ->
         let k' = extend node s.ck ~leader in
         let comps = newly_chained s.cmine s.ck k' in
-        let sends =
-          if k' = empty_know then [] else Array.to_list (flood node k')
-        in
-        ({ s with ck = k' }, comps @ sends));
+        let peers, sends = flood node k' s.cpeers in
+        ({ s with ck = k'; cpeers = peers }, comps @ sends));
     on_receive =
-      (fun ~round:_ ~node ~src k_in s ->
-        let k' = extend node (merge_know s.ck k_in) ~leader in
-        if k' = s.ck then (s, [])
+      (fun ~round:_ ~node ~src d s ->
+        let nbrs = Graph.neighbors graph node in
+        let slot = ref 0 in
+        Array.iteri (fun i w -> if w = src then slot := i) nbrs;
+        let peers = note_peer s.cpeers !slot d in
+        let k' = apply_delta node s.ck d ~leader in
+        if k' = s.ck then ({ s with cpeers = peers }, [])
         else begin
           let comps = newly_chained s.cmine s.ck k' in
-          (* Local knowledge strictly grew: re-flood. Skip [src] when we
-             learned nothing beyond its message — it already has it. *)
-          let sends =
-            List.filter
-              (function
-                | Engine.Send (w, _) -> not (k' = k_in && w = src)
-                | Engine.Complete _ -> true)
-              (Array.to_list (flood node k'))
-          in
-          ({ s with ck = k' }, comps @ sends)
+          let peers, sends = flood node k' peers in
+          ({ ck = k'; cmine = s.cmine; cpeers = peers }, comps @ sends)
         end);
     on_tick = Engine.no_tick;
   }
@@ -141,16 +234,24 @@ let one_shot_protocol ?(leader = 0) ~graph ~requests () =
 (* Tick-driven variant: dynamic graph, engine-only.                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Same knowledge logic; flooding is paced by ticks instead. [dsent]
-   holds, per neighbour slot, the last version offered over that link;
+(* Same knowledge logic; flooding is paced by ticks instead. Each
+   neighbour slot carries the belief of what that neighbour holds
+   (advancing on both send and receive) plus the version last offered;
    a version bump (any knowledge growth) re-arms every link, and a
-   periodic refresh re-arms them unconditionally so versions lost to a
-   mid-flight topology change are recovered. *)
+   periodic refresh forgets the beliefs unconditionally so deltas lost
+   to a mid-flight topology change are recovered by a full re-send.
+   Engine-only — state is mutable, keep it away from [Explore]. *)
+type dpeer = {
+  mutable q_chain : int;
+  mutable q_pend : Types.op list;
+  mutable q_version : int;
+}
+
 type dstate = {
   dk : know;
   dmine : Types.op option;
   dversion : int;
-  dsent : int array;
+  dpeers : dpeer array;
 }
 
 let dynamic_protocol ~leader ~sched ~refresh ~graph ~requests =
@@ -173,7 +274,10 @@ let dynamic_protocol ~leader ~sched ~refresh ~graph ~requests =
           dk = k;
           dmine = mine;
           dversion = (if k = empty_know then 0 else 1);
-          dsent = Array.make (Array.length (Graph.neighbors graph v)) (-1);
+          dpeers =
+            Array.map
+              (fun _ -> { q_chain = 0; q_pend = []; q_version = -1 })
+              (Graph.neighbors graph v);
         });
     on_start =
       (fun ~node s ->
@@ -185,8 +289,17 @@ let dynamic_protocol ~leader ~sched ~refresh ~graph ~requests =
         in
         (s, comps));
     on_receive =
-      (fun ~round:_ ~node ~src:_ k_in s ->
-        let k' = extend node (merge_know s.dk k_in) ~leader in
+      (fun ~round:_ ~node ~src d s ->
+        let nbrs = Graph.neighbors graph node in
+        Array.iteri
+          (fun i w ->
+            if w = src then begin
+              let p = s.dpeers.(i) in
+              p.q_chain <- max p.q_chain (d.d_base + List.length d.d_suffix);
+              p.q_pend <- List.sort_uniq Types.compare_op (d.d_pend @ p.q_pend)
+            end)
+          nbrs;
+        let k' = apply_delta node s.dk d ~leader in
         if k' = s.dk then (s, [])
         else
           ( { s with dk = k'; dversion = s.dversion + 1 },
@@ -196,20 +309,35 @@ let dynamic_protocol ~leader ~sched ~refresh ~graph ~requests =
         (fun ~round ~node s ->
           if s.dversion = 0 then (s, [])
           else begin
-            if round mod refresh = 0 then Array.fill s.dsent 0 (Array.length s.dsent) (-1);
+            if round mod refresh = 0 then
+              Array.iter
+                (fun p ->
+                  p.q_chain <- 0;
+                  p.q_pend <- [];
+                  p.q_version <- -1)
+                s.dpeers;
             let nbrs = Graph.neighbors graph node in
             let sends = ref [] in
             for i = Array.length nbrs - 1 downto 0 do
               let w = nbrs.(i) in
+              let p = s.dpeers.(i) in
               (* Sends issued in round [t] enter the network in [t+1];
                  offer over links usable then — "a node knows its
                  current neighbourhood". *)
               if
-                s.dsent.(i) < s.dversion
+                p.q_version < s.dversion
                 && Dynamic.usable sched ~round:(round + 1) ~u:node ~v:w
               then begin
-                s.dsent.(i) <- s.dversion;
-                sends := Engine.Send (w, s.dk) :: !sends
+                p.q_version <- s.dversion;
+                match
+                  delta_for s.dk ~sent_chain:p.q_chain ~sent_pend:p.q_pend
+                with
+                | None -> ()
+                | Some d ->
+                    p.q_chain <- List.length s.dk.chain;
+                    p.q_pend <-
+                      List.sort_uniq Types.compare_op (d.d_pend @ p.q_pend);
+                    sends := Engine.Send (w, d) :: !sends
               end
             done;
             (s, !sends)

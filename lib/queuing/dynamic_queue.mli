@@ -9,11 +9,15 @@
     Every node maintains a monotone {e knowledge} value: the longest
     known prefix of the global operation chain plus the set of pending
     (announced but unchained) operations. Knowledge floods between
-    current neighbours; only the origin of the chain's last entry (or
-    the designated leader while the chain is empty) may extend it, and
-    it extends at most once per chain value, so all chains anyone ever
-    holds are prefixes of one global chain — safety is unconditional,
-    under any disconnection pattern. Liveness needs only recurring
+    current neighbours as {e deltas} — the chain suffix above what the
+    neighbour is believed to hold plus the unseen pending ops, never
+    the full monotone state, so a growth step costs traffic
+    proportional to what changed rather than O(chain) per link. Only
+    the origin of the chain's last entry (or the designated leader
+    while the chain is empty) may extend it, and it extends at most
+    once per chain value, so all chains anyone ever holds are prefixes
+    of one global chain — which is also what makes the suffix splice
+    exact, and safety unconditional under any disconnection pattern. Liveness needs only recurring
     connectivity (e.g. T-interval connectivity): each time the current
     holder hears of a pending operation the chain grows, so total cost
     degrades gracefully with the connectivity interval instead of
@@ -64,12 +68,13 @@ val one_shot_protocol :
   unit ->
   (checker_state, checker_msg, Types.op * Types.pred) Engine.protocol
 (** The receive-driven core of the dynamic queue on a static graph:
-    knowledge is re-flooded the instant it grows, with no timers, so
-    the protocol is a pure message-driven flooding process — state is
-    pure and structural, and [Countq_simnet.Explore] (which ignores
-    [on_tick]) can model-check the single-extender safety argument
-    over every interleaving. Completion values are [(op, pred)]
-    pairs; validate with [Order.chain]. *)
+    deltas are re-flooded the instant knowledge grows, with no timers,
+    so the protocol is a pure message-driven flooding process — state
+    is pure and structural (per-neighbour beliefs update by copy), and
+    [Countq_simnet.Explore] (which ignores [on_tick]) can model-check
+    the single-extender safety argument over every interleaving.
+    Completion values are [(op, pred)] pairs; validate with
+    [Order.chain]. *)
 
 val run :
   ?config:Engine.config ->
@@ -82,10 +87,11 @@ val run :
   unit ->
   report
 (** The tick-driven dynamic variant under topology schedule [sched]
-    (default: the identity schedule). Each round every node offers its
-    current knowledge version to each usable neighbour that has not
-    seen it, and re-offers everything every [refresh] rounds (default
-    8) so versions lost to a mid-flight topology change are recovered;
+    (default: the identity schedule). Each round every node offers the
+    delta it owes to each usable neighbour that has not seen its
+    current knowledge version, and forgets its per-neighbour beliefs
+    every [refresh] rounds (default 8) — a full re-send — so deltas
+    lost to a mid-flight topology change are recovered;
     the run halts when all [requests] have completed, or when the
     completion-progress monitor declares a stall after
     [progress_budget] completion-free rounds (default 256). [config]

@@ -106,16 +106,19 @@ let no_keep_alive () = false
 (* Top-[k] (node, load) pairs from a per-node load array: heaviest
    first, ties broken towards the lower node id; zero-load nodes are
    omitted. Shared by both engines' Round_limit_exceeded payloads. *)
-let top_loaded ?(k = 5) loads =
-  let acc = ref [] in
-  Array.iteri (fun v load -> if load > 0 then acc := (v, load) :: !acc) loads;
+let top_loaded_pairs ?(k = 5) pairs =
   let sorted =
     List.sort
       (fun (v1, l1) (v2, l2) ->
         match compare l2 l1 with 0 -> compare v1 v2 | c -> c)
-      !acc
+      (List.filter (fun (_, load) -> load > 0) pairs)
   in
   List.filteri (fun i _ -> i < k) sorted
+
+let top_loaded ?k loads =
+  let acc = ref [] in
+  Array.iteri (fun v load -> if load > 0 then acc := (v, load) :: !acc) loads;
+  top_loaded_pairs ?k !acc
 
 (* Index of [u] in the sorted, deduplicated neighbour array (Graph
    guarantees both), or -1. Replaces the old per-node id->index

@@ -132,6 +132,13 @@ val top_loaded : ?k:int -> int array -> (int * int) list
     pairs with positive load, heaviest first, ties to the lower id.
     Exposed for the engines and monitors that build the payload. *)
 
+val top_loaded_pairs : ?k:int -> (int * int) list -> (int * int) list
+(** As {!top_loaded} for callers that track loads sparsely as
+    [(node, load)] pairs rather than a dense per-node array — the
+    event-driven engine, which never materialises idle nodes, builds
+    its [busiest] payload through this shared helper. Pairs must be
+    unique per node. *)
+
 type 'r observer = {
   on_deliver : round:int -> src:int -> dst:int -> unit;
       (** called for every message handed to a protocol. *)

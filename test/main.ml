@@ -17,6 +17,7 @@ let () =
       ("workset", Test_workset.suite);
       ("engine", Test_engine.suite);
       ("equiv", Test_equiv.suite);
+      ("event-engine", Test_event_engine.suite);
       ("dynamic", Test_dynamic.suite);
       ("route", Test_route.suite);
       ("async", Test_async.suite);

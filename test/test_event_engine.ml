@@ -1,0 +1,675 @@
+(* The event-driven engine is pinned bit-identical to Engine.run on
+   every materialisable topology: same completions, rounds, messages,
+   backlog, observer streams, fault tallies, metrics content and
+   Round_limit_exceeded payloads — fault-free, faulty and under the
+   identity dynamic schedule. Injections are pinned against an on_tick
+   wrapper, declared starters against an on_start that returns [] off
+   the request set, and halt_after against an observer-driven halt.
+   Plus the implicit topology families themselves: materialisation
+   agrees with the Gen twins, and next_hop is strictly
+   distance-decreasing. *)
+
+module Engine = Countq_simnet.Engine
+module Event = Countq_simnet.Event_engine
+module Faults = Countq_simnet.Faults
+module Dynamic = Countq_simnet.Dynamic
+module Metrics = Countq_simnet.Metrics
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+module Implicit = Countq_topology.Implicit
+module Bfs = Countq_topology.Bfs
+
+let mix a b =
+  let h = ref ((a * 0x9e3779b1) + (b * 0x85ebca6b)) in
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xc2b2ae35;
+  h := !h lxor (!h lsr 16);
+  !h land max_int
+
+type msg = { ttl : int; tag : int }
+
+let pick_nbr graph v h =
+  let a = Graph.neighbors graph v in
+  if Array.length a = 0 then None else Some a.(h mod Array.length a)
+
+(* The same seed-parameterised flooding protocol test_equiv pins the
+   two dense engines with, optionally gated to start only on a request
+   subset (so the lazy-starter contract holds off the subset). *)
+let hash_protocol ?starts ~seed ~graph () =
+  let may_start node =
+    match starts with None -> true | Some l -> List.mem node l
+  in
+  {
+    Engine.name = "qcheck-hash";
+    initial_state = (fun v -> mix seed v);
+    on_start =
+      (fun ~node s ->
+        if not (may_start node) then (s, [])
+        else
+          let h = mix seed node in
+          let acts =
+            if h mod 3 = 0 then
+              match pick_nbr graph node h with
+              | Some d ->
+                  [ Engine.Send (d, { ttl = 2 + (h mod 5); tag = h land 0xffff }) ]
+              | None -> []
+            else []
+          in
+          let acts =
+            if h mod 7 = 0 then Engine.Complete (node, h land 0xff) :: acts
+            else acts
+          in
+          (s, acts));
+    on_receive =
+      (fun ~round ~node ~src m s ->
+        let h = mix (mix s m.tag) (mix src round) in
+        let acts = ref [] in
+        (if m.ttl > 0 then
+           let fan = match h mod 4 with 0 -> 0 | 1 | 2 -> 1 | _ -> 2 in
+           for i = 1 to fan do
+             match pick_nbr graph node (mix h i) with
+             | Some d ->
+                 acts :=
+                   Engine.Send
+                     (d, { ttl = m.ttl - 1; tag = mix m.tag i land 0xffff })
+                   :: !acts
+             | None -> ()
+           done);
+        if h mod 5 = 0 then acts := Engine.Complete (node, m.tag) :: !acts;
+        (mix s (m.tag + 1), !acts));
+    on_tick = Engine.no_tick;
+  }
+
+let arbiter_of = function
+  | 0 -> Engine.Round_robin
+  | 1 -> Engine.Lowest_sender_first
+  | _ ->
+      Engine.Custom
+        (fun ~round ~node ~candidates ->
+          List.nth candidates (mix round node mod List.length candidates))
+
+let arbiter_label = function
+  | 0 -> "round-robin"
+  | 1 -> "lowest-sender"
+  | _ -> "custom-hash"
+
+let plan_of = function
+  | 0 -> Faults.none
+  | 1 -> Faults.drop_nth 3
+  | 2 -> Faults.dup_nth 5
+  | 3 -> Faults.delay_nth ~by:4 2
+  | 4 -> Faults.delay_nth ~by:50 1
+  | 5 -> Faults.random ~label:"lossy" ~seed:42L ~drop:0.1 ()
+  | 6 ->
+      Faults.random ~label:"chaos" ~seed:7L ~drop:0.05 ~duplicate:0.1
+        ~delay:0.2 ~delay_max:9 ()
+  | 7 ->
+      Faults.crash_only ~label:"crash-restart"
+        [ { node = 0; at_round = 2; recover_at = Some 6 } ]
+  | _ -> Faults.random ~label:"jitter" ~seed:9L ~delay:0.4 ~delay_max:30 ()
+
+let config_of (rc, sc, arb, minr, maxr) =
+  {
+    Engine.receive_capacity = rc;
+    send_capacity = sc;
+    arbiter = arbiter_of arb;
+    max_rounds = maxr;
+    min_rounds = minr;
+  }
+
+(* Run one engine, capturing the result (or the round-limit payload),
+   the observer stream, the fault tallies and the metrics content. *)
+let capture which ~observe ~with_metrics ~dyn ~plan ~graph ~config ~protocol =
+  let events = ref [] in
+  let observer =
+    if observe then
+      Some
+        {
+          Engine.on_deliver =
+            (fun ~round ~src ~dst -> events := `Deliver (round, src, dst) :: !events);
+          on_complete =
+            (fun ~round ~node ~value -> events := `Complete (round, node, value) :: !events);
+          on_round_end =
+            (fun ~round ~in_flight ->
+              events := `Round_end (round, in_flight) :: !events;
+              `Continue);
+        }
+    else None
+  in
+  let faults = Option.map Faults.start plan in
+  let dynamic = if dyn then Some (Dynamic.start (Dynamic.identity graph)) else None in
+  let metrics = if with_metrics then Some (Metrics.create ~graph) else None in
+  let outcome =
+    match
+      match which with
+      | `Engine ->
+          Engine.run ?faults ?dynamic ?observer ?metrics ~graph ~config
+            ~protocol ()
+      | `Event ->
+          Event.run ?faults ?dynamic ?observer ?metrics
+            ~topo:(Implicit.of_graph graph) ~config ~protocol ()
+    with
+    | r -> Ok r
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        Error (limit, outstanding, queued, held, busiest)
+  in
+  ( outcome,
+    List.rev !events,
+    Option.map Faults.stats faults,
+    Option.map (fun m -> (Metrics.per_node m, Metrics.per_edge m)) metrics )
+
+let scenario_gen =
+  let open QCheck2.Gen in
+  let* topo = Helpers.topology_gen in
+  let* seed = int_range 0 100_000 in
+  let* rc = int_range 1 3 in
+  let* sc = int_range 1 3 in
+  let* arb = int_range 0 2 in
+  let* minr = oneofl [ 0; 7 ] in
+  let* maxr = oneofl [ 4; 2_000 ] in
+  let* plan = int_range 0 8 in
+  let* dyn = bool in
+  let* with_metrics = bool in
+  return (topo, seed, (rc, sc, arb, minr, maxr), plan, dyn, with_metrics)
+
+let scenario_print ((name, g), seed, (rc, sc, arb, minr, maxr), plan, dyn, wm) =
+  Printf.sprintf
+    "%s (n=%d) seed=%d rcv=%d snd=%d arb=%s min_rounds=%d max_rounds=%d \
+     plan=%s dyn=%b metrics=%b"
+    name (Graph.n g) seed rc sc (arbiter_label arb) minr maxr
+    (Faults.label (plan_of plan))
+    dyn wm
+
+let equiv_prop ~observe ((_, graph), seed, cfg, plan, dyn, with_metrics) =
+  let config = config_of cfg in
+  let protocol = hash_protocol ~seed ~graph () in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let a = capture `Engine ~observe ~with_metrics ~dyn ~plan ~graph ~config ~protocol in
+  let b = capture `Event ~observe ~with_metrics ~dyn ~plan ~graph ~config ~protocol in
+  a = b
+
+let equiv_default =
+  QCheck2.Test.make ~count:150 ~name:"event = engine (default hooks)"
+    ~print:scenario_print scenario_gen (equiv_prop ~observe:false)
+
+let equiv_observed =
+  QCheck2.Test.make ~count:150 ~name:"event = engine (observed, traced)"
+    ~print:scenario_print scenario_gen (equiv_prop ~observe:true)
+
+(* ------------------------------------------------------------------ *)
+(* Injections vs an on_tick wrapper: a schedule of (round, node) events
+   fed through ?injections must replay exactly like an Engine protocol
+   whose tick fires the same closures at the same instants.            *)
+
+(* What one scheduled event does at (round, node): a pure function of
+   the seed, shared by both encodings. *)
+let fire ~seed ~graph ~round ~node s =
+  let h = mix seed (mix round node) in
+  let acts =
+    match pick_nbr graph node h with
+    | Some d -> [ Engine.Send (d, { ttl = 1 + (h mod 3); tag = h land 0xffff }) ]
+    | None -> []
+  in
+  let acts =
+    if h mod 4 = 0 then Engine.Complete (node, h land 0xff) :: acts else acts
+  in
+  (mix s h, acts)
+
+let quiet_hash ~seed ~graph =
+  { (hash_protocol ~starts:[] ~seed ~graph ()) with name = "qcheck-injected" }
+
+let injection_gen =
+  let open QCheck2.Gen in
+  let* topo = Helpers.topology_gen in
+  let n = Graph.n (snd topo) in
+  let* seed = int_range 0 100_000 in
+  let* k = int_range 0 10 in
+  let* evs = list_size (return k) (pair (int_range 1 12) (int_range 0 (n - 1))) in
+  let evs = List.sort_uniq compare evs in
+  let* rc = int_range 1 2 in
+  let* arb = int_range 0 2 in
+  let* plan = int_range 0 8 in
+  let* observe = bool in
+  return (topo, seed, evs, (rc, 1, arb, 12, 2_000), plan, observe)
+
+let injection_print ((name, g), seed, evs, _, plan, observe) =
+  Printf.sprintf "%s (n=%d) seed=%d events=[%s] plan=%s observe=%b" name
+    (Graph.n g) seed
+    (String.concat ";"
+       (List.map (fun (t, v) -> Printf.sprintf "%d@%d" v t) evs))
+    (Faults.label (plan_of plan))
+    observe
+
+let injection_prop ((_, graph), seed, evs, cfg, plan, observe) =
+  (* min_rounds = 12 >= every event round, so the ticking engine is
+     still running when the last scheduled event fires. *)
+  let config = config_of cfg in
+  let base = quiet_hash ~seed ~graph in
+  let ticking =
+    {
+      base with
+      on_tick =
+        Some
+          (fun ~round ~node s ->
+            if List.mem (round, node) evs then fire ~seed ~graph ~round ~node s
+            else (s, []));
+    }
+  in
+  let injections =
+    Array.of_list
+      (List.map
+         (fun (at, node) ->
+           { Event.at; node; inject = (fun s -> fire ~seed ~graph ~round:at ~node s) })
+         evs)
+  in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let a =
+    capture `Engine ~observe ~with_metrics:false ~dyn:false ~plan ~graph
+      ~config ~protocol:ticking
+  in
+  let b =
+    let events = ref [] in
+    let observer =
+      if observe then
+        Some
+          {
+            Engine.on_deliver =
+              (fun ~round ~src ~dst -> events := `Deliver (round, src, dst) :: !events);
+            on_complete =
+              (fun ~round ~node ~value -> events := `Complete (round, node, value) :: !events);
+            on_round_end =
+              (fun ~round ~in_flight ->
+                events := `Round_end (round, in_flight) :: !events;
+                `Continue);
+          }
+      else None
+    in
+    let faults = Option.map Faults.start plan in
+    let outcome =
+      match
+        Event.run ?faults ?observer ~injections ~topo:(Implicit.of_graph graph)
+          ~config ~protocol:base ()
+      with
+      | r -> Ok r
+      | exception Engine.Round_limit_exceeded
+            { limit; outstanding; queued; held; busiest } ->
+          Error (limit, outstanding, queued, held, busiest)
+    in
+    (outcome, List.rev !events, Option.map Faults.stats faults, None)
+  in
+  a = b
+
+let equiv_injections =
+  QCheck2.Test.make ~count:150 ~name:"injections = on_tick wrapper"
+    ~print:injection_print injection_gen injection_prop
+
+(* ------------------------------------------------------------------ *)
+(* Declared starters vs an on_start gated to the request subset.       *)
+
+let starters_gen =
+  let open QCheck2.Gen in
+  let* name, g, requests = Helpers.instance_gen in
+  let* seed = int_range 0 100_000 in
+  let* rc = int_range 1 3 in
+  let* arb = int_range 0 2 in
+  let* plan = int_range 0 8 in
+  return ((name, g, requests), seed, (rc, 1, arb, 0, 2_000), plan)
+
+let starters_print ((name, g, requests), seed, _, plan) =
+  Printf.sprintf "%s (n=%d) R={%s} seed=%d plan=%s" name (Graph.n g)
+    (String.concat "," (List.map string_of_int requests))
+    seed
+    (Faults.label (plan_of plan))
+
+let starters_prop ((_, graph, requests), seed, cfg, plan) =
+  let config = config_of cfg in
+  let protocol = hash_protocol ~starts:requests ~seed ~graph () in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let a =
+    capture `Engine ~observe:false ~with_metrics:false ~dyn:false ~plan ~graph
+      ~config ~protocol
+  in
+  let b =
+    let faults = Option.map Faults.start plan in
+    let outcome =
+      match
+        Event.run ?faults ~starters:requests ~topo:(Implicit.of_graph graph)
+          ~config ~protocol ()
+      with
+      | r -> Ok r
+      | exception Engine.Round_limit_exceeded
+            { limit; outstanding; queued; held; busiest } ->
+          Error (limit, outstanding, queued, held, busiest)
+    in
+    (outcome, [], Option.map Faults.stats faults, None)
+  in
+  a = b
+
+let equiv_starters =
+  QCheck2.Test.make ~count:150 ~name:"?starters = gated on_start"
+    ~print:starters_print starters_gen starters_prop
+
+(* ------------------------------------------------------------------ *)
+(* Laziness itself: a single ping on a million-node implicit list must
+   touch two nodes, and a wrongly omitted starter must fail loudly.    *)
+
+let one_ping =
+  {
+    Engine.name = "one-ping";
+    initial_state = (fun _ -> ());
+    on_start =
+      (fun ~node s -> if node = 0 then (s, [ Engine.Send (1, ()) ]) else (s, []));
+    on_receive =
+      (fun ~round ~node ~src:_ () s -> (s, [ Engine.Complete (node, round) ]));
+    on_tick = Engine.no_tick;
+  }
+
+let test_million_node_ping_touches_two () =
+  let topo = Implicit.list 1_000_000 in
+  let stats = Event.fresh_stats () in
+  let res =
+    Event.run ~stats ~starters:[ 0 ] ~topo ~config:Engine.default_config
+      ~protocol:one_ping ()
+  in
+  Alcotest.(check int) "one delivery" 1 res.messages;
+  Alcotest.(check bool) "completed at node 1, round 1" true
+    (res.completions = [ { Engine.node = 1; round = 1; value = (1, 1) } ]);
+  Alcotest.(check int) "only the endpoints materialised" 2 stats.touched;
+  Alcotest.(check int) "one busy round executed" 1 stats.executed_rounds;
+  Alcotest.(check int) "one message in flight at peak" 1 stats.peak_in_flight
+
+let test_non_starter_with_actions_rejected () =
+  (* Node 1 would have spoken at time 0 but is not declared: its lazy
+     on_start (triggered by 0's ping) must raise, not drop actions. *)
+  let chatty =
+    {
+      one_ping with
+      on_start = (fun ~node s -> (s, [ Engine.Send ((node + 1) mod 3, ()) ]));
+    }
+  in
+  Alcotest.check_raises "undeclared starter fails loudly"
+    (Invalid_argument
+       "Event_engine.run: node 1 is not in ?starters but its on_start \
+        produced actions")
+    (fun () ->
+      ignore
+        (Event.run ~starters:[ 0 ] ~topo:(Implicit.ring 3)
+           ~config:Engine.default_config ~protocol:chatty ()))
+
+let test_tick_protocol_rejected () =
+  let ticking =
+    { one_ping with on_tick = Some (fun ~round:_ ~node:_ s -> (s, [])) }
+  in
+  let raised =
+    try
+      ignore
+        (Event.run ~topo:(Implicit.list 4) ~config:Engine.default_config
+           ~protocol:ticking ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "on_tick protocols are refused" true raised
+
+(* ------------------------------------------------------------------ *)
+(* halt_after vs an observer-driven halt.                              *)
+
+let ping_pong =
+  {
+    Engine.name = "pingpong";
+    initial_state = (fun _ -> ());
+    on_start =
+      (fun ~node s -> if node = 0 then (s, [ Engine.Send (1, ()) ]) else (s, []));
+    on_receive = (fun ~round:_ ~node:_ ~src msg s -> (s, [ Engine.Send (src, msg) ]));
+    on_tick = Engine.no_tick;
+  }
+
+let test_halt_after_matches_observer_halt () =
+  let graph = Gen.path 2 in
+  let config = { Engine.default_config with max_rounds = 10_000 } in
+  let halted_at h =
+    let observer =
+      {
+        Engine.null_observer with
+        on_round_end =
+          (fun ~round ~in_flight:_ -> if round >= h then `Halt else `Continue);
+      }
+    in
+    Engine.run ~observer ~graph ~config ~protocol:ping_pong ()
+  in
+  let event_halted h =
+    Event.run ~halt_after:h ~topo:(Implicit.of_graph graph) ~config
+      ~protocol:ping_pong ()
+  in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "halt_after %d = observer halt" h)
+        true
+        (event_halted h = halted_at h))
+    [ 1; 7; 30 ];
+  (* On a run that drains before the horizon, halt_after is inert. *)
+  let quiet = Event.run ~topo:(Implicit.list 5) ~config ~protocol:one_ping () in
+  let capped =
+    Event.run ~halt_after:500 ~topo:(Implicit.list 5) ~config ~protocol:one_ping ()
+  in
+  Alcotest.(check bool) "halt_after beyond quiescence is inert" true
+    (quiet = capped)
+
+let test_round_limit_payloads_identical () =
+  (* Ping-pong with one long-delayed message at max_rounds = 25: both
+     engines raise with the same payload, held messages included. *)
+  let graph = Gen.path 2 in
+  let config = { Engine.default_config with max_rounds = 25 } in
+  let plan () = Faults.start (Faults.delay_nth ~by:1_000 4) in
+  let payload run =
+    match run () with
+    | (_ : (int * int) Engine.result) ->
+        Alcotest.fail "expected Round_limit_exceeded"
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        (limit, outstanding, queued, held, busiest)
+  in
+  let ping_pong_c =
+    {
+      ping_pong with
+      on_receive =
+        (fun ~round:_ ~node:_ ~src msg s -> (s, [ Engine.Send (src, msg) ]));
+    }
+  in
+  ignore ping_pong_c;
+  let a =
+    payload (fun () ->
+        Engine.run ~faults:(plan ()) ~graph ~config ~protocol:ping_pong ())
+  in
+  let b =
+    payload (fun () ->
+        Event.run ~faults:(plan ()) ~topo:(Implicit.of_graph graph) ~config
+          ~protocol:ping_pong ())
+  in
+  Alcotest.(check bool) "payloads identical" true (a = b);
+  let _, _, _, held, _ = a in
+  Alcotest.(check int) "the delayed message is held" 1 held
+
+(* ------------------------------------------------------------------ *)
+(* Implicit families vs their Gen twins.                               *)
+
+let families =
+  [
+    ("list-1", Implicit.list 1, Gen.path 1);
+    ("list-2", Implicit.list 2, Gen.path 2);
+    ("list-9", Implicit.list 9, Gen.path 9);
+    ("ring-3", Implicit.ring 3, Gen.cycle 3);
+    ("ring-4", Implicit.ring 4, Gen.cycle 4);
+    ("ring-11", Implicit.ring 11, Gen.cycle 11);
+    ("mesh-1", Implicit.mesh ~dims:[ 1 ], Gen.mesh ~dims:[ 1 ]);
+    ("mesh-5", Implicit.mesh ~dims:[ 5 ], Gen.mesh ~dims:[ 5 ]);
+    ("mesh-2x3", Implicit.mesh ~dims:[ 2; 3 ], Gen.mesh ~dims:[ 2; 3 ]);
+    ("mesh-4x4", Implicit.mesh ~dims:[ 4; 4 ], Gen.mesh ~dims:[ 4; 4 ]);
+    ("mesh-3x4x2", Implicit.mesh ~dims:[ 3; 4; 2 ], Gen.mesh ~dims:[ 3; 4; 2 ]);
+    ("mesh-1x5", Implicit.mesh ~dims:[ 1; 5 ], Gen.mesh ~dims:[ 1; 5 ]);
+    ("torus-3", Implicit.torus ~dims:[ 3 ], Gen.torus ~dims:[ 3 ]);
+    ("torus-2x3", Implicit.torus ~dims:[ 2; 3 ], Gen.torus ~dims:[ 2; 3 ]);
+    ("torus-3x3", Implicit.torus ~dims:[ 3; 3 ], Gen.torus ~dims:[ 3; 3 ]);
+    ("torus-5x4", Implicit.torus ~dims:[ 5; 4 ], Gen.torus ~dims:[ 5; 4 ]);
+    ( "torus-3x4x5",
+      Implicit.torus ~dims:[ 3; 4; 5 ],
+      Gen.torus ~dims:[ 3; 4; 5 ] );
+    ("tree-1-7", Implicit.tree ~arity:1 7, Gen.balanced_tree_on ~arity:1 7);
+    ("tree-2-1", Implicit.tree ~arity:2 1, Gen.balanced_tree_on ~arity:2 1);
+    ("tree-2-12", Implicit.tree ~arity:2 12, Gen.balanced_tree_on ~arity:2 12);
+    ("tree-3-20", Implicit.tree ~arity:3 20, Gen.balanced_tree_on ~arity:3 20);
+    ("tree-4-9", Implicit.tree ~arity:4 9, Gen.balanced_tree_on ~arity:4 9);
+  ]
+
+let test_families_match_gen () =
+  List.iter
+    (fun (name, imp, twin) ->
+      Alcotest.(check bool)
+        (name ^ ": materialises to the Gen twin")
+        true
+        (Graph.equal (Implicit.materialise imp) twin))
+    families
+
+let test_neighbors_degree_agree () =
+  List.iter
+    (fun (name, imp, twin) ->
+      let n = Implicit.n imp in
+      Alcotest.(check int) (name ^ ": n") (Graph.n twin) n;
+      Alcotest.(check int)
+        (name ^ ": max_degree")
+        (Graph.max_degree twin) (Implicit.max_degree imp);
+      for v = 0 to n - 1 do
+        let a = Implicit.neighbors imp v in
+        Alcotest.(check (array int))
+          (Printf.sprintf "%s: neighbors %d" name v)
+          (Graph.neighbors twin v) a;
+        Alcotest.(check int)
+          (Printf.sprintf "%s: degree %d" name v)
+          (Array.length a) (Implicit.degree imp v);
+        Array.iteri
+          (fun k u ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s: neighbor %d %d" name v k)
+              u
+              (Implicit.neighbor imp v k))
+          a
+      done)
+    families
+
+let test_next_hop_decreases_distance () =
+  List.iter
+    (fun (name, imp, twin) ->
+      let n = Implicit.n imp in
+      for dst = 0 to n - 1 do
+        let dist = Bfs.distances twin dst in
+        for src = 0 to n - 1 do
+          if src <> dst then begin
+            let h = Implicit.next_hop imp ~src ~dst in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %d->%d hop %d is a neighbour" name src dst h)
+              true
+              (Array.exists (( = ) h) (Implicit.neighbors imp src));
+            Alcotest.(check int)
+              (Printf.sprintf "%s: %d->%d strictly closer" name src dst)
+              (dist.(src) - 1)
+              dist.(h)
+          end
+        done
+      done)
+    families
+
+let of_graph_next_hop =
+  QCheck2.Test.make ~count:100 ~name:"of_graph next_hop strictly closer"
+    ~print:Helpers.topology_print Helpers.topology_gen
+    (fun (_, g) ->
+      let imp = Implicit.of_graph g in
+      let n = Graph.n g in
+      n < 2
+      ||
+      let ok = ref true in
+      for dst = 0 to min (n - 1) 9 do
+        let dist = Bfs.distances g dst in
+        for src = 0 to n - 1 do
+          if src <> dst then begin
+            let h = Implicit.next_hop imp ~src ~dst in
+            if dist.(h) <> dist.(src) - 1 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_closed_form_routing_at_scale () =
+  (* Spot-checks where materialisation would be absurd. *)
+  let l = Implicit.list 10_000_000 in
+  Alcotest.(check int) "list forward" 5_000_001
+    (Implicit.next_hop l ~src:5_000_000 ~dst:9_999_999);
+  Alcotest.(check int) "list backward" 4_999_999
+    (Implicit.next_hop l ~src:5_000_000 ~dst:17);
+  let r = Implicit.ring 1_000_001 in
+  Alcotest.(check int) "ring wraps the short way" 0
+    (Implicit.next_hop r ~src:1_000_000 ~dst:3);
+  let t = Implicit.tree ~arity:2 (1 lsl 22) in
+  Alcotest.(check int) "tree climbs to the parent" (((1 lsl 20) - 1) / 2)
+    (Implicit.next_hop t ~src:((1 lsl 20) - 1) ~dst:0);
+  Alcotest.(check int) "tree descends to the child" 1
+    (Implicit.next_hop t ~src:0 ~dst:(1 lsl 21));
+  Alcotest.(check int) "tree descends to the other child" 2
+    (Implicit.next_hop t ~src:0 ~dst:6)
+
+let test_parse () =
+  let ok spec label n =
+    match Implicit.parse spec with
+    | Ok t ->
+        Alcotest.(check string) (spec ^ ": label") label (Implicit.label t);
+        Alcotest.(check int) (spec ^ ": n") n (Implicit.n t)
+    | Error (`Msg m) -> Alcotest.fail (spec ^ " rejected: " ^ m)
+  in
+  ok "list:1000000" "list-1000000" 1_000_000;
+  ok "path:7" "list-7" 7;
+  ok "ring:100" "ring-100" 100;
+  ok "cycle:2" "ring-3" 3;
+  ok "mesh:9" "mesh-3x3" 9;
+  ok "mesh:4x5" "mesh-4x5" 20;
+  ok "torus:2" "torus-3x3" 9;
+  ok "torus:10x10" "torus-10x10" 100;
+  ok "tree:15" "tree-2-15" 15;
+  ok "binary-tree" "tree-2-1024" 1024;
+  ok "tree:3:1093" "tree-3-1093" 1093;
+  List.iter
+    (fun bad ->
+      match Implicit.parse bad with
+      | Ok _ -> Alcotest.fail (bad ^ " should be rejected")
+      | Error _ -> ())
+    [
+      "torus:2x3"; "mesh:0"; "list:axb"; "klein-bottle:4"; "mesh:";
+      "mesh:3:9"; "tree:0:7"; "tree:3:1093:2";
+    ]
+
+let suite =
+  [
+    Helpers.qcheck equiv_default;
+    Helpers.qcheck equiv_observed;
+    Helpers.qcheck equiv_injections;
+    Helpers.qcheck equiv_starters;
+    Alcotest.test_case "million-node ping touches two nodes" `Quick
+      test_million_node_ping_touches_two;
+    Alcotest.test_case "undeclared starter with actions rejected" `Quick
+      test_non_starter_with_actions_rejected;
+    Alcotest.test_case "tick protocols rejected" `Quick
+      test_tick_protocol_rejected;
+    Alcotest.test_case "halt_after = observer halt" `Quick
+      test_halt_after_matches_observer_halt;
+    Alcotest.test_case "round-limit payloads identical" `Quick
+      test_round_limit_payloads_identical;
+    Alcotest.test_case "implicit families materialise to Gen twins" `Quick
+      test_families_match_gen;
+    Alcotest.test_case "neighbors/degree/neighbor agree" `Quick
+      test_neighbors_degree_agree;
+    Alcotest.test_case "next_hop strictly decreases distance" `Quick
+      test_next_hop_decreases_distance;
+    Helpers.qcheck of_graph_next_hop;
+    Alcotest.test_case "closed-form routing at scale" `Quick
+      test_closed_form_routing_at_scale;
+    Alcotest.test_case "parse" `Quick test_parse;
+  ]
