@@ -1,4 +1,4 @@
-.PHONY: all build test check clean examples report bench bench-quick
+.PHONY: all build test check clean examples report bench bench-quick bench-diff
 
 all: build
 
@@ -23,9 +23,9 @@ report:
 JOBS ?= $(shell nproc)
 
 # Full benchmark pass: every experiment table at paper sizes, the
-# engine speedup / metrics overhead / dynamic overhead / churn / jobs
-# scaling / cache warm probes
-# and the bechamel micro kernels; writes BENCH_7.json (and
+# engine speedup / metrics overhead / telemetry overhead / dynamic
+# overhead / churn / jobs scaling / cache warm probes
+# and the bechamel micro kernels; writes BENCH_8.json (and
 # per-experiment CSVs under bench/out/). Sweep points are cached under
 # bench/out/cache; pass --no-cache through BENCH_FLAGS to recompute.
 bench:
@@ -34,6 +34,18 @@ bench:
 # Quick smoke: truncated sweeps, no micro kernels. Same JSON schema.
 bench-quick:
 	dune exec bench/main.exe -- --quick --no-micro --csv bench/out --jobs $(JOBS) $(BENCH_FLAGS)
+
+# Perf-regression check: compare the snapshot committed at HEAD against
+# the BENCH_8.json sitting in the worktree (run `make bench` or
+# `make bench-quick` first). Warn-only by default; DIFF_FLAGS=--strict
+# makes a past-threshold regression fail the target (the CI gate shape).
+bench-diff:
+	@mkdir -p bench/out; \
+	if git show HEAD:BENCH_8.json > bench/out/BENCH_baseline.json 2>/dev/null; then \
+	  dune exec bin/countq_cli.exe -- bench diff bench/out/BENCH_baseline.json BENCH_8.json $(DIFF_FLAGS); \
+	else \
+	  echo "no BENCH_8.json at HEAD to diff against"; \
+	fi
 
 clean:
 	dune clean

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_7.json; --no-json
+                                                 BENCH_8.json; --no-json
                                                  to skip)
      dune exec bench/main.exe -- --jobs N     -- table+sweep budget of N
                                                  domains (experiments are
@@ -20,7 +20,7 @@
      dune exec bench/main.exe -- --cache-dir D -- cache root (default
                                                  bench/out/cache)
 
-   Every run emits a machine-readable perf snapshot (BENCH_7.json):
+   Every run emits a machine-readable perf snapshot (BENCH_8.json):
    per-experiment wall time and cache hit/miss counts, the
    engine-vs-reference speedup probe on the E3 list-counting sweep, the
    metrics-recorder overhead probe, the dynamic-schedule overhead probe
@@ -79,7 +79,7 @@ let parse_args () =
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_7.json") in
+  let json_path = ref (Some "BENCH_8.json") in
   let jobs = ref 1 in
   let use_cache = ref true in
   let cache_dir = ref default_cache_dir in
@@ -324,45 +324,46 @@ let overhead_pct r =
   if r.plain_s > 0. then ((r.metrics_s /. r.plain_s) -. 1.) *. 100.
   else Float.nan
 
+(* The two arms run as adjacent pairs (alternating order) and the
+   overhead is the MEDIAN of the per-pair ratios: clock/thermal drift
+   hits both halves of a pair equally and cancels in the ratio, and
+   the median shrugs off bursty interference that a best-of between
+   two independently-timed arms cannot (one arm can catch a clean
+   window the other never sees). The reported times are the fastest
+   plain run and that baseline scaled by the median ratio. Shared by
+   every attach-a-recorder overhead probe. *)
+let time_pair ~rounds reps f g =
+  let timed h =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      h ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let ratios = Array.make rounds 0. in
+  let best_f = ref infinity in
+  for i = 0 to rounds - 1 do
+    let tf, tg =
+      if i land 1 = 0 then
+        let a = timed f in
+        let b = timed g in
+        (a, b)
+      else
+        let b = timed g in
+        let a = timed f in
+        (a, b)
+    in
+    if tf < !best_f then best_f := tf;
+    ratios.(i) <- tg /. tf
+  done;
+  Array.sort compare ratios;
+  (!best_f, !best_f *. ratios.(rounds / 2))
+
 let metrics_overhead_probe ~quick () =
   let module C = Countq_counting in
   let module Metrics = Countq_simnet.Metrics in
   let sizes = if quick then [ 128; 512 ] else [ 128; 256; 512 ] in
   let rounds = if quick then 3 else 15 in
-  (* The two arms run as adjacent pairs (alternating order) and the
-     overhead is the MEDIAN of the per-pair ratios: clock/thermal drift
-     hits both halves of a pair equally and cancels in the ratio, and
-     the median shrugs off bursty interference that a best-of between
-     two independently-timed arms cannot (one arm can catch a clean
-     window the other never sees). The reported times are the fastest
-     plain run and that baseline scaled by the median ratio. *)
-  let time_pair reps f g =
-    let timed h =
-      let t0 = Unix.gettimeofday () in
-      for _ = 1 to reps do
-        h ()
-      done;
-      (Unix.gettimeofday () -. t0) /. float_of_int reps
-    in
-    let ratios = Array.make rounds 0. in
-    let best_f = ref infinity in
-    for i = 0 to rounds - 1 do
-      let tf, tg =
-        if i land 1 = 0 then
-          let a = timed f in
-          let b = timed g in
-          (a, b)
-        else
-          let b = timed g in
-          let a = timed f in
-          (a, b)
-      in
-      if tf < !best_f then best_f := tf;
-      ratios.(i) <- tg /. tf
-    done;
-    Array.sort compare ratios;
-    (!best_f, !best_f *. ratios.(rounds / 2))
-  in
   List.map
     (fun n ->
       let tree = Spanning.best_for_arrow (TGen.path n) in
@@ -380,8 +381,50 @@ let metrics_overhead_probe ~quick () =
       let reps = max (if quick then 5 else 50) (200_000 / n) in
       plain ();
       with_metrics ();
-      let plain_s, metrics_s = time_pair reps plain with_metrics in
+      let plain_s, metrics_s = time_pair ~rounds reps plain with_metrics in
       { mo_n = n; plain_s; metrics_s })
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry-overhead probe: the same sweep with a windowed Telemetry
+   recorder attached. Its hook is one integer division plus a field
+   increment per message event; the acceptance bar from the issue is
+   <= ~5%. The recorder is reused across timed runs (creation would
+   otherwise dominate at small n) and never snapshotted, so the stale
+   ring contents are harmless.                                         *)
+
+type tel_row = {
+  tn_n : int;
+  tl_plain_s : float;
+  tl_tel_s : float;
+}
+
+let tel_overhead_pct r =
+  if r.tl_plain_s > 0. then ((r.tl_tel_s /. r.tl_plain_s) -. 1.) *. 100.
+  else Float.nan
+
+let telemetry_overhead_probe ~quick () =
+  let module C = Countq_counting in
+  let module Telemetry = Countq_simnet.Telemetry in
+  let sizes = if quick then [ 128; 512 ] else [ 128; 256; 512 ] in
+  let rounds = if quick then 3 else 15 in
+  List.map
+    (fun n ->
+      let tree = Spanning.best_for_arrow (TGen.path n) in
+      let graph = Tree.to_graph tree in
+      let requests = List.init n (fun i -> i) in
+      let protocol = C.Sweep.one_shot_protocol ~tree ~requests () in
+      let config = Engine.default_config in
+      let tl = Telemetry.create ~window_size:16 () in
+      let plain () = ignore (Engine.run ~graph ~config ~protocol ()) in
+      let with_tel () =
+        ignore (Engine.run ~telemetry:tl ~graph ~config ~protocol ())
+      in
+      let reps = max (if quick then 5 else 50) (200_000 / n) in
+      plain ();
+      with_tel ();
+      let tl_plain_s, tl_tel_s = time_pair ~rounds reps plain with_tel in
+      { tn_n = n; tl_plain_s; tl_tel_s })
     sizes
 
 (* ------------------------------------------------------------------ *)
@@ -1038,12 +1081,12 @@ let hit_rate hits misses =
   if total = 0 then Float.nan
   else 100. *. float_of_int hits /. float_of_int total
 
-let write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~nscale
+let write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
     ~loadgen ~churn ~scaling ~warm ~explore ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/7\",\n";
+  add "  \"schema\": \"countq-bench/8\",\n";
   add "  \"mode\": \"%s\",\n" (if opts.quick then "quick" else "full");
   add "  \"jobs\": %d,\n" opts.jobs;
   add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -1130,6 +1173,34 @@ let write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~nscale
         (json_float (overhead_pct r))
         (if i = List.length overhead - 1 then "" else ","))
     overhead;
+  add "    ]\n";
+  add "  },\n";
+  let tel_worst =
+    List.fold_left
+      (fun acc r ->
+        match acc with Some a when a.tn_n >= r.tn_n -> acc | _ -> Some r)
+      None tel
+  in
+  add "  \"telemetry_overhead\": {\n";
+  add
+    "    \"probe\": \"E3 list-counting sweep timed through Engine.run with \
+     and without a windowed Telemetry recorder attached\",\n";
+  (match tel_worst with
+  | Some r ->
+      add "    \"ceiling_n\": %d,\n" r.tn_n;
+      add "    \"overhead_pct_at_ceiling\": %s,\n"
+        (json_float (tel_overhead_pct r))
+  | None -> ());
+  add "    \"sizes\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"n\": %d, \"plain_seconds\": %s, \"telemetry_seconds\": %s, \
+         \"overhead_pct\": %s}%s\n"
+        r.tn_n (json_float r.tl_plain_s) (json_float r.tl_tel_s)
+        (json_float (tel_overhead_pct r))
+        (if i = List.length tel - 1 then "" else ","))
+    tel;
   add "    ]\n";
   add "  },\n";
   let dyn_worst =
@@ -1361,6 +1432,14 @@ let main () =
              %8.6fs -> %+.1f%%]\n%!"
             r.mo_n r.plain_s r.metrics_s (overhead_pct r))
         overhead;
+      let tel = telemetry_overhead_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[telemetry overhead probe n=%4d: plain %8.6fs vs telemetry-on \
+             %8.6fs -> %+.1f%%]\n%!"
+            r.tn_n r.tl_plain_s r.tl_tel_s (tel_overhead_pct r))
+        tel;
       let dyn = dynamic_overhead_probe ~quick:opts.quick () in
       List.iter
         (fun r ->
@@ -1425,7 +1504,7 @@ let main () =
             (explore_rate r.xp_new_configs r.xp_new_s)
             (explore_ratio r))
         explore;
-      write_json ~path ~opts ~experiments ~speedup ~overhead ~dyn ~nscale
+      write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
         ~loadgen ~churn ~scaling ~warm ~explore ~kernels
 
 let () =

@@ -1129,24 +1129,34 @@ let observe_cmd =
                 let incomplete =
                   List.length o.spans - List.length delays
                 in
-                if delays <> [] then begin
-                  let p q = Stats.percentile_ints delays q in
-                  Printf.printf
-                    "\nper-op delay: p50 %.1f  p90 %.1f  p95 %.1f  p99 %.1f  \
-                     max %d rounds\n"
-                    (p 0.5) (p 0.9) (p 0.95) (p 0.99)
-                    (List.fold_left max 0 delays);
-                  print_string
-                    (Stats.render_histogram (Stats.histogram delays));
-                  let sum = List.fold_left ( + ) 0 delays in
-                  Printf.printf
-                    "span delay sum %d vs engine total delay %d (%s)\n" sum
-                    o.o_total_delay
-                    (if sum = o.o_total_delay then "consistent"
-                     else "MISMATCH")
-                end;
+                (* Stats is total on empty input, so a run where every
+                   span is stranded (e.g. a crash plan that severs the
+                   tail) degrades to the stranded report below instead
+                   of an exception. *)
+                (match Stats.percentile_ints delays 0.5 with
+                | None -> ()
+                | Some p50 ->
+                    let p q =
+                      Option.value (Stats.percentile_ints delays q)
+                        ~default:nan
+                    in
+                    Printf.printf
+                      "\nper-op delay: p50 %.1f  p90 %.1f  p95 %.1f  p99 \
+                       %.1f  max %d rounds\n"
+                      p50 (p 0.9) (p 0.95) (p 0.99)
+                      (List.fold_left max 0 delays);
+                    print_string
+                      (Stats.render_histogram (Stats.histogram delays));
+                    let sum = List.fold_left ( + ) 0 delays in
+                    Printf.printf
+                      "span delay sum %d vs engine total delay %d (%s)\n" sum
+                      o.o_total_delay
+                      (if sum = o.o_total_delay then "consistent"
+                       else "MISMATCH"));
                 if incomplete > 0 then
-                  Printf.printf "%d operation(s) never completed\n" incomplete;
+                  Printf.printf
+                    "%d operation(s) stranded (injected, never completed)\n"
+                    incomplete;
                 if k_spans > 0 && o.spans <> [] then begin
                   let slowest =
                     List.stable_sort
@@ -1271,7 +1281,19 @@ let load_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:
             "Write per-operation spans as JSONL: one meta line per \
-             (workload, rate) run, then one span per operation.")
+             (workload, rate) run, then one span per operation (under \
+             $(b,--streaming), only the reservoir's exemplar spans).")
+  in
+  let streaming_arg =
+    Arg.(
+      value & flag
+      & info [ "streaming" ]
+          ~doc:
+            "Constant-memory mode for long horizons: fold delays into a \
+             quantile sketch and spans into a bounded reservoir instead of \
+             retaining every operation. Percentiles become estimates \
+             (relative error under 1%) once a run exceeds the sketch's \
+             exact window.")
   in
   let parse_rates s =
     try
@@ -1287,7 +1309,7 @@ let load_cmd =
     with _ -> Error (Printf.sprintf "bad --rates %S (want comma-separated positive numbers)" s)
   in
   let run topo_spec workload rates_spec arrival_kind horizon quick seed
-      json_path =
+      json_path streaming =
     let horizon = if quick then min horizon 256 else horizon in
     let rates =
       match rates_spec with
@@ -1311,14 +1333,15 @@ let load_cmd =
           | `Queuing -> [ Load.Queuing ]
           | `Counting -> [ Load.Counting ]
         in
-        let keep_spans = json_path <> None in
+        let keep_spans = json_path <> None && not streaming in
         match
           List.concat_map
             (fun w ->
               List.map
                 (fun rate ->
-                  Load.run ~seed:(Int64.of_int seed) ~keep_spans ~topo
-                    ~workload:w ~arrival:(arrival_of rate) ~horizon ())
+                  Load.run ~seed:(Int64.of_int seed) ~keep_spans
+                    ~streaming ~topo ~workload:w ~arrival:(arrival_of rate)
+                    ~horizon ())
                 rates)
             workloads
         with
@@ -1336,6 +1359,7 @@ let load_cmd =
                     Table.cell_float ~decimals:3 s.offered;
                     Table.cell_int s.injected;
                     Table.cell_int s.completed;
+                    Table.cell_int s.unfinished;
                     Table.cell_float ~decimals:3 s.throughput;
                     Table.cell_float ~decimals:1 s.p50;
                     Table.cell_float ~decimals:1 s.p95;
@@ -1358,15 +1382,23 @@ let load_cmd =
                 ~headers:
                   [
                     "workload"; "arrival"; "offered"; "injected"; "done";
-                    "thr"; "p50"; "p95"; "p99"; "max"; "backlog"; "in-flight";
-                    "touched"; "saturated";
+                    "stranded"; "thr"; "p50"; "p95"; "p99"; "max"; "backlog";
+                    "in-flight"; "touched"; "saturated";
                   ]
                 ~notes:
-                  [
-                    "delay percentiles in rounds over completed operations";
-                    "saturated = >5% of injected operations missed the drain \
-                     window";
-                  ]
+                  ([
+                     "delay percentiles in rounds over completed operations";
+                     "stranded = injected but never completed within the \
+                      drain window; saturated = stranded > 5% of injected";
+                   ]
+                  @
+                  if streaming then
+                    [
+                      "streaming: percentiles from a constant-memory \
+                       quantile sketch (exact below 1024 completions, then \
+                       relative error < 1%)";
+                    ]
+                  else [])
                 rows
             in
             Table.print table;
@@ -1388,6 +1420,8 @@ let load_cmd =
                           ("horizon", J.Int s.horizon);
                           ("injected", J.Int s.injected);
                           ("completed", J.Int s.completed);
+                          ("stranded", J.Int s.unfinished);
+                          ("sketched", J.Bool s.sketched);
                           ("throughput", J.Float s.throughput);
                           ("p50", J.Float s.p50);
                           ("p95", J.Float s.p95);
@@ -1398,7 +1432,22 @@ let load_cmd =
                     in
                     output_string oc (J.to_string meta);
                     output_char oc '\n';
-                    output_string oc (Span.to_jsonl s.spans))
+                    if streaming then
+                      (* the reservoir's picks, tagged so a reader can
+                         tell exemplars from a full span table *)
+                      List.iter
+                        (fun (tag, sp) ->
+                          match
+                            J.of_string (Span.to_jsonl [ sp ] |> String.trim)
+                          with
+                          | Ok (J.Obj fields) ->
+                              output_string oc
+                                (J.to_string
+                                   (J.Obj (("tag", J.Str tag) :: fields)));
+                              output_char oc '\n'
+                          | _ -> ())
+                        s.exemplars
+                    else output_string oc (Span.to_jsonl s.spans))
                   summaries;
                 close_out oc;
                 Printf.printf "wrote %s\n" path)
@@ -1413,7 +1462,330 @@ let load_cmd =
           saturation curve.")
     Term.(
       const run $ topo_arg $ workload_arg $ rates_arg $ arrival_arg
-      $ horizon_arg $ quick_arg $ seed_arg $ json_arg)
+      $ horizon_arg $ quick_arg $ seed_arg $ json_arg $ streaming_arg)
+
+(* ---- timeline ---- *)
+
+let timeline_cmd =
+  let module Load = Countq.Load in
+  let module Implicit = Countq_topology.Implicit in
+  let module Telemetry = Countq_simnet.Telemetry in
+  let module J = Countq_util.Json in
+  let topo_arg =
+    Arg.(
+      value
+      & opt string "torus:32x32"
+      & info [ "topology"; "t" ] ~docv:"SPEC"
+          ~doc:"Implicit topology spec (family:size, as in $(b,countq load)).")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("queuing", `Queuing); ("counting", `Counting) ]) `Queuing
+      & info [ "workload"; "w" ] ~docv:"W" ~doc:"Workload: queuing | counting.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Poisson arrival rate, operations per round network-wide.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 2048
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:"Arrival window in rounds (the run drains for T more).")
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "windows" ] ~docv:"K"
+          ~doc:"Number of time windows the run is folded into.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the windowed series as JSONL (countq-timeline/1: one meta \
+             line, then one window object per line).")
+  in
+  let run topo_spec workload rate horizon windows quick seed json_path =
+    let horizon = if quick then min horizon 256 else horizon in
+    if horizon < 1 || windows < 1 || rate <= 0. then begin
+      prerr_endline "timeline: need horizon >= 1, windows >= 1, rate > 0";
+      exit 2
+    end;
+    match Implicit.parse topo_spec with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        exit 2
+    | Ok topo -> (
+        let span = 2 * horizon in
+        let window_size = max 1 ((span + windows - 1) / windows) in
+        let tl = Telemetry.create ~windows ~window_size () in
+        let w =
+          match workload with `Queuing -> Load.Queuing | `Counting -> Load.Counting
+        in
+        match
+          Load.run ~seed:(Int64.of_int seed) ~streaming:true ~telemetry:tl
+            ~topo ~workload:w ~arrival:(Load.Poisson rate) ~horizon ()
+        with
+        | exception Countq_simnet.Engine.Round_limit_exceeded
+            { limit; outstanding; queued; held; busiest } ->
+            report_round_limit ~limit ~outstanding ~queued ~held ~busiest;
+            exit 1
+        | s ->
+            let ws = Telemetry.windows tl in
+            Printf.printf
+              "%s on %s: rate %g for %d rounds (drain %d more), %d injected, \
+               %d completed, %d stranded%s\n"
+              s.workload s.topology rate horizon horizon s.injected s.completed
+              s.unfinished
+              (if s.saturated then " [saturated]" else "");
+            Printf.printf
+              "p50 %.1f  p95 %.1f  p99 %.1f  max %d rounds%s; peak backlog \
+               %d, peak in-flight %d\n\n" s.p50 s.p95 s.p99 s.max_delay
+              (if s.sketched then " (sketched)" else "")
+              s.max_backlog s.peak_in_flight;
+            let series name f =
+              let v = Array.of_list (List.map f ws) in
+              if Array.exists (fun x -> x > 0.) v then
+                Printf.printf "%13s %s  (peak %g)\n" name
+                  (Telemetry.sparkline v)
+                  (Array.fold_left max 0. v)
+            in
+            Printf.printf "%d windows of %d rounds (%d evicted):\n"
+              (List.length ws) window_size (Telemetry.evicted tl);
+            series "injections" (fun w -> float_of_int w.Telemetry.injections);
+            series "completions" (fun w -> float_of_int w.Telemetry.completions);
+            series "sends" (fun w -> float_of_int w.Telemetry.sends);
+            series "deliveries" (fun w -> float_of_int w.Telemetry.deliveries);
+            series "drops" (fun w -> float_of_int w.Telemetry.drops);
+            series "retransmits" (fun w -> float_of_int w.Telemetry.retransmits);
+            series "max backlog" (fun w -> float_of_int w.Telemetry.max_backlog);
+            series "max in-flight" (fun w ->
+                float_of_int w.Telemetry.max_in_flight);
+            if s.exemplars <> [] then begin
+              Printf.printf "\nexemplar spans:\n";
+              List.iter
+                (fun (tag, (sp : Countq_simnet.Span.t)) ->
+                  Printf.printf "  %-8s op %d injected @%d%s\n" tag sp.op
+                    sp.inject_round
+                    (match sp.completion_round with
+                    | Some r -> Printf.sprintf " completed @%d (delay %d)" r
+                                  (r - sp.inject_round)
+                    | None -> " stranded"))
+                s.exemplars
+            end;
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                let meta =
+                  J.Obj
+                    [
+                      ("type", J.Str "meta");
+                      ("schema", J.Str "countq-timeline/1");
+                      ("workload", J.Str s.workload);
+                      ("topology", J.Str s.topology);
+                      ("arrival", J.Str s.arrival);
+                      ("horizon", J.Int s.horizon);
+                      ("window_size", J.Int window_size);
+                      ("windows", J.Int (List.length ws));
+                      ("evicted", J.Int (Telemetry.evicted tl));
+                      ("injected", J.Int s.injected);
+                      ("completed", J.Int s.completed);
+                      ("stranded", J.Int s.unfinished);
+                      ("sketched", J.Bool s.sketched);
+                    ]
+                in
+                output_string oc (J.to_string meta);
+                output_char oc '\n';
+                output_string oc (Telemetry.to_jsonl tl);
+                close_out oc;
+                Printf.printf "\nwrote %s\n" path)
+              json_path)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run an open-loop workload with windowed telemetry attached and \
+          render each series as a terminal sparkline - when the backlog \
+          built, when throughput pinned, when the drain emptied.")
+    Term.(
+      const run $ topo_arg $ workload_arg $ rate_arg $ horizon_arg
+      $ windows_arg $ quick_arg $ seed_arg $ json_arg)
+
+(* ---- bench diff ---- *)
+
+let bench_cmd =
+  let module J = Countq_util.Json in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench snapshot (BENCH_*.json).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench snapshot to compare.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Regression threshold in percent: a probe slower (or a speedup \
+             smaller) by more than this is flagged.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit 1 if any probe regresses past the threshold (CI gate).")
+  in
+  (* A probe is (name, value, direction); [`Lower] means lower is
+     better (times), [`Higher] means higher is (speedups). *)
+  let num_of = function
+    | Some (J.Int n) -> Some (float_of_int n)
+    | Some (J.Float f) -> Some f
+    | _ -> None
+  in
+  let probes_of json =
+    let acc = ref [] in
+    let add name dir v = acc := (name, v, dir) :: !acc in
+    let each_in field f =
+      match Option.bind (J.member field json) J.to_list with
+      | None -> ()
+      | Some items -> List.iter f items
+    in
+    each_in "experiments" (fun it ->
+        match
+          ( Option.bind (J.member "id" it) J.to_str,
+            num_of (J.member "wall_seconds" it) )
+        with
+        | Some id, Some v -> add ("experiment " ^ id) `Lower v
+        | _ -> ());
+    each_in "kernels" (fun it ->
+        match
+          ( Option.bind (J.member "name" it) J.to_str,
+            num_of (J.member "ns_per_run" it) )
+        with
+        | Some name, Some v -> add name `Lower v
+        | _ -> ());
+    let scalar path field dir name =
+      match Option.bind (J.member path json) (J.member field) |> num_of with
+      | Some v -> add name dir v
+      | None -> ()
+    in
+    scalar "engine_speedup" "speedup_at_ceiling" `Higher
+      "engine speedup at ceiling";
+    scalar "n_scaling" "max_ns_per_message" `Lower "event-engine ns/message";
+    scalar "cache_warm" "warm_speedup" `Higher "warm-cache speedup";
+    scalar "explore_checker" "min_rate_ratio" `Higher "explore-checker ratio";
+    List.rev !acc
+  in
+  let load path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match J.of_string s with
+    | Error e ->
+        prerr_endline (path ^ ": " ^ e);
+        exit 2
+    | Ok j -> j
+  in
+  let run old_path new_path threshold strict =
+    let old_j = load old_path and new_j = load new_path in
+    let schema j =
+      Option.bind (J.member "schema" j) J.to_str |> Option.value ~default:"?"
+    in
+    if schema old_j <> schema new_j then
+      Printf.printf "note: comparing %s against %s\n" (schema old_j)
+        (schema new_j);
+    let old_probes = probes_of old_j in
+    let new_probes = probes_of new_j in
+    let find name l =
+      List.find_map (fun (n, v, _) -> if n = name then Some v else None) l
+    in
+    let rows = ref [] and regressions = ref 0 and compared = ref 0 in
+    List.iter
+      (fun (name, old_v, dir) ->
+        match find name new_probes with
+        | None -> ()
+        | Some new_v when old_v <= 0. || new_v <= 0. -> ()
+        | Some new_v ->
+            incr compared;
+            (* ratio > 1 means worse, whichever way the probe points *)
+            let ratio =
+              match dir with
+              | `Lower -> new_v /. old_v
+              | `Higher -> old_v /. new_v
+            in
+            let flag = ratio > 1. +. (threshold /. 100.) in
+            if flag then incr regressions;
+            if flag || ratio < 1. /. (1. +. (threshold /. 100.)) then
+              rows :=
+                [
+                  name;
+                  Printf.sprintf "%.4g" old_v;
+                  Printf.sprintf "%.4g" new_v;
+                  Printf.sprintf "%.2fx" ratio;
+                  (if flag then "REGRESSED" else "improved");
+                ]
+                :: !rows)
+      old_probes;
+    let dropped =
+      List.filter (fun (n, _, _) -> find n new_probes = None) old_probes
+    in
+    if !rows = [] then
+      Printf.printf "bench diff: %d probes compared, all within %.0f%% of %s\n"
+        !compared threshold old_path
+    else begin
+      let table =
+        Table.make ~id:"BENCHDIFF"
+          ~title:
+            (Printf.sprintf "bench probes moving more than %.0f%% (%d compared)"
+               threshold !compared)
+          ~paper_ref:"perf-regression gate"
+          ~headers:[ "probe"; "old"; "new"; "ratio"; "verdict" ]
+          ~notes:
+            [
+              "ratio is new/old for timings and old/new for speedups, so > 1 \
+               is always worse";
+              "wall-clock probes are noisy across machines - treat the gate \
+               as a prompt to rerun, not a verdict";
+            ]
+          (List.rev !rows)
+      in
+      Table.print table
+    end;
+    if dropped <> [] then
+      Printf.printf "note: %d probe(s) in %s have no counterpart in %s\n"
+        (List.length dropped) old_path new_path;
+    if strict && !regressions > 0 then begin
+      Printf.printf "%d probe(s) regressed past %.0f%% - failing (--strict)\n"
+        !regressions threshold;
+      exit 1
+    end
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two bench snapshots probe by probe and flag regressions \
+            past a threshold; with $(b,--strict), exit non-zero on any - the \
+            CI perf gate.")
+      Term.(const run $ old_arg $ new_arg $ threshold_arg $ strict_arg)
+  in
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Operations on bench snapshots (see $(b,countq bench diff).)")
+    [ diff_cmd ]
 
 (* ---- trace ---- *)
 
@@ -1479,4 +1851,4 @@ let () =
           [ list_cmd; run_cmd; all_cmd; experiments_cmd; cache_cmd;
             compare_cmd; topo_cmd; trace_cmd; series_cmd; report_cmd;
             verify_cmd; check_cmd; faults_cmd; churn_cmd; observe_cmd;
-            load_cmd ]))
+            load_cmd; timeline_cmd; bench_cmd ]))

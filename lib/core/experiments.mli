@@ -150,6 +150,13 @@ val e30_event_engine_scaling :
     bill caps its rows at 10^4 — the scaling ceiling is itself the
     separation. *)
 
+val e31_streaming_telemetry :
+  ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
+(** Constant-memory observability: a long-horizon open-loop run whose
+    delay percentiles come from a streaming sketch and whose exemplar
+    spans come from a reservoir, cross-checked against the retained
+    path on a prefix small enough to hold exactly. *)
+
 val all : spec list
 (** Every experiment, in id order. *)
 

@@ -7,6 +7,9 @@ module Metrics = Countq_simnet.Metrics
 module Implicit = Countq_topology.Implicit
 module Rng = Countq_util.Rng
 module Stats = Countq_util.Stats
+module Sketch = Countq_util.Sketch
+module Telemetry = Countq_simnet.Telemetry
+module Reservoir = Telemetry.Reservoir
 
 type arrival =
   | Poisson of float
@@ -95,6 +98,8 @@ type summary = {
   messages : int;
   saturated : bool;
   spans : Span.t list;
+  sketched : bool;
+  exemplars : (string * Span.t) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -198,7 +203,7 @@ let summarise ~workload ~topo ~arrival ~horizon ~keep_spans ~cal ~stats
     cal;
   let completed = !completed in
   let pct q =
-    if completed = 0 then 0. else Stats.percentile_ints !delays q
+    match Stats.percentile_ints !delays q with Some v -> v | None -> 0.
   in
   let spans =
     if not keep_spans then []
@@ -242,17 +247,80 @@ let summarise ~workload ~topo ~arrival ~horizon ~keep_spans ~cal ~stats
     messages = result.messages;
     saturated = unfinished * 20 > injected;
     spans;
+    sketched = false;
+    exemplars = [];
+  }
+
+(* Streaming summary: everything is folded at completion time — the
+   delay sketch replaces the sorted delay list, the reservoir keeps K
+   exemplar spans, and nothing O(completed) survives the run. *)
+let summarise_streaming ~workload ~topo ~arrival ~horizon ~cal ~stats ~sketch
+    ~reservoir ~(result : int Engine.result) =
+  let injected = Array.length cal in
+  let completed = Sketch.count sketch in
+  let unfinished = injected - completed in
+  let pct q = match Sketch.quantile sketch q with Some v -> v | None -> 0. in
+  {
+    workload = workload_label workload;
+    topology = Implicit.label topo;
+    arrival = arrival_label arrival;
+    horizon;
+    injected;
+    completed;
+    unfinished;
+    offered = float_of_int injected /. float_of_int horizon;
+    throughput = float_of_int completed /. float_of_int horizon;
+    mean_delay = (match Sketch.mean sketch with Some m -> m | None -> 0.);
+    p50 = pct 0.5;
+    p95 = pct 0.95;
+    p99 = pct 0.99;
+    max_delay = (match Sketch.max_value sketch with Some m -> m | None -> 0);
+    max_backlog = result.max_link_backlog;
+    peak_in_flight = stats.Event.peak_in_flight;
+    touched = stats.Event.touched;
+    executed_rounds = stats.Event.executed_rounds;
+    rounds = result.rounds;
+    messages = result.messages;
+    saturated = unfinished * 20 > injected;
+    spans = [];
+    sketched = not (Sketch.is_exact sketch);
+    exemplars = Reservoir.exemplars reservoir;
   }
 
 let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
-    ?center ?drain ?(keep_spans = false) ?metrics ~topo ~workload ~arrival
-    ~horizon () =
+    ?center ?drain ?(keep_spans = false) ?(streaming = false) ?metrics
+    ?telemetry ~topo ~workload ~arrival ~horizon () =
   let n = Implicit.n topo in
   let center = match center with Some c -> c | None -> n / 2 in
   let drain = match drain with Some d -> max 0 d | None -> horizon in
   let cal = schedule ~seed arrival ~n ~horizon in
   let stats = Event.fresh_stats () in
   let halt_after = horizon + drain in
+  let stream =
+    if not streaming then None
+    else begin
+      let sketch = Sketch.create () in
+      let reservoir =
+        Reservoir.create ~seed:(Int64.logxor seed 0x51ee9L) ()
+      in
+      Some (sketch, reservoir)
+    end
+  in
+  let sink =
+    Option.map
+      (fun (sketch, reservoir) (c : int Engine.completion) ->
+        let at, _ = cal.(c.value) in
+        let d = c.round - at in
+        Sketch.add sketch d;
+        Reservoir.note reservoir ~delay:(Some d)
+          {
+            Span.op = c.value;
+            inject_round = at;
+            hops = [];
+            completion_round = Some c.round;
+          })
+      stream
+  in
   let result =
     match workload with
     | Queuing ->
@@ -263,8 +331,8 @@ let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
               { Event.at; node; inject = (fun s -> issue_q node i s) })
             cal
         in
-        Event.run ?metrics ~injections ~halt_after ~stats ~starters:[] ~topo
-          ~config ~protocol ()
+        Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
+          ~starters:[] ~topo ~config ~protocol ()
     | Counting ->
         let origin_of i = snd cal.(i) in
         let protocol = counting_protocol ~topo ~center ~origin_of in
@@ -274,10 +342,16 @@ let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
               { Event.at; node; inject = (fun s -> issue_c ~topo ~center node i s) })
             cal
         in
-        Event.run ?metrics ~injections ~halt_after ~stats ~starters:[] ~topo
-          ~config ~protocol ()
+        Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
+          ~starters:[] ~topo ~config ~protocol ()
   in
-  summarise ~workload ~topo ~arrival ~horizon ~keep_spans ~cal ~stats ~result
+  match stream with
+  | Some (sketch, reservoir) ->
+      summarise_streaming ~workload ~topo ~arrival ~horizon ~cal ~stats ~sketch
+        ~reservoir ~result
+  | None ->
+      summarise ~workload ~topo ~arrival ~horizon ~keep_spans ~cal ~stats
+        ~result
 
 type one_shot_summary = {
   os_requests : int;

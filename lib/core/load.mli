@@ -75,6 +75,16 @@ type summary = {
       (** one per operation when [keep_spans] was set (injection and
           completion instants; individual hops are not traced), else
           []. *)
+  sketched : bool;
+      (** the delay statistics ([mean_delay], [p50]/[p95]/[p99]) were
+          estimated by a streaming {!Countq_util.Sketch} rather than
+          computed exactly — true only for [streaming] runs whose
+          completion count exceeded the sketch's exact-mode limit, and
+          then accurate to {!Countq_util.Sketch.relative_error}. *)
+  exemplars : (string * Countq_simnet.Span.t) list;
+      (** reservoir-kept exemplar spans from a [streaming] run, tagged
+          ["first"] / ["slowest"] / ["sample"] (see
+          {!Countq_simnet.Telemetry.Reservoir}); [[]] otherwise. *)
 }
 
 val run :
@@ -84,7 +94,9 @@ val run :
   ?center:int ->
   ?drain:int ->
   ?keep_spans:bool ->
+  ?streaming:bool ->
   ?metrics:Countq_simnet.Metrics.t ->
+  ?telemetry:Countq_simnet.Telemetry.t ->
   topo:Countq_topology.Implicit.t ->
   workload:workload ->
   arrival:arrival ->
@@ -98,6 +110,17 @@ val run :
     initial queue tail (default 0); [center] hosts the counter
     (default [n / 2]). [metrics] must be sized for the materialised
     twin — pass it only on instances small enough to materialise.
+    [telemetry] attaches a windowed time-series recorder (any size —
+    it is O(windows)).
+
+    [streaming] (default false) folds every completion into a
+    {!Countq_util.Sketch} and a {!Countq_simnet.Telemetry.Reservoir}
+    as it happens instead of retaining the completion list: memory is
+    O(1) in the operation count, [spans] is [[]] (and [keep_spans] is
+    ignored), [exemplars] carries the reservoir's picks and [sketched]
+    reports whether the percentiles are estimates. While the sketch is
+    still in exact mode (small runs) the summary is bit-identical to
+    the retained path's.
     @raise Invalid_argument if [horizon < 1] or a node argument is out
     of range. *)
 

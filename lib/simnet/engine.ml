@@ -142,7 +142,8 @@ let max_delay res =
 let completion_count res = List.length res.completions
 
 let run ?faults ?dynamic ?(observer = null_observer)
-    ?(keep_alive = no_keep_alive) ?metrics ~graph ~config ~protocol () =
+    ?(keep_alive = no_keep_alive) ?metrics ?telemetry ~graph ~config
+    ~protocol () =
   if config.receive_capacity < 1 || config.send_capacity < 1 then
     invalid_arg "Engine.run: capacities must be >= 1";
   let n = Graph.n graph in
@@ -289,6 +290,9 @@ let run ?faults ?dynamic ?(observer = null_observer)
         apply_actions v round rest
     | Complete value :: rest ->
         if has_observer then observer.on_complete ~round ~node:v ~value;
+        (match telemetry with
+        | Some tl -> Telemetry.note_complete tl ~round
+        | None -> ());
         push_completion { node = v; round; value };
         apply_actions v round rest
   in
@@ -367,10 +371,15 @@ let run ?faults ?dynamic ?(observer = null_observer)
     incr queued_total;
     let backlog = Array.unsafe_get inq_len slot in
     if backlog > !max_backlog then max_backlog := backlog;
-    match metrics with
+    (match metrics with
     | Some m ->
         if record_tx then Metrics.note_transmit_at m ~slot ~src ~round:t;
         Metrics.note_backlog m ~node:dst ~backlog
+    | None -> ());
+    match telemetry with
+    | Some tl ->
+        if record_tx then Telemetry.note_send tl ~round:t;
+        Telemetry.note_backlog tl ~round:t ~backlog
     | None -> ()
   in
   (* Dynamic-topology tests, compiled to constant [false] when no
@@ -391,15 +400,22 @@ let run ?faults ?dynamic ?(observer = null_observer)
   in
   (* Same, or discard the message if the receiver is down — crashed by
      the fault plan, or churned out by the dynamic schedule. *)
+  let note_tel_drop t =
+    match telemetry with
+    | Some tl -> Telemetry.note_drop tl ~round:t
+    | None -> ()
+  in
   let enqueue_faulty fr t src dst msg =
     if Faults.crashed fr ~node:dst ~round:t then begin
       Faults.note_crash_drop fr;
+      note_tel_drop t;
       match metrics with
       | Some m -> Metrics.note_crash_drop m ~dst
       | None -> ()
     end
     else if node_down dst ~round:t then begin
       (match dynamic with Some dr -> Dynamic.note_node_drop dr | None -> ());
+      note_tel_drop t;
       match metrics with
       | Some m -> Metrics.note_crash_drop m ~dst
       | None -> ()
@@ -491,10 +507,14 @@ let run ?faults ?dynamic ?(observer = null_observer)
       (match metrics with
       | Some m -> Metrics.note_transmit m ~src:v ~dst ~round:t
       | None -> ());
+      (match telemetry with
+      | Some tl -> Telemetry.note_send tl ~round:t
+      | None -> ());
       if link_severed ~src:v ~dst ~round:t then begin
         (* A transmission over a down link is lost at the sender's end;
            the fault plan's decision stream is not consumed for it. *)
         (match dynamic with Some dr -> Dynamic.note_link_drop dr | None -> ());
+        note_tel_drop t;
         match metrics with
         | Some m -> Metrics.note_drop m ~src:v ~dst
         | None -> ()
@@ -502,8 +522,9 @@ let run ?faults ?dynamic ?(observer = null_observer)
       else
         (match Faults.decide fr ~src:v ~dst ~round:t with
       | Faults.Deliver -> enqueue_faulty fr t v dst msg
-      | Faults.Drop -> (
-          match metrics with
+      | Faults.Drop ->
+          note_tel_drop t;
+          (match metrics with
           | Some m -> Metrics.note_drop m ~src:v ~dst
           | None -> ())
       | Faults.Duplicate ->
@@ -562,6 +583,9 @@ let run ?faults ?dynamic ?(observer = null_observer)
           last_active := t;
           (match metrics with
           | Some m -> Metrics.note_deliver_at m ~slot ~dst:v ~round:t
+          | None -> ());
+          (match telemetry with
+          | Some tl -> Telemetry.note_deliver tl ~round:t
           | None -> ());
           if has_observer then observer.on_deliver ~round:t ~src ~dst:v;
           let s, actions =
@@ -627,6 +651,11 @@ let run ?faults ?dynamic ?(observer = null_observer)
     done
   in
   let round_end t =
+    (match telemetry with
+    | Some tl ->
+        let in_flight = !outstanding_sends + !queued_total + !held_count in
+        Telemetry.note_in_flight tl ~round:t ~in_flight
+    | None -> ());
     if has_observer then begin
       let in_flight = !outstanding_sends + !queued_total + !held_count in
       match observer.on_round_end ~round:t ~in_flight with

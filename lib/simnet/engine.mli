@@ -173,6 +173,7 @@ val run :
   ?observer:'r observer ->
   ?keep_alive:(unit -> bool) ->
   ?metrics:Metrics.t ->
+  ?telemetry:Telemetry.t ->
   graph:Countq_topology.Graph.t ->
   config:config ->
   protocol:('s, 'm, 'r) protocol ->
@@ -207,7 +208,13 @@ val run :
     (pinned by a qcheck property), and — unlike a custom observer or
     keep_alive — it does {e not} disable idle-round fast-forwarding,
     because an idle round records nothing. Absent (the default), the
-    hot paths pay a single predictable branch per message. *)
+    hot paths pay a single predictable branch per message.
+
+    [telemetry] attaches a windowed time-series recorder (see
+    {!Telemetry}): sends, deliveries, completions, drops, peak backlog
+    and peak in-flight are folded into fixed-width round windows.
+    Passive exactly like [metrics] — bit-identical runs (same qcheck
+    pin), fast-forward stays enabled, jumped-over windows stay zero. *)
 
 val total_delay : 'r result -> int
 (** Sum of completion rounds — the paper's concurrent delay complexity

@@ -64,9 +64,9 @@ let nbr_slot nbrs u =
 let dense_slot_limit = 1 lsl 22
 
 let run ?faults ?dynamic ?(observer = Engine.null_observer)
-    ?(keep_alive = Engine.no_keep_alive) ?metrics ?(injections = [||])
-    ?halt_after ?stats ?starters ~topo ~(config : Engine.config)
-    ~(protocol : ('s, 'm, 'r) Engine.protocol) () =
+    ?(keep_alive = Engine.no_keep_alive) ?metrics ?telemetry ?sink
+    ?(injections = [||]) ?halt_after ?stats ?starters ~topo
+    ~(config : Engine.config) ~(protocol : ('s, 'm, 'r) Engine.protocol) () =
   if config.receive_capacity < 1 || config.send_capacity < 1 then
     invalid_arg "Event_engine.run: capacities must be >= 1";
   (match protocol.on_tick with
@@ -166,14 +166,20 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
   let receivers = Vec.create () in
   let comp_data = ref [||] in
   let comp_len = ref 0 in
-  let push_completion (c : 'r Engine.completion) =
-    if !comp_len = Array.length !comp_data then begin
-      let d = Array.make (max 8 (2 * !comp_len)) c in
-      Array.blit !comp_data 0 d 0 !comp_len;
-      comp_data := d
-    end;
-    !comp_data.(!comp_len) <- c;
-    incr comp_len
+  (* With a [sink], completions stream out as they happen and nothing
+     is retained — the constant-memory path for long-horizon runs. *)
+  let push_completion =
+    match sink with
+    | Some f -> f
+    | None ->
+        fun (c : 'r Engine.completion) ->
+          if !comp_len = Array.length !comp_data then begin
+            let d = Array.make (max 8 (2 * !comp_len)) c in
+            Array.blit !comp_data 0 d 0 !comp_len;
+            comp_data := d
+          end;
+          !comp_data.(!comp_len) <- c;
+          incr comp_len
   in
   let messages = ref 0 in
   let max_backlog = ref 0 in
@@ -283,6 +289,9 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
         apply_actions v s round rest
     | Engine.Complete value :: rest ->
         if has_observer then observer.on_complete ~round ~node:v ~value;
+        (match telemetry with
+        | Some tl -> Telemetry.note_complete tl ~round
+        | None -> ());
         push_completion { Engine.node = v; round; value };
         apply_actions v s round rest
   in
@@ -380,10 +389,15 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
     incr queued_total;
     let backlog = inq_len.data.(ds).(qi) in
     if backlog > !max_backlog then max_backlog := backlog;
-    match metrics with
+    (match metrics with
     | Some m ->
         if record_tx then Metrics.note_transmit m ~src ~dst ~round:t;
         Metrics.note_backlog m ~node:dst ~backlog
+    | None -> ());
+    match telemetry with
+    | Some tl ->
+        if record_tx then Telemetry.note_send tl ~round:t;
+        Telemetry.note_backlog tl ~round:t ~backlog
     | None -> ()
   in
   let node_down =
@@ -400,15 +414,22 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
         let s = Dynamic.sched dr in
         fun ~src ~dst ~round -> not (Dynamic.link_up s ~round ~u:src ~v:dst)
   in
+  let note_tel_drop t =
+    match telemetry with
+    | Some tl -> Telemetry.note_drop tl ~round:t
+    | None -> ()
+  in
   let enqueue_faulty fr t src dst msg =
     if Faults.crashed fr ~node:dst ~round:t then begin
       Faults.note_crash_drop fr;
+      note_tel_drop t;
       match metrics with
       | Some m -> Metrics.note_crash_drop m ~dst
       | None -> ()
     end
     else if node_down dst ~round:t then begin
       (match dynamic with Some dr -> Dynamic.note_node_drop dr | None -> ());
+      note_tel_drop t;
       match metrics with
       | Some m -> Metrics.note_crash_drop m ~dst
       | None -> ()
@@ -504,8 +525,12 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
       (match metrics with
       | Some m -> Metrics.note_transmit m ~src:v ~dst ~round:t
       | None -> ());
+      (match telemetry with
+      | Some tl -> Telemetry.note_send tl ~round:t
+      | None -> ());
       if link_severed ~src:v ~dst ~round:t then begin
         (match dynamic with Some dr -> Dynamic.note_link_drop dr | None -> ());
+        note_tel_drop t;
         match metrics with
         | Some m -> Metrics.note_drop m ~src:v ~dst
         | None -> ()
@@ -513,8 +538,9 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
       else
         (match Faults.decide fr ~src:v ~dst ~round:t with
         | Faults.Deliver -> enqueue_faulty fr t v dst msg
-        | Faults.Drop -> (
-            match metrics with
+        | Faults.Drop ->
+            note_tel_drop t;
+            (match metrics with
             | Some m -> Metrics.note_drop m ~src:v ~dst
             | None -> ())
         | Faults.Duplicate ->
@@ -572,6 +598,9 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
           (match metrics with
           | Some m -> Metrics.note_deliver m ~src ~dst:v ~round:t
           | None -> ());
+          (match telemetry with
+          | Some tl -> Telemetry.note_deliver tl ~round:t
+          | None -> ());
           if has_observer then observer.on_deliver ~round:t ~src ~dst:v;
           let s', actions =
             protocol.on_receive ~round:t ~node:v ~src msg state.data.(s)
@@ -622,10 +651,16 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
   in
   (* Injection phase, at the tick position: fires after the round's
      deliveries; issued sends enter the network next round. *)
+  let note_tel_inject t =
+    match telemetry with
+    | Some tl -> Telemetry.note_inject tl ~round:t
+    | None -> ()
+  in
   let inject_phase_free t =
     while !inj_ptr < ninj && injections.(!inj_ptr).at <= t do
       let inj = injections.(!inj_ptr) in
       incr inj_ptr;
+      note_tel_inject t;
       let s = touch inj.node in
       let s', actions = inj.inject state.data.(s) in
       state.data.(s) <- s';
@@ -640,6 +675,7 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
          injection is lost, exactly as under Engine.run's tick phase. *)
       if not (Faults.crashed fr ~node:inj.node ~round:t || node_down inj.node ~round:t)
       then begin
+        note_tel_inject t;
         let s = touch inj.node in
         let s', actions = inj.inject state.data.(s) in
         state.data.(s) <- s';
@@ -650,6 +686,11 @@ let run ?faults ?dynamic ?(observer = Engine.null_observer)
   let round_end t =
     (match stats with
     | Some c -> c.executed_rounds <- c.executed_rounds + 1
+    | None -> ());
+    (match telemetry with
+    | Some tl ->
+        let in_flight = !outstanding_sends + !queued_total + !held_count in
+        Telemetry.note_in_flight tl ~round:t ~in_flight
     | None -> ());
     note_peak ();
     if has_observer then begin

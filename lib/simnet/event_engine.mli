@@ -75,6 +75,8 @@ val run :
   ?observer:'r Engine.observer ->
   ?keep_alive:(unit -> bool) ->
   ?metrics:Metrics.t ->
+  ?telemetry:Telemetry.t ->
+  ?sink:('r Engine.completion -> unit) ->
   ?injections:('s, 'm, 'r) injection array ->
   ?halt_after:int ->
   ?stats:stats ->
@@ -97,7 +99,19 @@ val run :
 
     [Metrics] recorders are sized from a materialised graph, so
     [?metrics] only fits instances small enough to materialise — which
-    is exactly when you'd ask for per-edge counters.
+    is exactly when you'd ask for per-edge counters. [?telemetry]
+    (windowed time-series, see {!Telemetry}) has no such limit — it is
+    O(windows) regardless of n — and, being passive, does {e not}
+    disable quiescent-gap jumping: jumped-over windows stay zero.
+
+    [sink] streams completions out as they happen instead of retaining
+    them: when present, each completion is passed to [sink] exactly
+    when it would have been recorded (same order), and the returned
+    [result.completions] is [[]]. Rounds/messages/backlog aggregates
+    are unaffected. This removes the last O(completed) memory term for
+    long-horizon open-loop runs; the sink must not assume completions
+    arrive sorted by node (they arrive in execution order: ascending
+    round, arbitrary node order within a round).
 
     @raise Invalid_argument on tick-driven protocols, unsorted
     injections or starters, or a non-starter whose [on_start] emits

@@ -50,8 +50,8 @@ let pp_stats ppf s =
     "%d payloads, %d retransmits, %d acks, %d duplicates ignored, %d abandoned"
     s.data_sent s.retransmits s.acks_sent s.duplicates_ignored s.gave_up
 
-let wrap ?(ack_timeout = 8) ?(max_retries = 5) ?metrics (p : _ Engine.protocol)
-    =
+let wrap ?(ack_timeout = 8) ?(max_retries = 5) ?metrics ?telemetry
+    (p : _ Engine.protocol) =
   if ack_timeout < 1 then invalid_arg "Reliable.wrap: ack_timeout must be >= 1";
   if max_retries < 0 then invalid_arg "Reliable.wrap: max_retries must be >= 0";
   let h =
@@ -164,6 +164,9 @@ let wrap ?(ack_timeout = 8) ?(max_retries = 5) ?metrics (p : _ Engine.protocol)
             incr h.r_retransmits;
             (match metrics with
             | Some m -> Metrics.note_retransmit m ~node
+            | None -> ());
+            (match telemetry with
+            | Some tl -> Telemetry.note_retransmit tl ~round
             | None -> ());
             Some (Engine.Send (pending.p_dst, Data { seq; payload = pending.payload }))
           end)

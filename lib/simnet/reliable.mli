@@ -56,6 +56,7 @@ val wrap :
   ?ack_timeout:int ->
   ?max_retries:int ->
   ?metrics:Metrics.t ->
+  ?telemetry:Telemetry.t ->
   ('s, 'm, 'r) Engine.protocol ->
   (('s, 'm) state, 'm msg, 'r) Engine.protocol * handle
 (** [wrap protocol] names the result ["<name>+retry"]. [ack_timeout]

@@ -1,0 +1,246 @@
+(* Streaming quantile sketch. See sketch.mli. *)
+
+(* Bucket geometry: [subcount] sub-buckets per power-of-two octave.
+   Values in [0, 2*subcount) get one bucket each; a value v >= 128
+   with top bit k lands in the sub-bucket indexed by its 6 bits below
+   the top one, so every bucket's width is at most lo/64. *)
+let sub_bits = 6
+let subcount = 1 lsl sub_bits (* 64 *)
+let linear_limit = 2 * subcount (* 128 *)
+
+(* Position of the highest set bit of a positive int. *)
+let msb v =
+  let k = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin
+    k := !k + 32;
+    v := !v lsr 32
+  end;
+  if !v lsr 16 <> 0 then begin
+    k := !k + 16;
+    v := !v lsr 16
+  end;
+  if !v lsr 8 <> 0 then begin
+    k := !k + 8;
+    v := !v lsr 8
+  end;
+  if !v lsr 4 <> 0 then begin
+    k := !k + 4;
+    v := !v lsr 4
+  end;
+  if !v lsr 2 <> 0 then begin
+    k := !k + 2;
+    v := !v lsr 2
+  end;
+  if !v lsr 1 <> 0 then incr k;
+  !k
+
+let index_of v =
+  if v < linear_limit then v
+  else begin
+    let k = msb v in
+    let mantissa = v lsr (k - sub_bits) in
+    linear_limit + ((k - (sub_bits + 1)) * subcount) + (mantissa - subcount)
+  end
+
+let nbuckets = index_of max_int + 1
+
+(* Inclusive [lo, hi] covered by a bucket. The top bucket's natural hi
+   would overflow ((mantissa+1) lsl shift = 2^62), so it is clamped to
+   max_int explicitly rather than relying on wraparound. *)
+let bounds_of index =
+  if index < linear_limit then (index, index)
+  else begin
+    let o = index - linear_limit in
+    let k = sub_bits + 1 + (o / subcount) in
+    let mantissa = subcount + (o mod subcount) in
+    let lo = mantissa lsl (k - sub_bits) in
+    let hi =
+      if index = nbuckets - 1 then max_int
+      else ((mantissa + 1) lsl (k - sub_bits)) - 1
+    in
+    (lo, hi)
+  end
+
+let relative_error = 1. /. float_of_int (2 * subcount)
+
+type repr = Raw of Vec.t | Buckets of int array
+
+type t = {
+  exact_limit : int;
+  mutable count : int;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  mutable repr : repr;
+}
+
+let create ?(exact_limit = 1024) () =
+  let repr =
+    if exact_limit <= 0 then Buckets (Array.make nbuckets 0)
+    else Raw (Vec.create ~capacity:(min exact_limit 16) ())
+  in
+  { exact_limit; count = 0; total = 0; min_v = max_int; max_v = -1; repr }
+
+let spill t =
+  match t.repr with
+  | Buckets _ -> ()
+  | Raw raw ->
+      let counts = Array.make nbuckets 0 in
+      Vec.iter
+        (fun v ->
+          let i = index_of v in
+          counts.(i) <- counts.(i) + 1)
+        raw;
+      t.repr <- Buckets counts
+
+let add t x =
+  if x < 0 then invalid_arg "Sketch.add: negative sample";
+  t.count <- t.count + 1;
+  t.total <- t.total + x;
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  (match t.repr with
+  | Raw raw when Vec.length raw >= t.exact_limit -> spill t
+  | _ -> ());
+  match t.repr with
+  | Raw raw -> Vec.push raw x
+  | Buckets counts ->
+      let i = index_of x in
+      counts.(i) <- counts.(i) + 1
+
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then None else Some (float_of_int t.total /. float_of_int t.count)
+let min_value t = if t.count = 0 then None else Some t.min_v
+let max_value t = if t.count = 0 then None else Some t.max_v
+
+let is_exact t =
+  match t.repr with Raw _ -> true | Buckets _ -> false
+
+(* Representative value reported for a bucket: exact in the linear
+   range (width-1 buckets), the clamped midpoint above it. Clamping to
+   the observed min/max only sharpens the estimate — the true samples
+   all lie inside [min_v, max_v]. *)
+let representative t index =
+  let lo, hi = bounds_of index in
+  if lo = hi then float_of_int lo
+  else begin
+    let lo = max lo t.min_v and hi = min hi t.max_v in
+    (float_of_int lo +. float_of_int hi) /. 2.
+  end
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Sketch.quantile: q outside [0, 1]";
+  if t.count = 0 then None
+  else begin
+    match t.repr with
+    | Raw raw ->
+        (* Exact mode reproduces Stats.percentile_ints bit-for-bit. *)
+        Stats.percentile_ints (Vec.to_list raw) q
+    | Buckets counts ->
+        let pos = q *. float_of_int (t.count - 1) in
+        let lo_rank = int_of_float (Float.floor pos) in
+        let hi_rank = int_of_float (Float.ceil pos) in
+        (* One cumulative walk resolves both interpolation endpoints:
+           the bucket holding rank r is the first with cum > r. *)
+        let v_lo = ref nan and v_hi = ref nan in
+        let cum = ref 0 in
+        (try
+           for i = 0 to nbuckets - 1 do
+             let c = counts.(i) in
+             if c > 0 then begin
+               cum := !cum + c;
+               if Float.is_nan !v_lo && !cum > lo_rank then
+                 v_lo := representative t i;
+               if !cum > hi_rank then begin
+                 v_hi := representative t i;
+                 raise Exit
+               end
+             end
+           done
+         with Exit -> ());
+        if lo_rank = hi_rank then Some !v_lo
+        else begin
+          let frac = pos -. float_of_int lo_rank in
+          Some ((!v_lo *. (1. -. frac)) +. (!v_hi *. frac))
+        end
+  end
+
+let copy t =
+  let repr =
+    match t.repr with
+    | Buckets counts -> Buckets (Array.copy counts)
+    | Raw raw ->
+        let fresh = Vec.create ~capacity:(max 16 (Vec.length raw)) () in
+        Vec.iter (fun v -> Vec.push fresh v) raw;
+        Raw fresh
+  in
+  { t with repr }
+
+let merge a b =
+  let exact_limit = min a.exact_limit b.exact_limit in
+  let combined = a.count + b.count in
+  let repr =
+    match (a.repr, b.repr) with
+    | Raw ra, Raw rb when combined <= exact_limit ->
+        let fresh = Vec.create ~capacity:(max 16 combined) () in
+        Vec.iter (fun v -> Vec.push fresh v) ra;
+        Vec.iter (fun v -> Vec.push fresh v) rb;
+        Raw fresh
+    | _ ->
+        let counts = Array.make nbuckets 0 in
+        let absorb = function
+          | Raw raw ->
+              Vec.iter
+                (fun v ->
+                  let i = index_of v in
+                  counts.(i) <- counts.(i) + 1)
+                raw
+          | Buckets cs ->
+              for i = 0 to nbuckets - 1 do
+                counts.(i) <- counts.(i) + cs.(i)
+              done
+        in
+        absorb a.repr;
+        absorb b.repr;
+        Buckets counts
+  in
+  {
+    exact_limit;
+    count = combined;
+    total = a.total + b.total;
+    min_v = min a.min_v b.min_v;
+    max_v = max a.max_v b.max_v;
+    repr;
+  }
+
+let buckets t =
+  let counts = Array.make nbuckets 0 in
+  (match t.repr with
+  | Buckets cs -> Array.blit cs 0 counts 0 nbuckets
+  | Raw raw ->
+      Vec.iter
+        (fun v ->
+          let i = index_of v in
+          counts.(i) <- counts.(i) + 1)
+        raw);
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if counts.(i) > 0 then begin
+      let lo, hi = bounds_of i in
+      out := (lo, hi, counts.(i)) :: !out
+    end
+  done;
+  !out
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "empty sketch"
+  else begin
+    let q x = match quantile t x with Some v -> v | None -> nan in
+    Format.fprintf ppf
+      "n=%d min=%d mean=%.2f max=%d p50=%.1f p95=%.1f p99=%.1f (%s)"
+      t.count t.min_v
+      (match mean t with Some m -> m | None -> nan)
+      t.max_v (q 0.5) (q 0.95) (q 0.99)
+      (if is_exact t then "exact" else "sketched")
+  end

@@ -1,0 +1,80 @@
+(** Streaming quantile sketch over non-negative integer samples
+    (delays, backlogs) — constant memory at any stream length.
+
+    The sketch is an HDR-style log-bucketed histogram: values below
+    [2 * subcount] (= 128) get one bucket each (exact); above that,
+    each power-of-two octave is split into [subcount] (= 64)
+    equal-width sub-buckets, so a bucket spanning [[lo, hi]] has
+    [hi - lo + 1 <= lo / subcount]. Reporting the bucket midpoint
+    therefore bounds the relative error of any reported quantile by
+    [1 / (2 * subcount)] ~ 0.78% — see {!relative_error}. The bucket
+    array covers the whole non-negative [int] range in ~3.6k slots.
+
+    Small streams stay {e exact}: until more than [exact_limit]
+    samples arrive, the raw values are retained and {!quantile}
+    reproduces {!Stats.percentile_ints} bit-for-bit. The first sample
+    past the limit spills the raw set into the buckets and the sketch
+    switches to bounded-error mode for good.
+
+    Sketches {!merge} (counts add bucket-wise), so per-worker sketches
+    from a parallel sweep combine into one; merge is observably
+    commutative and associative (exercised by the tier-1 tests). All
+    operations are deterministic functions of the sample multiset —
+    insertion order never matters. *)
+
+type t
+
+val create : ?exact_limit:int -> unit -> t
+(** Fresh empty sketch. [exact_limit] (default 1024) is the sample
+    count up to which raw values are retained and quantiles are exact;
+    [0] makes the sketch bucketed from the first sample. *)
+
+val add : t -> int -> unit
+(** Record one sample. @raise Invalid_argument on a negative value. *)
+
+val count : t -> int
+(** Samples recorded so far. *)
+
+val total : t -> int
+(** Sum of all samples (native-int wraparound at ~4.6e18). *)
+
+val mean : t -> float option
+(** [total / count]; [None] when empty. *)
+
+val min_value : t -> int option
+(** Smallest sample (exact in both modes); [None] when empty. *)
+
+val max_value : t -> int option
+(** Largest sample (exact in both modes); [None] when empty. *)
+
+val is_exact : t -> bool
+(** [true] while the sketch still holds the raw samples (count has
+    never exceeded [exact_limit]): quantiles are exact, not bounded. *)
+
+val quantile : t -> float -> float option
+(** [quantile t q] with [q] in [[0, 1]]: the same closest-rank
+    interpolation as {!Stats.percentile} — bit-identical to it in
+    exact mode, within {!relative_error} (relative, per interpolation
+    endpoint) of it in bucketed mode. [None] when empty.
+    @raise Invalid_argument on [q] outside [[0, 1]]. *)
+
+val merge : t -> t -> t
+(** Pure combination: a fresh sketch equivalent to having fed both
+    input streams into one. Neither argument is mutated. The result is
+    exact iff both inputs are exact and the combined count fits the
+    smaller of the two [exact_limit]s; otherwise it is bucketed. *)
+
+val copy : t -> t
+(** Independent snapshot (later [add]s to either side are invisible to
+    the other). *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending, computed from
+    whichever representation is live. For export and rendering. *)
+
+val relative_error : float
+(** The documented worst-case relative error of a bucketed quantile's
+    interpolation endpoints: [1 /. 128.]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: count, min/mean/max, p50/p95/p99, mode. *)

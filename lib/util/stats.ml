@@ -12,45 +12,63 @@ type summary = {
 }
 
 let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty input";
   if q < 0. || q > 1. then invalid_arg "Stats.percentile: q outside [0, 1]";
-  let pos = q *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor pos) in
-  let hi = int_of_float (Float.ceil pos) in
-  if lo = hi then sorted.(lo)
+  let n = Array.length sorted in
+  if n = 0 then None
   else begin
-    let frac = pos -. float_of_int lo in
-    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then Some sorted.(lo)
+    else begin
+      let frac = pos -. float_of_int lo in
+      Some ((sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac))
+    end
   end
 
+let percentile_exn sorted q =
+  match percentile sorted q with
+  | Some v -> v
+  | None -> invalid_arg "Stats.percentile: empty input"
+
 let summarize samples =
-  if samples = [] then invalid_arg "Stats.summarize: empty sample list";
-  let a = Array.of_list (List.map float_of_int samples) in
-  Array.sort compare a;
-  let count = Array.length a in
-  let total = List.fold_left ( + ) 0 samples in
-  let mean = float_of_int total /. float_of_int count in
-  let var =
-    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a
-    /. float_of_int count
-  in
-  {
-    count;
-    total;
-    mean;
-    median = percentile a 0.5;
-    p95 = percentile a 0.95;
-    min = int_of_float a.(0);
-    max = int_of_float a.(count - 1);
-    stddev = sqrt var;
-  }
+  if samples = [] then None
+  else begin
+    let a = Array.of_list (List.map float_of_int samples) in
+    Array.sort compare a;
+    let count = Array.length a in
+    let total = List.fold_left ( + ) 0 samples in
+    let mean = float_of_int total /. float_of_int count in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a
+      /. float_of_int count
+    in
+    Some
+      {
+        count;
+        total;
+        mean;
+        median = percentile_exn a 0.5;
+        p95 = percentile_exn a 0.95;
+        min = int_of_float a.(0);
+        max = int_of_float a.(count - 1);
+        stddev = sqrt var;
+      }
+  end
 
 let percentile_ints samples q =
-  if samples = [] then invalid_arg "Stats.percentile_ints: empty sample list";
-  let a = Array.of_list (List.map float_of_int samples) in
-  Array.sort compare a;
-  percentile a q
+  if samples = [] then begin
+    (* Still validate q so the empty case is not a silent pass for a
+       caller-side unit bug (q in percent instead of a fraction). *)
+    if q < 0. || q > 1. then
+      invalid_arg "Stats.percentile: q outside [0, 1]";
+    None
+  end
+  else begin
+    let a = Array.of_list (List.map float_of_int samples) in
+    Array.sort compare a;
+    percentile a q
+  end
 
 type bucket = { lo : int; hi : int; bcount : int }
 

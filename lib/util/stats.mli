@@ -14,20 +14,22 @@ type summary = {
   stddev : float;  (** population standard deviation. *)
 }
 
-val summarize : int list -> summary
+val summarize : int list -> summary option
 (** [summarize samples] computes all fields in one pass over a sorted
-    copy. @raise Invalid_argument on an empty list. *)
+    copy. [None] on an empty list — empty inputs are a normal outcome
+    for the observability layer (every span stranded, a drained run
+    with zero completions), not a programming error. *)
 
-val percentile : float array -> float -> float
+val percentile : float array -> float -> float option
 (** [percentile sorted q] with [q] in [[0, 1]]: linear interpolation
-    between closest ranks of an already-sorted array.
-    @raise Invalid_argument on empty input or [q] outside [[0, 1]]. *)
+    between closest ranks of an already-sorted array. [None] on empty
+    input. @raise Invalid_argument on [q] outside [[0, 1]]. *)
 
-val percentile_ints : int list -> float -> float
+val percentile_ints : int list -> float -> float option
 (** [percentile_ints samples q]: {!percentile} over an unsorted integer
     sample list (sorts a private copy). The convenience form the
-    observability layer uses for per-operation delay tables.
-    @raise Invalid_argument on an empty list or [q] outside [[0, 1]]. *)
+    observability layer uses for per-operation delay tables. [None] on
+    an empty list. @raise Invalid_argument on [q] outside [[0, 1]]. *)
 
 type bucket = {
   lo : int;  (** inclusive lower bound of the bucket. *)

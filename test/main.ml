@@ -5,6 +5,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("stats", Test_stats.suite);
+      ("sketch", Test_sketch.suite);
       ("json", Test_json.suite);
       ("heap", Test_heap.suite);
       ("parallel", Test_parallel.suite);
@@ -23,6 +24,7 @@ let () =
       ("async", Test_async.suite);
       ("trace", Test_trace.suite);
       ("metrics", Test_metrics.suite);
+      ("telemetry", Test_telemetry.suite);
       ("span", Test_span.suite);
       ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);
@@ -46,6 +48,7 @@ let () =
       ("multicast", Test_multicast.suite);
       ("growth", Test_growth.suite);
       ("scenario", Test_scenario.suite);
+      ("load", Test_load.suite);
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);
       ("printers", Test_printers.suite);

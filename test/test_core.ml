@@ -113,7 +113,7 @@ let test_best_counting_picks_minimum () =
 (* ---- experiments ---- *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "30 experiments" 30 (List.length Experiments.all);
+  Alcotest.(check int) "31 experiments" 31 (List.length Experiments.all);
   List.iteri
     (fun i (s : Experiments.spec) ->
       Alcotest.(check string) "ids in order"

@@ -1,0 +1,171 @@
+(* Tests for the open-loop Load harness: saturation-verdict edges and
+   the streaming (sketch + reservoir) summarise path against the
+   retained one. *)
+
+module Load = Countq.Load
+module Implicit = Countq_topology.Implicit
+module Sketch = Countq_util.Sketch
+module Telemetry = Countq_simnet.Telemetry
+
+(* Internal consistency every summary must satisfy, whatever the
+   workload did. *)
+let check_consistent (s : Load.summary) =
+  Alcotest.(check int) "unfinished = injected - completed" s.unfinished
+    (s.injected - s.completed);
+  Alcotest.(check bool) "saturated formula" s.saturated
+    (s.unfinished * 20 > s.injected);
+  if s.completed = 0 then begin
+    Alcotest.(check (float 0.)) "p50 degrades to 0" 0. s.p50;
+    Alcotest.(check (float 0.)) "mean degrades to 0" 0. s.mean_delay;
+    Alcotest.(check int) "max degrades to 0" 0 s.max_delay
+  end
+
+(* Zero completions: a counting run cut off before any round trip can
+   land (drain 0, horizon 1, origins away from the centre under this
+   seed) must report a total summary — Stats is total on empty — and a
+   saturated verdict, not an exception. *)
+let test_zero_completions () =
+  let topo = Implicit.list 64 in
+  let s =
+    Load.run ~seed:5L ~drain:0 ~topo ~workload:Load.Counting
+      ~arrival:(Load.Poisson 4.0) ~horizon:1 ()
+  in
+  check_consistent s;
+  Alcotest.(check bool) "something was injected" true (s.injected > 0);
+  Alcotest.(check int) "nothing completed" 0 s.completed;
+  Alcotest.(check bool) "saturated" true s.saturated
+
+(* Rate at the counting service capacity (~1 op/round through one
+   centre of unit receive capacity): the run must stay internally
+   consistent whichever side of the knee this seed lands on. *)
+let test_rate_at_capacity () =
+  let topo = Implicit.list 64 in
+  let s =
+    Load.run ~topo ~workload:Load.Counting ~arrival:(Load.Poisson 1.0)
+      ~horizon:128 ()
+  in
+  check_consistent s;
+  Alcotest.(check bool) "something completed" true (s.completed > 0)
+
+(* A single-round horizon is legal: every arrival lands in round 1 and
+   the default drain (= horizon = 1) still allows the 1-hop queuing
+   handshake of adjacent origins. *)
+let test_single_round_horizon () =
+  let topo = Implicit.list 16 in
+  let s =
+    Load.run ~topo ~workload:Load.Queuing ~arrival:(Load.Poisson 8.0)
+      ~horizon:1 ()
+  in
+  check_consistent s;
+  Alcotest.(check bool) "something was injected" true (s.injected > 0)
+
+let test_horizon_zero_rejected () =
+  let topo = Implicit.list 8 in
+  Alcotest.check_raises "horizon < 1"
+    (Invalid_argument "Load.schedule: horizon must be >= 1") (fun () ->
+      ignore
+        (Load.run ~topo ~workload:Load.Queuing ~arrival:(Load.Poisson 1.0)
+           ~horizon:0 ()))
+
+(* While the sketch holds raw samples (small runs), streaming and
+   retained summaries agree bit for bit on every statistic. *)
+let prop_streaming_exact_matches_retained =
+  QCheck2.Test.make ~name:"streaming = retained while the sketch is exact"
+    ~count:30
+    ~print:(fun (r, h) -> Printf.sprintf "rate=%g horizon=%d" r h)
+    QCheck2.Gen.(pair (float_range 0.25 2.0) (int_range 1 96))
+    (fun (rate, horizon) ->
+      let topo = Implicit.list 32 in
+      let go streaming =
+        Load.run ~streaming ~topo ~workload:Load.Queuing
+          ~arrival:(Load.Poisson rate) ~horizon ()
+      in
+      let a = go false and b = go true in
+      (not b.Load.sketched)
+      && a.Load.injected = b.Load.injected
+      && a.Load.completed = b.Load.completed
+      && a.Load.unfinished = b.Load.unfinished
+      && a.Load.p50 = b.Load.p50
+      && a.Load.p95 = b.Load.p95
+      && a.Load.p99 = b.Load.p99
+      && a.Load.mean_delay = b.Load.mean_delay
+      && a.Load.max_delay = b.Load.max_delay
+      && a.Load.saturated = b.Load.saturated
+      && a.Load.rounds = b.Load.rounds
+      && a.Load.messages = b.Load.messages)
+
+(* Past the exact window the percentiles become estimates, bounded by
+   the sketch's relative error; counts stay exact. *)
+let test_streaming_sketched_error_bound () =
+  let topo = Implicit.torus ~dims:[ 16; 16 ] in
+  let go streaming =
+    Load.run ~streaming ~topo ~workload:Load.Queuing
+      ~arrival:(Load.Poisson 4.0) ~horizon:512 ()
+  in
+  let a = go false and b = go true in
+  Alcotest.(check bool) "run is big enough to leave exact mode" true
+    b.sketched;
+  Alcotest.(check int) "injected agree" a.injected b.injected;
+  Alcotest.(check int) "completed agree" a.completed b.completed;
+  Alcotest.(check int) "max agrees exactly" a.max_delay b.max_delay;
+  let close name exact est =
+    if abs_float (est -. exact) > (Sketch.relative_error *. exact) +. 1e-9
+    then
+      Alcotest.failf "%s: estimate %g vs exact %g exceeds the error bound"
+        name est exact
+  in
+  close "p50" a.p50 b.p50;
+  close "p95" a.p95 b.p95;
+  close "p99" a.p99 b.p99
+
+(* The streaming path retains no spans but does surface exemplars. *)
+let test_streaming_exemplars () =
+  let topo = Implicit.list 32 in
+  let s =
+    Load.run ~streaming:true ~keep_spans:true ~topo ~workload:Load.Queuing
+      ~arrival:(Load.Poisson 2.0) ~horizon:64 ()
+  in
+  Alcotest.(check bool) "no span table" true (s.spans = []);
+  Alcotest.(check bool) "exemplars present" true (s.exemplars <> []);
+  List.iter
+    (fun (tag, (sp : Countq_simnet.Span.t)) ->
+      (match tag with
+      | "first" | "slowest" | "sample" -> ()
+      | t -> Alcotest.failf "unknown exemplar tag %S" t);
+      match (sp.completion_round, Countq_simnet.Span.delay sp) with
+      | Some r, Some d ->
+          if r - sp.inject_round <> d then
+            Alcotest.fail "exemplar delay inconsistent"
+      | _ -> Alcotest.fail "streaming exemplars are completed spans")
+    s.exemplars
+
+(* Telemetry attached to a Load run is passive for the summary. *)
+let test_load_telemetry_passive () =
+  let topo = Implicit.list 32 in
+  let go ?telemetry () =
+    Load.run ?telemetry ~topo ~workload:Load.Queuing
+      ~arrival:(Load.Poisson 1.0) ~horizon:64 ()
+  in
+  let plain = go () in
+  let tl = Telemetry.create ~window_size:8 () in
+  let observed = go ~telemetry:tl () in
+  Alcotest.(check bool) "summary unchanged" true (plain = observed);
+  Alcotest.(check bool)
+    "injections were recorded" true
+    (List.exists
+       (fun w -> w.Telemetry.injections > 0)
+       (Telemetry.windows tl))
+
+let suite =
+  [
+    Alcotest.test_case "zero completions" `Quick test_zero_completions;
+    Alcotest.test_case "rate at capacity" `Quick test_rate_at_capacity;
+    Alcotest.test_case "single-round horizon" `Quick test_single_round_horizon;
+    Alcotest.test_case "horizon 0 rejected" `Quick test_horizon_zero_rejected;
+    Helpers.qcheck prop_streaming_exact_matches_retained;
+    Alcotest.test_case "sketched error bound" `Quick
+      test_streaming_sketched_error_bound;
+    Alcotest.test_case "streaming exemplars" `Quick test_streaming_exemplars;
+    Alcotest.test_case "load telemetry passive" `Quick
+      test_load_telemetry_passive;
+  ]

@@ -88,7 +88,11 @@ let test_tower_pp () =
   | Tow.Finite _ -> Alcotest.fail "tow 6 should be huge")
 
 let test_stats_pp () =
-  let s = Stats.summarize [ 1; 2; 3; 4 ] in
+  let s =
+    match Stats.summarize [ 1; 2; 3; 4 ] with
+    | Some s -> s
+    | None -> Alcotest.fail "summarize of non-empty input"
+  in
   let rendered = str Stats.pp_summary s in
   Alcotest.(check bool) "mentions n=4" true
     (String.length rendered > 10 && String.sub rendered 0 3 = "n=4")

@@ -1,0 +1,164 @@
+(* Tests for the streaming quantile sketch: exact-mode bit-equality
+   with Stats, the bucketed error bound, and merge algebra (including
+   under the parallel pool, the sweep's per-worker shape). *)
+
+module Sketch = Countq_util.Sketch
+module Stats = Countq_util.Stats
+module Parallel = Countq_util.Parallel
+
+let of_list ?exact_limit samples =
+  let t = Sketch.create ?exact_limit () in
+  List.iter (Sketch.add t) samples;
+  t
+
+let force = function
+  | Some v -> v
+  | None -> Alcotest.fail "unexpected None from Sketch"
+
+(* The observable behaviour of a sketch — what the algebra properties
+   compare. Two sketches over the same multiset must agree on all of
+   it regardless of how the samples were distributed or merged. *)
+let observe t =
+  ( Sketch.count t,
+    Sketch.total t,
+    Sketch.min_value t,
+    Sketch.max_value t,
+    Sketch.is_exact t,
+    List.map (fun q -> Sketch.quantile t q) [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ],
+    Sketch.buckets t )
+
+(* Generators: small values exercise the exact one-bucket range,
+   large ones the octave splitting. *)
+let samples_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        list_size (int_range 0 200) (int_range 0 100);
+        list_size (int_range 0 200) (int_range 0 10_000_000);
+      ])
+
+let q_gen = QCheck2.Gen.float_range 0. 1.
+
+(* While under the exact limit, quantiles reproduce Stats bit for
+   bit - not approximately: the same floats. *)
+let prop_exact_mode_is_stats =
+  QCheck2.Test.make ~name:"exact mode = Stats.percentile_ints, bit for bit"
+    ~count:300
+    QCheck2.Gen.(pair samples_gen q_gen)
+    (fun (samples, q) ->
+      let t = of_list ~exact_limit:1_000_000 samples in
+      Sketch.is_exact t
+      && Sketch.quantile t q = Stats.percentile_ints samples q)
+
+(* Bucketed mode: each interpolation endpoint is a bucket midpoint,
+   off from the true value by at most half the bucket width, so the
+   reported quantile is within [relative_error] of the exact one. *)
+let prop_bucketed_error_bound =
+  QCheck2.Test.make ~name:"bucketed quantile within relative_error" ~count:300
+    QCheck2.Gen.(pair samples_gen q_gen)
+    (fun (samples, q) ->
+      match Stats.percentile_ints samples q with
+      | None -> samples = []
+      | Some exact ->
+          let t = of_list ~exact_limit:0 samples in
+          let est = force (Sketch.quantile t q) in
+          abs_float (est -. exact)
+          <= (Sketch.relative_error *. exact) +. 1e-9)
+
+(* min/max/total/mean never degrade, in either mode. *)
+let prop_extremes_exact =
+  QCheck2.Test.make ~name:"min/max/total stay exact when bucketed" ~count:300
+    samples_gen (fun samples ->
+      let t = of_list ~exact_limit:0 samples in
+      Sketch.count t = List.length samples
+      && Sketch.total t = List.fold_left ( + ) 0 samples
+      && Sketch.min_value t
+         = (if samples = [] then None
+            else Some (List.fold_left min max_int samples))
+      && Sketch.max_value t
+         = if samples = [] then None else Some (List.fold_left max 0 samples))
+
+(* Merge is observably commutative... *)
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"merge commutes" ~count:200
+    QCheck2.Gen.(pair samples_gen samples_gen)
+    (fun (a, b) ->
+      let s ls = of_list ~exact_limit:64 ls in
+      observe (Sketch.merge (s a) (s b)) = observe (Sketch.merge (s b) (s a)))
+
+(* ... and associative, across the exact/bucketed spill boundary. *)
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge associates" ~count:200
+    QCheck2.Gen.(triple samples_gen samples_gen samples_gen)
+    (fun (a, b, c) ->
+      let s ls = of_list ~exact_limit:64 ls in
+      observe (Sketch.merge (Sketch.merge (s a) (s b)) (s c))
+      = observe (Sketch.merge (s a) (Sketch.merge (s b) (s c))))
+
+(* Merging per-chunk sketches built on pool workers is the parallel
+   sweep's aggregation shape: the fold must match the sequential
+   sketch over the whole stream, whatever the chunking. *)
+let test_merge_under_pool () =
+  let rng = Helpers.rng () in
+  let samples =
+    List.init 5000 (fun _ -> Countq_util.Rng.below rng 1_000_000)
+  in
+  let rec chunks k = function
+    | [] -> []
+    | l ->
+        let take = min k (List.length l) in
+        let c = List.filteri (fun i _ -> i < take) l in
+        let rest = List.filteri (fun i _ -> i >= take) l in
+        c :: chunks k rest
+  in
+  let whole = of_list ~exact_limit:256 samples in
+  let pool = Parallel.pool ~jobs:4 in
+  let parts =
+    Parallel.pool_map pool (fun c -> of_list ~exact_limit:256 c)
+      (chunks 617 samples)
+  in
+  let merged =
+    match parts with
+    | [] -> Sketch.create ()
+    | first :: rest -> List.fold_left Sketch.merge first rest
+  in
+  Alcotest.(check bool)
+    "pool-merged sketch = sequential sketch" true
+    (observe merged = observe whole)
+
+let test_validation () =
+  let t = Sketch.create () in
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Sketch.add: negative sample") (fun () ->
+      Sketch.add t (-1));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Sketch.quantile: q outside [0, 1]") (fun () ->
+      ignore (Sketch.quantile t 1.5))
+
+(* The spill from raw to buckets happens exactly once, at the first
+   add past the limit, and never reverses on merge. *)
+let test_spill_boundary () =
+  let t = Sketch.create ~exact_limit:4 () in
+  List.iter (Sketch.add t) [ 10; 20; 30; 40 ];
+  Alcotest.(check bool) "at limit: exact" true (Sketch.is_exact t);
+  Sketch.add t 50;
+  Alcotest.(check bool) "past limit: bucketed" false (Sketch.is_exact t);
+  Alcotest.(check int) "count survives spill" 5 (Sketch.count t);
+  Alcotest.(check (option int)) "max survives spill" (Some 50)
+    (Sketch.max_value t);
+  let small = of_list ~exact_limit:4 [ 1; 2 ] in
+  Alcotest.(check bool)
+    "bucketed absorbs exact" false
+    (Sketch.is_exact (Sketch.merge t small))
+
+let suite =
+  [
+    Helpers.qcheck prop_exact_mode_is_stats;
+    Helpers.qcheck prop_bucketed_error_bound;
+    Helpers.qcheck prop_extremes_exact;
+    Helpers.qcheck prop_merge_commutative;
+    Helpers.qcheck prop_merge_associative;
+    Alcotest.test_case "merge under pool" `Quick test_merge_under_pool;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "spill boundary" `Quick test_spill_boundary;
+  ]
