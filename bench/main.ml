@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_8.json; --no-json
+                                                 BENCH_9.json; --no-json
                                                  to skip)
      dune exec bench/main.exe -- --jobs N     -- table+sweep budget of N
                                                  domains (experiments are
@@ -20,7 +20,7 @@
      dune exec bench/main.exe -- --cache-dir D -- cache root (default
                                                  bench/out/cache)
 
-   Every run emits a machine-readable perf snapshot (BENCH_8.json):
+   Every run emits a machine-readable perf snapshot (BENCH_9.json):
    per-experiment wall time and cache hit/miss counts, the
    engine-vs-reference speedup probe on the E3 list-counting sweep, the
    metrics-recorder overhead probe, the dynamic-schedule overhead probe
@@ -35,7 +35,11 @@
    mesh, identity vs the seeded flap schedule, wall time next to the
    degradation), the jobs-scaling probe (the heavy sweep grids
    regenerated at jobs = 1/2/4/8, honest wall times plus the core count
-   so a 1-core container's flat curve reads as what it is), the
+   so a 1-core container's flat curve reads as what it is; redundant
+   levels are skipped on 1 core and listed as skipped), the
+   shard-scaling probe (one E30-shape run partitioned across domains by
+   Countq_simnet.Shard at shards = 1/2/4, summaries asserted identical
+   at every level), the
    cache-warm probe (cold vs warm pass over the grid experiments on a
    scratch cache, asserting bit-identical tables), and — unless
    --no-micro — Bechamel ns/run per kernel. Tracked from PR 2 onward so
@@ -79,7 +83,7 @@ let parse_args () =
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_8.json") in
+  let json_path = ref (Some "BENCH_9.json") in
   let jobs = ref 1 in
   let use_cache = ref true in
   let cache_dir = ref default_cache_dir in
@@ -692,22 +696,102 @@ type scaling_row = {
   sc_wall : float;
 }
 
+type scaling_probe = {
+  sc_cores : int;  (* Domain.recommended_domain_count at probe time *)
+  sc_skipped : int list;  (* levels elided as redundant on this machine *)
+  sc_rows : scaling_row list;
+}
+
 let jobs_scaling_probe ~quick () =
   let specs =
     List.filter_map Experiments.find (if quick then [ "E3"; "E12" ] else heavy_ids)
   in
+  let cores = Domain.recommended_domain_count () in
   let levels = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-  List.map
-    (fun j ->
-      let pool = Parallel.pool ~jobs:j in
-      let ctx = Sweep.ctx ~pool () in
+  (* On a 1-core machine every level above 2 exercises the same single
+     lane: keep jobs=1 and one oversubscribed level (the pool-overhead
+     sanity point) and record the elided levels instead of spending
+     minutes measuring the same thing twice more. *)
+  let levels, skipped =
+    if cores = 1 then List.partition (fun j -> j <= 2) levels else (levels, [])
+  in
+  let rows =
+    List.map
+      (fun j ->
+        let pool = Parallel.pool ~jobs:j in
+        let ctx = Sweep.ctx ~pool () in
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (Parallel.pool_map pool ~chunk:1
+             (fun (s : Experiments.spec) -> s.run ~quick ~ctx ())
+             specs);
+        { sc_jobs = j; sc_wall = Unix.gettimeofday () -. t0 })
+      levels
+  in
+  { sc_cores = cores; sc_skipped = skipped; sc_rows = rows }
+
+(* ------------------------------------------------------------------ *)
+(* Shard-scaling probe: ONE E30-shape run (one-shot queuing on the
+   implicit list, every 16th node requesting) partitioned across
+   domains by Countq_simnet.Shard at increasing shard counts. The
+   summaries must be identical at every level — the merge is
+   deterministic, so sharding is purely a wall-clock lever — and the
+   wall times are reported as measured next to the core count: on a
+   1-core container the curve is honestly flat (the shard data path on
+   the calling domain alone), not a laundered speedup.                 *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_wall : float;
+  sh_identical : bool;  (* summary equals the shards=1 summary *)
+}
+
+type shard_probe = {
+  sh_cores : int;
+  sh_n : int;
+  sh_messages : int;
+  sh_rows : shard_row list;
+}
+
+let shard_scaling_probe ~quick () =
+  let module Implicit = Countq_topology.Implicit in
+  let module Load = Countq.Load in
+  let n = if quick then 100_000 else 1_000_000 in
+  let stride = 16 in
+  let topo = Implicit.list n in
+  let requests = List.init (n / stride) (fun i -> i * stride) in
+  let levels = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let run shards =
+    Load.one_shot ~shards ~topo ~workload:Load.Queuing ~requests ()
+  in
+  let timed shards =
+    ignore (run shards);
+    let best = ref infinity in
+    let s = ref (run 1) in
+    for _ = 1 to 2 do
+      Gc.major ();
       let t0 = Unix.gettimeofday () in
-      ignore
-        (Parallel.pool_map pool ~chunk:1
-           (fun (s : Experiments.spec) -> s.run ~quick ~ctx ())
-           specs);
-      { sc_jobs = j; sc_wall = Unix.gettimeofday () -. t0 })
-    levels
+      s := run shards;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (!s, !best)
+  in
+  let base, base_wall = timed 1 in
+  let rows =
+    { sh_shards = 1; sh_wall = base_wall; sh_identical = true }
+    :: List.map
+         (fun k ->
+           let s, wall = timed k in
+           { sh_shards = k; sh_wall = wall; sh_identical = s = base })
+         (List.filter (fun k -> k > 1) levels)
+  in
+  {
+    sh_cores = Domain.recommended_domain_count ();
+    sh_n = n;
+    sh_messages = base.Load.os_messages;
+    sh_rows = rows;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Cache-warm probe: the grid experiments run twice against a scratch
@@ -1082,11 +1166,11 @@ let hit_rate hits misses =
   else 100. *. float_of_int hits /. float_of_int total
 
 let write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
-    ~loadgen ~churn ~scaling ~warm ~explore ~kernels =
+    ~loadgen ~churn ~scaling ~sharding ~warm ~explore ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/8\",\n";
+  add "  \"schema\": \"countq-bench/9\",\n";
   add "  \"mode\": \"%s\",\n" (if opts.quick then "quick" else "full");
   add "  \"jobs\": %d,\n" opts.jobs;
   add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -1299,14 +1383,18 @@ let write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
     churn;
   add "    ]\n";
   add "  },\n";
-  let base_wall = match scaling with r :: _ -> r.sc_wall | [] -> Float.nan in
+  let base_wall =
+    match scaling.sc_rows with r :: _ -> r.sc_wall | [] -> Float.nan
+  in
   add "  \"jobs_scaling\": {\n";
   add
     "    \"probe\": \"heavy sweep grids regenerated end-to-end at increasing \
      pool budgets, cache off; wall times as measured (speedup is relative to \
      jobs=1 on THIS machine - check cores before reading it as a parallelism \
-     claim)\",\n";
-  add "    \"cores\": %d,\n" (Domain.recommended_domain_count ());
+     claim); levels redundant on a 1-core machine are skipped and listed\",\n";
+  add "    \"cores\": %d,\n" scaling.sc_cores;
+  add "    \"skipped_levels\": [%s],\n"
+    (String.concat ", " (List.map string_of_int scaling.sc_skipped));
   add "    \"levels\": [\n";
   List.iteri
     (fun i r ->
@@ -1316,8 +1404,35 @@ let write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
         r.sc_jobs (json_float r.sc_wall)
         (json_float
            (if r.sc_wall > 0. then base_wall /. r.sc_wall else Float.nan))
-        (if i = List.length scaling - 1 then "" else ","))
-    scaling;
+        (if i = List.length scaling.sc_rows - 1 then "" else ","))
+    scaling.sc_rows;
+  add "    ]\n";
+  add "  },\n";
+  let shard_base =
+    match sharding.sh_rows with r :: _ -> r.sh_wall | [] -> Float.nan
+  in
+  add "  \"shard_scaling\": {\n";
+  add
+    "    \"probe\": \"one E30-shape run (one-shot queuing, implicit list, \
+     every 16th node requesting) partitioned across domains by \
+     Countq_simnet.Shard; summaries are asserted identical at every shard \
+     count, wall times as measured (on 1 core the curve is honestly \
+     flat)\",\n";
+  add "    \"cores\": %d,\n" sharding.sh_cores;
+  add "    \"n\": %d,\n" sharding.sh_n;
+  add "    \"messages\": %d,\n" sharding.sh_messages;
+  add "    \"levels\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"shards\": %d, \"wall_seconds\": %s, \"speedup_vs_shards1\": \
+         %s, \"identical\": %b}%s\n"
+        r.sh_shards (json_float r.sh_wall)
+        (json_float
+           (if r.sh_wall > 0. then shard_base /. r.sh_wall else Float.nan))
+        r.sh_identical
+        (if i = List.length sharding.sh_rows - 1 then "" else ","))
+    sharding.sh_rows;
   add "    ]\n";
   add "  },\n";
   add "  \"cache_warm\": {\n";
@@ -1474,13 +1589,30 @@ let main () =
             r.ch_messages)
         churn;
       let scaling = jobs_scaling_probe ~quick:opts.quick () in
-      let cores = Domain.recommended_domain_count () in
       List.iter
         (fun r ->
           Printf.printf "[jobs scaling probe jobs=%d: %.2fs (on %d core%s)]\n%!"
-            r.sc_jobs r.sc_wall cores
-            (if cores = 1 then "" else "s"))
-        scaling;
+            r.sc_jobs r.sc_wall scaling.sc_cores
+            (if scaling.sc_cores = 1 then "" else "s"))
+        scaling.sc_rows;
+      if scaling.sc_skipped <> [] then
+        Printf.printf "[jobs scaling probe: skipped jobs=%s (1 core)]\n%!"
+          (String.concat "," (List.map string_of_int scaling.sc_skipped));
+      let sharding = shard_scaling_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[shard scaling probe shards=%d: %.2fs, identical=%b (on %d \
+             core%s)]\n%!"
+            r.sh_shards r.sh_wall r.sh_identical sharding.sh_cores
+            (if sharding.sh_cores = 1 then "" else "s"))
+        sharding.sh_rows;
+      if List.exists (fun r -> not r.sh_identical) sharding.sh_rows then begin
+        prerr_endline
+          "shard scaling probe: a sharded summary differs from the \
+           sequential one - the deterministic merge is broken";
+        exit 1
+      end;
       let warm = cache_warm_probe ~quick:opts.quick ~pool () in
       Printf.printf
         "[cache warm probe: cold %.2fs -> warm %.2fs, %d hit(s) %d miss(es), \
@@ -1505,7 +1637,7 @@ let main () =
             (explore_ratio r))
         explore;
       write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
-        ~loadgen ~churn ~scaling ~warm ~explore ~kernels
+        ~loadgen ~churn ~scaling ~sharding ~warm ~explore ~kernels
 
 let () =
   try main ()

@@ -94,6 +94,27 @@ let resolve_jobs = function
       prerr_endline "--jobs must be >= 1";
       exit 2
 
+(* Where --jobs fans independent runs out over domains, --shards splits
+   ONE run across domains (Countq_simnet.Shard). Absent or 1 means the
+   sequential engines; any explicit value must be >= 1. *)
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition each engine run across K domains with a deterministic \
+           round-barrier merge (default 1: the sequential engine). Results \
+           are bit-identical for every K; this is purely a wall-clock lever \
+           on multicore machines.")
+
+let resolve_shards = function
+  | None -> 1
+  | Some k when k >= 1 -> k
+  | Some _ ->
+      prerr_endline "--shards must be >= 1";
+      exit 2
+
 let default_cache_dir = Filename.concat (Filename.concat "bench" "out") "cache"
 
 (* Surface a Round_limit_exceeded payload: where the pending traffic
@@ -188,8 +209,9 @@ let experiments_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as DIR/<id>.csv.")
   in
-  let run ids quick jobs no_cache cache_dir csv_dir seed =
+  let run ids quick jobs shards no_cache cache_dir csv_dir seed =
     let jobs = resolve_jobs jobs in
+    let shards = resolve_shards shards in
     let specs =
       match ids with
       | [] -> Experiments.all
@@ -214,7 +236,7 @@ let experiments_cmd =
     in
     let ctx =
       Sweep.ctx ~pool:(Parallel.pool ~jobs) ?cache
-        ~spot_check:(not no_cache) ~spot_seed ()
+        ~spot_check:(not no_cache) ~spot_seed ~shards ()
     in
     Option.iter
       (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
@@ -264,7 +286,7 @@ let experiments_cmd =
           any --jobs value; one cached point per experiment is spot-checked \
           against a fresh recompute).")
     Term.(
-      const run $ ids_arg $ quick_arg $ jobs_arg $ no_cache_arg
+      const run $ ids_arg $ quick_arg $ jobs_arg $ shards_arg $ no_cache_arg
       $ cache_dir_arg $ csv_arg $ seed_arg)
 
 (* ---- cache ---- *)
@@ -567,6 +589,14 @@ let check_cmd =
         ~protocol:(Countq_counting.Combining.one_shot_protocol ~tree ~requests ())
         ~check:(counts_check requests) ~k:(List.length requests)
     in
+    let diffracting name g requests =
+      let tree = Spanning.bfs g ~root:0 in
+      instance ~protocol_name:"diffracting" ~instance_name:name
+        ~graph:(Tree.to_graph tree)
+        ~protocol:
+          (Countq_counting.Diffracting.one_shot_protocol ~tree ~requests ())
+        ~check:(counts_check requests) ~k:(List.length requests)
+    in
     let token_ring name g requests =
       let tree = Spanning.bfs g ~root:0 in
       instance ~protocol_name:"token-ring" ~instance_name:name
@@ -595,6 +625,7 @@ let check_cmd =
           central "star-4" (Gen.star 4) [ 1; 2; 3 ];
           central_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
           combining "path-4" (Gen.path 4) [ 0; 1; 2; 3 ];
+          diffracting "path-4" (Gen.path 4) [ 0; 1; 2; 3 ];
           token_ring "path-4" (Gen.path 4) [ 0; 2; 3 ];
           sweep "star-4" (Gen.star 4) [ 0; 1; 2; 3 ];
           dynamic_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
@@ -608,6 +639,7 @@ let check_cmd =
           central "complete-6" (Gen.complete 6) [ 0; 1; 2; 3; 4; 5 ];
           central_queue "star-6" (Gen.star 6) [ 1; 2; 3; 4; 5 ];
           combining "star-6" (Gen.star 6) [ 0; 1; 2; 3; 4; 5 ];
+          diffracting "star-6" (Gen.star 6) [ 0; 1; 2; 3; 4; 5 ];
           token_ring "path-7" (Gen.path 7) [ 0; 2; 4; 6 ];
           sweep "star-7" (Gen.star 7) [ 0; 1; 2; 3; 4; 5; 6 ];
           dynamic_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
@@ -635,7 +667,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Model-check all seven protocols exhaustively on fixed 3-7 node \
+         "Model-check all eight protocols exhaustively on fixed 3-7 node \
           instances; exits nonzero on any safety violation.")
     Term.(const run $ quick_arg $ jobs_arg $ max_configs_arg)
 
@@ -648,12 +680,13 @@ let report_cmd =
       & opt string "report.md"
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output markdown file.")
   in
-  let run quick out jobs =
+  let run quick out jobs shards =
     let jobs = resolve_jobs jobs in
+    let shards = resolve_shards shards in
     (* One shared pool: the experiment-level fan-out and the sweep
        grids inside the ctx-aware experiments draw on the same budget. *)
     let pool = Parallel.pool ~jobs in
-    let ctx = Sweep.ctx ~pool () in
+    let ctx = Sweep.ctx ~pool ~shards () in
     let tables =
       Parallel.pool_map pool ~chunk:1
         (fun (s : Experiments.spec) -> s.run ~quick ~ctx ())
@@ -676,7 +709,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate every experiment and write one markdown report.")
-    Term.(const run $ quick_arg $ out_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ out_arg $ jobs_arg $ shards_arg)
 
 (* ---- series ---- *)
 
@@ -1309,7 +1342,8 @@ let load_cmd =
     with _ -> Error (Printf.sprintf "bad --rates %S (want comma-separated positive numbers)" s)
   in
   let run topo_spec workload rates_spec arrival_kind horizon quick seed
-      json_path streaming =
+      json_path streaming shards =
+    let shards = resolve_shards shards in
     let horizon = if quick then min horizon 256 else horizon in
     let rates =
       match rates_spec with
@@ -1340,8 +1374,8 @@ let load_cmd =
               List.map
                 (fun rate ->
                   Load.run ~seed:(Int64.of_int seed) ~keep_spans
-                    ~streaming ~topo ~workload:w ~arrival:(arrival_of rate)
-                    ~horizon ())
+                    ~streaming ~shards ~topo ~workload:w
+                    ~arrival:(arrival_of rate) ~horizon ())
                 rates)
             workloads
         with
@@ -1462,7 +1496,8 @@ let load_cmd =
           saturation curve.")
     Term.(
       const run $ topo_arg $ workload_arg $ rates_arg $ arrival_arg
-      $ horizon_arg $ quick_arg $ seed_arg $ json_arg $ streaming_arg)
+      $ horizon_arg $ quick_arg $ seed_arg $ json_arg $ streaming_arg
+      $ shards_arg)
 
 (* ---- timeline ---- *)
 
@@ -1647,6 +1682,16 @@ let bench_cmd =
       & info [ "strict" ]
           ~doc:"Exit 1 if any probe regresses past the threshold (CI gate).")
   in
+  let kernels_arg =
+    Arg.(
+      value & flag
+      & info [ "kernels-only" ]
+          ~doc:
+            "Compare only the Bechamel kernel probes (ns/run). These are \
+             per-operation microbenchmarks, far less noisy than the \
+             wall-clock probes, so they can carry a strict gate at a tight \
+             threshold where the end-to-end timings cannot.")
+  in
   (* A probe is (name, value, direction); [`Lower] means lower is
      better (times), [`Higher] means higher is (speedups). *)
   let num_of = function
@@ -1654,7 +1699,7 @@ let bench_cmd =
     | Some (J.Float f) -> Some f
     | _ -> None
   in
-  let probes_of json =
+  let probes_of ~kernels_only json =
     let acc = ref [] in
     let add name dir v = acc := (name, v, dir) :: !acc in
     let each_in field f =
@@ -1662,13 +1707,14 @@ let bench_cmd =
       | None -> ()
       | Some items -> List.iter f items
     in
-    each_in "experiments" (fun it ->
-        match
-          ( Option.bind (J.member "id" it) J.to_str,
-            num_of (J.member "wall_seconds" it) )
-        with
-        | Some id, Some v -> add ("experiment " ^ id) `Lower v
-        | _ -> ());
+    if not kernels_only then
+      each_in "experiments" (fun it ->
+          match
+            ( Option.bind (J.member "id" it) J.to_str,
+              num_of (J.member "wall_seconds" it) )
+          with
+          | Some id, Some v -> add ("experiment " ^ id) `Lower v
+          | _ -> ());
     each_in "kernels" (fun it ->
         match
           ( Option.bind (J.member "name" it) J.to_str,
@@ -1676,16 +1722,18 @@ let bench_cmd =
         with
         | Some name, Some v -> add name `Lower v
         | _ -> ());
-    let scalar path field dir name =
-      match Option.bind (J.member path json) (J.member field) |> num_of with
-      | Some v -> add name dir v
-      | None -> ()
-    in
-    scalar "engine_speedup" "speedup_at_ceiling" `Higher
-      "engine speedup at ceiling";
-    scalar "n_scaling" "max_ns_per_message" `Lower "event-engine ns/message";
-    scalar "cache_warm" "warm_speedup" `Higher "warm-cache speedup";
-    scalar "explore_checker" "min_rate_ratio" `Higher "explore-checker ratio";
+    if not kernels_only then begin
+      let scalar path field dir name =
+        match Option.bind (J.member path json) (J.member field) |> num_of with
+        | Some v -> add name dir v
+        | None -> ()
+      in
+      scalar "engine_speedup" "speedup_at_ceiling" `Higher
+        "engine speedup at ceiling";
+      scalar "n_scaling" "max_ns_per_message" `Lower "event-engine ns/message";
+      scalar "cache_warm" "warm_speedup" `Higher "warm-cache speedup";
+      scalar "explore_checker" "min_rate_ratio" `Higher "explore-checker ratio"
+    end;
     List.rev !acc
   in
   let load path =
@@ -1699,7 +1747,7 @@ let bench_cmd =
         exit 2
     | Ok j -> j
   in
-  let run old_path new_path threshold strict =
+  let run old_path new_path threshold strict kernels_only =
     let old_j = load old_path and new_j = load new_path in
     let schema j =
       Option.bind (J.member "schema" j) J.to_str |> Option.value ~default:"?"
@@ -1707,8 +1755,8 @@ let bench_cmd =
     if schema old_j <> schema new_j then
       Printf.printf "note: comparing %s against %s\n" (schema old_j)
         (schema new_j);
-    let old_probes = probes_of old_j in
-    let new_probes = probes_of new_j in
+    let old_probes = probes_of ~kernels_only old_j in
+    let new_probes = probes_of ~kernels_only new_j in
     let find name l =
       List.find_map (fun (n, v, _) -> if n = name then Some v else None) l
     in
@@ -1780,7 +1828,9 @@ let bench_cmd =
            "Compare two bench snapshots probe by probe and flag regressions \
             past a threshold; with $(b,--strict), exit non-zero on any - the \
             CI perf gate.")
-      Term.(const run $ old_arg $ new_arg $ threshold_arg $ strict_arg)
+      Term.(
+        const run $ old_arg $ new_arg $ threshold_arg $ strict_arg
+        $ kernels_arg)
   in
   Cmd.group
     (Cmd.info "bench"

@@ -1678,6 +1678,11 @@ let e28_interval_connectivity ?quick:(quick = false) ?ctx () =
 let e29_latency_vs_load ?quick:(quick = false) ?ctx () =
   let module Implicit = Countq_topology.Implicit in
   let ctx = Sweep.of_option ctx in
+  (* Sharded runs are bit-identical, but they get their own point names:
+     a cache hit from a sequential run would silently skip the sharded
+     execution the caller asked to exercise. *)
+  let shards = Sweep.shards ctx in
+  let stag = if shards >= 2 then Printf.sprintf ":s%d" shards else "" in
   let n = if quick then 256 else 1024 in
   let horizon = if quick then 256 else 512 in
   let topo = Implicit.list n in
@@ -1690,11 +1695,11 @@ let e29_latency_vs_load ?quick:(quick = false) ?ctx () =
           (fun rate ->
             Sweep.rows_point
               ~name:
-                (Printf.sprintf "load:%s:h%d:%s:r%g" (Implicit.label topo)
-                   horizon (Load.workload_label w) rate)
+                (Printf.sprintf "load:%s:h%d:%s:r%g%s" (Implicit.label topo)
+                   horizon (Load.workload_label w) rate stag)
               (fun ~rng:_ ->
                 let s =
-                  Load.run ~seed ~topo ~workload:w
+                  Load.run ~seed ~shards ~topo ~workload:w
                     ~arrival:(Load.Poisson rate) ~horizon ()
                 in
                 [
@@ -1747,6 +1752,8 @@ let e30_event_engine_scaling ?quick:(quick = false) ?ctx () =
   let module Implicit = Countq_topology.Implicit in
   let module Event = Countq_simnet.Event_engine in
   let ctx = Sweep.of_option ctx in
+  let shards = Sweep.shards ctx in
+  let stag = if shards >= 2 then Printf.sprintf ":s%d" shards else "" in
   let q_sizes =
     if quick then [ 1_000; 10_000 ]
     else [ 1_000; 10_000; 100_000; 1_000_000 ]
@@ -1756,12 +1763,13 @@ let e30_event_engine_scaling ?quick:(quick = false) ?ctx () =
   let point w n =
     Sweep.rows_point
       ~name:
-        (Printf.sprintf "scale:list%d:%s:k%d" n (Load.workload_label w) stride)
+        (Printf.sprintf "scale:list%d:%s:k%d%s" n (Load.workload_label w)
+           stride stag)
       (fun ~rng:_ ->
         let topo = Implicit.list n in
         let requests = List.init (n / stride) (fun i -> i * stride) in
         let stats = Event.fresh_stats () in
-        let s = Load.one_shot ~stats ~topo ~workload:w ~requests () in
+        let s = Load.one_shot ~shards ~stats ~topo ~workload:w ~requests () in
         [
           [
             Load.workload_label w;

@@ -2,6 +2,7 @@
 
 module Engine = Countq_simnet.Engine
 module Event = Countq_simnet.Event_engine
+module Shard = Countq_simnet.Shard
 module Span = Countq_simnet.Span
 module Metrics = Countq_simnet.Metrics
 module Implicit = Countq_topology.Implicit
@@ -288,8 +289,8 @@ let summarise_streaming ~workload ~topo ~arrival ~horizon ~cal ~stats ~sketch
   }
 
 let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
-    ?center ?drain ?(keep_spans = false) ?(streaming = false) ?metrics
-    ?telemetry ~topo ~workload ~arrival ~horizon () =
+    ?center ?drain ?(keep_spans = false) ?(streaming = false) ?(shards = 1)
+    ?pool ?metrics ?telemetry ~topo ~workload ~arrival ~horizon () =
   let n = Implicit.n topo in
   let center = match center with Some c -> c | None -> n / 2 in
   let drain = match drain with Some d -> max 0 d | None -> horizon in
@@ -331,8 +332,13 @@ let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
               { Event.at; node; inject = (fun s -> issue_q node i s) })
             cal
         in
-        Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
-          ~starters:[] ~topo ~config ~protocol ()
+        if shards >= 2 then
+          Shard.run_implicit ~shards ?pool ?metrics ?telemetry ?sink
+            ~injections ~halt_after ~stats ~starters:[] ~topo ~config
+            ~protocol ()
+        else
+          Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
+            ~starters:[] ~topo ~config ~protocol ()
     | Counting ->
         let origin_of i = snd cal.(i) in
         let protocol = counting_protocol ~topo ~center ~origin_of in
@@ -342,8 +348,13 @@ let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
               { Event.at; node; inject = (fun s -> issue_c ~topo ~center node i s) })
             cal
         in
-        Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
-          ~starters:[] ~topo ~config ~protocol ()
+        if shards >= 2 then
+          Shard.run_implicit ~shards ?pool ?metrics ?telemetry ?sink
+            ~injections ~halt_after ~stats ~starters:[] ~topo ~config
+            ~protocol ()
+        else
+          Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
+            ~starters:[] ~topo ~config ~protocol ()
   in
   match stream with
   | Some (sketch, reservoir) ->
@@ -363,8 +374,17 @@ type one_shot_summary = {
   os_max_delay : int;
 }
 
-let one_shot ?(config = Engine.default_config) ?(tail = 0) ?center ?stats
-    ~topo ~workload ~requests () =
+let one_shot ?(config = Engine.default_config) ?(tail = 0) ?center
+    ?(shards = 1) ?pool ?stats ~topo ~workload ~requests () =
+  let exec :
+      type s m. protocol:(s, m, int) Engine.protocol -> unit -> int Engine.result
+      =
+   fun ~protocol () ->
+    if shards >= 2 then
+      Shard.run_implicit ~shards ?pool ?stats ~starters:requests ~topo ~config
+        ~protocol ()
+    else Event.run ?stats ~starters:requests ~topo ~config ~protocol ()
+  in
   let n = Implicit.n topo in
   let center = match center with Some c -> c | None -> n / 2 in
   let req = Array.of_list requests in
@@ -384,7 +404,7 @@ let one_shot ?(config = Engine.default_config) ?(tail = 0) ?center ?stats
                 | None -> (s, []));
           }
         in
-        Event.run ?stats ~starters:requests ~topo ~config ~protocol ()
+        exec ~protocol ()
     | Counting ->
         let origin_of i = req.(i) in
         let base = counting_protocol ~topo ~center ~origin_of in
@@ -398,7 +418,7 @@ let one_shot ?(config = Engine.default_config) ?(tail = 0) ?center ?stats
                 | None -> (s, []));
           }
         in
-        Event.run ?stats ~starters:requests ~topo ~config ~protocol ()
+        exec ~protocol ()
   in
   let total = ref 0 and maxd = ref 0 in
   List.iter

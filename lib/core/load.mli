@@ -95,6 +95,8 @@ val run :
   ?drain:int ->
   ?keep_spans:bool ->
   ?streaming:bool ->
+  ?shards:int ->
+  ?pool:Countq_util.Parallel.pool ->
   ?metrics:Countq_simnet.Metrics.t ->
   ?telemetry:Countq_simnet.Telemetry.t ->
   topo:Countq_topology.Implicit.t ->
@@ -121,6 +123,11 @@ val run :
     reports whether the percentiles are estimates. While the sketch is
     still in exact mode (small runs) the summary is bit-identical to
     the retained path's.
+
+    [shards] (default 1) partitions the run across domains via
+    {!Countq_simnet.Shard.run_implicit}; the summary is bit-identical
+    for every shard count. Worker domains come from [pool]'s spare
+    lanes when given, else are spawned directly (see {!Countq_simnet.Shard}).
     @raise Invalid_argument if [horizon < 1] or a node argument is out
     of range. *)
 
@@ -138,6 +145,8 @@ val one_shot :
   ?config:Countq_simnet.Engine.config ->
   ?tail:int ->
   ?center:int ->
+  ?shards:int ->
+  ?pool:Countq_util.Parallel.pool ->
   ?stats:Countq_simnet.Event_engine.stats ->
   topo:Countq_topology.Implicit.t ->
   workload:workload ->
@@ -147,4 +156,4 @@ val one_shot :
 (** The closed one-shot scenario (everyone in [requests] issues at
     time 0) on the event-driven engine — the n-scaling probe. Requests
     must be strictly ascending node ids; pass [stats] to collect the
-    laziness counters. *)
+    laziness counters. [shards]/[pool] as in {!run}. *)

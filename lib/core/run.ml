@@ -8,12 +8,14 @@ module Queuing = Countq_queuing
 
 type kind = Counting | Queuing
 
-type counting_protocol = [ `Central | `Combining | `Network | `Sweep ]
+type counting_protocol =
+  [ `Central | `Combining | `Diffracting | `Network | `Sweep ]
 type queuing_protocol = [ `Arrow | `Arrow_notify | `Central | `Token_ring ]
 
 let counting_protocol_name = function
   | `Central -> "count/central"
   | `Combining -> "count/combining"
+  | `Diffracting -> "count/diffracting"
   | `Network -> "count/network"
   | `Sweep -> "count/sweep"
 
@@ -46,6 +48,11 @@ let counting ?tree ?width ~graph ~protocol ~requests () =
           match tree with Some t -> t | None -> Spanning.bfs graph ~root:0
         in
         Counting.Combining.run ~tree ~requests ()
+    | `Diffracting ->
+        let tree =
+          match tree with Some t -> t | None -> Spanning.bfs graph ~root:0
+        in
+        Counting.Diffracting.run ~tree ~requests ()
     | `Network -> Counting.Network.run ?width ~graph ~requests ()
     | `Sweep ->
         let tree =
@@ -507,7 +514,7 @@ let observe ?tree ?plan ~graph ~protocol ~requests () =
 
 let best_counting ?pool ~graph ~requests () =
   let eval protocol = counting ~graph ~protocol ~requests () in
-  let protocols = [ `Central; `Combining; `Network; `Sweep ] in
+  let protocols = [ `Central; `Combining; `Diffracting; `Network; `Sweep ] in
   (* pool_map preserves input order, so the sort below sees candidates
      in the same order as the sequential path — ties break identically. *)
   let candidates =

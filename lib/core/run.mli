@@ -10,7 +10,8 @@
 
 type kind = Counting | Queuing
 
-type counting_protocol = [ `Central | `Combining | `Network | `Sweep ]
+type counting_protocol =
+  [ `Central | `Combining | `Diffracting | `Network | `Sweep ]
 
 type queuing_protocol = [ `Arrow | `Arrow_notify | `Central | `Token_ring ]
 
@@ -39,7 +40,8 @@ val counting :
   requests:int list ->
   unit ->
   summary
-(** Run a counting protocol. [tree] (for [`Combining]) defaults to the
+(** Run a counting protocol. [tree] (for [`Combining] and
+    [`Diffracting]) defaults to the
     BFS spanning tree rooted at 0 and (for [`Sweep]) to the arrow
     protocol's preferred spanning tree (a Hamilton path where one is
     known, which makes the sweep a single pass); [width] (for

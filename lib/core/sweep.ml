@@ -25,6 +25,7 @@ type ctx = {
   cache : Cache.t option;
   spot_check : bool;
   spot_seed : int64;
+  shards : int;
 }
 
 exception Cache_mismatch of { experiment : string; point : string }
@@ -39,17 +40,20 @@ let () =
              experiment point)
     | _ -> None)
 
-let ctx ?(jobs = 1) ?pool ?cache ?(spot_check = false) ?(spot_seed = 0L) () =
+let ctx ?(jobs = 1) ?pool ?cache ?(spot_check = false) ?(spot_seed = 0L)
+    ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Sweep.ctx: shards must be >= 1";
   let pool =
     match pool with Some p -> p | None -> Parallel.pool ~jobs
   in
-  { pool; cache; spot_check; spot_seed }
+  { pool; cache; spot_check; spot_seed; shards }
 
 let serial () = ctx ()
 let of_option = function Some c -> c | None -> serial ()
 let pool c = c.pool
 let jobs c = Parallel.pool_jobs c.pool
 let cache c = c.cache
+let shards c = c.shards
 
 let point ~name eval = { name; eval }
 

@@ -43,13 +43,20 @@ val ctx :
   ?cache:Cache.t ->
   ?spot_check:bool ->
   ?spot_seed:int64 ->
+  ?shards:int ->
   unit ->
   ctx
 (** [jobs] (default 1) sizes a fresh pool unless [pool] shares an
     existing one. [spot_check] (default false) recomputes one cached
     point per [run] — picked by [spot_seed], which the bench harness
     varies per invocation — and raises {!Cache_mismatch} on
-    disagreement. *)
+    disagreement. [shards] (default 1) asks the experiments that drive
+    engine runs big enough to matter (E29, E30) to execute each run
+    domain-sharded via {!Countq_simnet.Shard}; results are
+    bit-identical, so this is purely a wall-clock lever. Sharded
+    points carry the shard count in their names — they cache
+    separately from sequential ones.
+    @raise Invalid_argument if [shards < 1]. *)
 
 val serial : unit -> ctx
 (** One lane, no cache — the default everywhere a [ctx] is optional. *)
@@ -58,6 +65,9 @@ val of_option : ctx option -> ctx
 val pool : ctx -> Countq_util.Parallel.pool
 val jobs : ctx -> int
 val cache : ctx -> Cache.t option
+
+val shards : ctx -> int
+(** The requested per-run shard count (1 = sequential engines). *)
 
 val point : name:string -> (rng:Countq_util.Rng.t -> Countq_util.Json.t) -> point
 (** A generic point; the JSON value is what gets cached. *)

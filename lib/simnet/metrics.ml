@@ -65,6 +65,63 @@ let create ~graph =
 
 let n t = t.nodes
 
+(* A fresh all-zero recorder sharing [t]'s shape (the CSR offsets and
+   neighbour aliases are immutable, so aliasing them is free). The
+   sharded engine gives each shard its own recorder built this way and
+   folds them back with [merge_into]. *)
+let create_like t =
+  let nodes = t.nodes in
+  let m2 = t.off.(nodes) in
+  {
+    nodes;
+    drops = Array.make nodes 0;
+    dups = Array.make nodes 0;
+    delays = Array.make nodes 0;
+    crash_drops = Array.make nodes 0;
+    retransmits = Array.make nodes 0;
+    peak_backlog = Array.make nodes 0;
+    busy = Array.make nodes 0;
+    last_busy = Array.make nodes (-1);
+    nbrs = t.nbrs;
+    off = t.off;
+    e_sends = Array.make m2 0;
+    e_receives = Array.make m2 0;
+    e_drops = Array.make m2 0;
+    e_dups = Array.make m2 0;
+    e_delays = Array.make m2 0;
+  }
+
+(* Fold [src] into [into]: counters add, peaks max. [busy] also adds,
+   which is only correct when each node's busy marks live in at most
+   one of the two recorders — the sharded engine's ownership discipline
+   (node [v]'s transmits and deliveries are always recorded by [v]'s
+   owning shard) guarantees exactly that. *)
+let merge_into ~into src =
+  if into.nodes <> src.nodes || into.off.(into.nodes) <> src.off.(src.nodes)
+  then invalid_arg "Metrics.merge_into: recorders have different shapes";
+  let add a b =
+    for i = 0 to Array.length a - 1 do
+      a.(i) <- a.(i) + b.(i)
+    done
+  in
+  add into.drops src.drops;
+  add into.dups src.dups;
+  add into.delays src.delays;
+  add into.crash_drops src.crash_drops;
+  add into.retransmits src.retransmits;
+  add into.busy src.busy;
+  for v = 0 to into.nodes - 1 do
+    if src.peak_backlog.(v) > into.peak_backlog.(v) then
+      into.peak_backlog.(v) <- src.peak_backlog.(v);
+    if src.last_busy.(v) > into.last_busy.(v) then
+      into.last_busy.(v) <- src.last_busy.(v)
+  done;
+  add into.e_sends src.e_sends;
+  add into.e_receives src.e_receives;
+  add into.e_drops src.e_drops;
+  add into.e_dups src.e_dups;
+  add into.e_delays src.e_delays
+
 (* Slot of the directed edge src -> dst: dst's CSR base + position of
    src in dst's sorted neighbour array — linear scan for the short
    rows that dominate the sparse topologies (list, ring, mesh), binary

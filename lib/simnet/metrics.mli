@@ -32,6 +32,21 @@ val create : graph:Countq_topology.Graph.t -> t
 val n : t -> int
 (** Number of nodes the recorder was created for. *)
 
+val create_like : t -> t
+(** A fresh all-zero recorder with the same shape (graph) as the
+    argument — what the sharded engine hands each shard, without
+    needing the materialised graph again. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s tallies into [into]: counters
+    (including [busy_rounds]) add, peaks ([peak_backlog], the internal
+    last-busy round) take the max. Correct for [busy_rounds] only when
+    each node's transmit/deliver marks live in at most one of the two
+    recorders — the sharded engine's per-shard recorders satisfy this
+    by ownership (a node's sends and receives are always recorded by
+    its owning shard).
+    @raise Invalid_argument if the recorders' shapes differ. *)
+
 (** {1 Recording hooks} — called by {!Engine.run}, {!Reference.run},
     {!Async.run} and {!Reliable.wrap}; rounds are event times under the
     asynchronous engine. *)

@@ -1,0 +1,113 @@
+(** Domain-sharded execution of one synchronous run.
+
+    Every prior engine made a single core faster; this module makes a
+    single {e run} use several. The node set is split by a
+    {!Countq_topology.Partition} (contiguous ranges for implicit
+    families, greedy edge-cut for materialised graphs); each shard runs
+    the round's phases on its own domain; cross-shard messages are
+    buffered during the send phase and merged at a per-round barrier in
+    a deterministic order (sorted by [(src, dst, seq)]) before any
+    shard starts receiving.
+
+    {b Determinism argument.} The synchronous model makes this exact,
+    not approximate: within a phase, nodes interact only through
+    per-link FIFO queues keyed by [(src, dst)], and a message's queue
+    position depends only on its sender's outbox order — so any
+    cross-shard apply order that preserves per-link FIFO yields the
+    same queue contents, the same arbiter decisions and the same
+    protocol states as the sequential engine. Aggregates (message
+    counts, backlog peaks, metrics tallies, telemetry windows) are sums
+    and maxima of per-event contributions, so per-shard recorders
+    merged deterministically ({!Metrics.merge_into},
+    {!Telemetry.merge_into}) reproduce the sequential recorders
+    exactly. Completions are tagged with their phase and merged in
+    [(round, phase, node)] order, which is precisely the sequential
+    engine's chronological push order. The result is {e bit-identical}
+    to {!Engine.run} / {!Event_engine.run} for every shard count —
+    qcheck-pinned in [test_shard.ml], including with [?metrics],
+    [?faults], [?dynamic] and [?telemetry] attached.
+
+    When a fault plan or dynamic schedule is attached, the send phase
+    runs sequentially on the coordinator (the fault decision stream is
+    a single mutable sequence whose global transmission order is
+    observable), while the receive/tick/injection phases — where the
+    protocol work happens — stay parallel; crash/churn guards for those
+    phases are precomputed by the coordinator each round, so schedule
+    queries never race.
+
+    Not supported (by construction, not oversight): [?observer] and
+    [?keep_alive] — a per-event observer imposes a global callback
+    order that would serialise every phase. Use [?metrics] /
+    [?telemetry] / [?sink], which are merge-friendly.
+
+    With an effective shard count of 1 the call delegates to the
+    sequential engine, so nothing is ever lost by threading [--shards]
+    through unconditionally. *)
+
+val auto_shards : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1 — a sensible
+    default shard count. *)
+
+val run :
+  ?shards:int ->
+  ?pool:Countq_util.Parallel.pool ->
+  ?partition:Countq_topology.Partition.t ->
+  ?faults:Faults.runtime ->
+  ?dynamic:Dynamic.runtime ->
+  ?metrics:Metrics.t ->
+  ?telemetry:Telemetry.t ->
+  graph:Countq_topology.Graph.t ->
+  config:Engine.config ->
+  protocol:('s, 'm, 'r) Engine.protocol ->
+  unit ->
+  'r Engine.result
+(** Sharded {!Engine.run} on a materialised graph. [shards] defaults to
+    {!auto_shards}; [partition] defaults to
+    [Partition.greedy ~graph ~shards] (pass one to control placement —
+    any partition of the right size is bit-identical). Worker domains
+    come from [pool]'s remaining lane budget when given (reserved for
+    the whole run, released at the end), else up to
+    [Domain.recommended_domain_count () - 1] are spawned directly;
+    with no budget the run degrades to the sharded data path on the
+    calling domain alone. [shards = 1] delegates to {!Engine.run}.
+
+    Tick-driven protocols are supported (each shard ticks its own
+    nodes). A [Custom] arbiter must be a pure function: it is called
+    concurrently from several domains.
+    @raise Invalid_argument if [shards < 1] or the partition does not
+    cover the graph's nodes. *)
+
+val run_implicit :
+  ?shards:int ->
+  ?pool:Countq_util.Parallel.pool ->
+  ?partition:Countq_topology.Partition.t ->
+  ?faults:Faults.runtime ->
+  ?dynamic:Dynamic.runtime ->
+  ?metrics:Metrics.t ->
+  ?telemetry:Telemetry.t ->
+  ?sink:('r Engine.completion -> unit) ->
+  ?injections:('s, 'm, 'r) Event_engine.injection array ->
+  ?halt_after:int ->
+  ?stats:Event_engine.stats ->
+  ?starters:int list ->
+  topo:Countq_topology.Implicit.t ->
+  config:Engine.config ->
+  protocol:('s, 'm, 'r) Engine.protocol ->
+  unit ->
+  'r Engine.result
+(** Sharded {!Event_engine.run} on an implicit topology, with the same
+    optional machinery (completion [sink] — invoked in chronological
+    order, drained at each round barrier; scheduled [injections];
+    [halt_after]; [stats]; [starters]). [partition] defaults to
+    [Partition.contiguous]. [shards = 1] delegates to
+    {!Event_engine.run}.
+
+    Representation note: node state is dense (arrays over all [n]
+    nodes), not the event engine's lazy sparse store — the per-round
+    {e work} still tracks the active set, but setup is O(n). [stats]
+    fields ([touched], [peak_in_flight], [executed_rounds]) are
+    maintained with the event engine's exact semantics and are
+    bit-identical to a sequential run.
+    @raise Invalid_argument as {!run}, or if the protocol has a tick
+    handler (as {!Event_engine.run}), or on malformed
+    [injections]/[starters]. *)

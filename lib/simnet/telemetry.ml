@@ -152,6 +152,40 @@ let windows t =
         })
   end
 
+let windows_capacity t = Array.length t.ring
+
+(* Fold [src]'s retained windows into [into], aligning on absolute
+   window index: counters add, maxima take the max. This bypasses the
+   [note_*] hooks on purpose — [advance] must never see a round behind
+   [into.cur_index], but merged windows routinely are. [into] is first
+   advanced to [src]'s newest window (resetting any slots skipped on
+   the way, exactly as a quiet stretch would); source windows that have
+   already slid out of [into]'s retention range are dropped, which is
+   precisely what would have happened had the events been recorded
+   into [into] live. *)
+let merge_into ~into src =
+  if into.win <> src.win then
+    invalid_arg "Telemetry.merge_into: window sizes differ";
+  if Array.length into.ring <> Array.length src.ring then
+    invalid_arg "Telemetry.merge_into: ring capacities differ";
+  let cap = Array.length into.ring in
+  List.iter
+    (fun w ->
+      if w.w_index > into.cur_index then ignore (advance into w.w_start);
+      if w.w_index > into.cur_index - cap then begin
+        let s = into.ring.(w.w_index mod cap) in
+        s.s_sends <- s.s_sends + w.sends;
+        s.s_deliveries <- s.s_deliveries + w.deliveries;
+        s.s_completions <- s.s_completions + w.completions;
+        s.s_injections <- s.s_injections + w.injections;
+        s.s_drops <- s.s_drops + w.drops;
+        s.s_retransmits <- s.s_retransmits + w.retransmits;
+        if w.max_backlog > s.s_max_backlog then s.s_max_backlog <- w.max_backlog;
+        if w.max_in_flight > s.s_max_in_flight then
+          s.s_max_in_flight <- w.max_in_flight
+      end)
+    (windows src)
+
 let to_jsonl t =
   let buf = Buffer.create 1024 in
   List.iter

@@ -36,6 +36,21 @@ val create : ?windows:int -> window_size:int -> unit -> t
 
 val window_size : t -> int
 
+val windows_capacity : t -> int
+(** The ring's window count (the [windows] it was created with). *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s retained windows into [into],
+    aligned on absolute window index: counters add, the backlog and
+    in-flight maxima take the max. [into] is advanced to [src]'s newest
+    window if behind (skipped windows reset to zero, as under a quiet
+    stretch); source windows older than [into]'s retention range are
+    dropped — exactly the eviction a live recorder would have applied.
+    This is how the sharded engine folds per-shard recorders back into
+    the caller's: recording the same events into one ring or into
+    several merged rings of the same shape is indistinguishable.
+    @raise Invalid_argument if window size or ring capacity differ. *)
+
 (** {1 Recording hooks} — called by {!Engine.run} and
     {!Event_engine.run} (and {!Reliable.wrap} for retransmits). *)
 

@@ -1,0 +1,112 @@
+(* Node-set partitions for the sharded engine. See partition.mli. *)
+
+type t = {
+  label : string;
+  shards : int;
+  owner : int array;
+  members : int array array;
+}
+
+let members_of_owner ~n ~shards owner =
+  let counts = Array.make shards 0 in
+  for v = 0 to n - 1 do
+    counts.(owner.(v)) <- counts.(owner.(v)) + 1
+  done;
+  let members = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make shards 0 in
+  for v = 0 to n - 1 do
+    let s = owner.(v) in
+    members.(s).(fill.(s)) <- v;
+    fill.(s) <- fill.(s) + 1
+  done;
+  members
+
+let contiguous ~n ~shards =
+  if n < 0 then invalid_arg "Partition.contiguous: n < 0";
+  if shards < 1 then invalid_arg "Partition.contiguous: shards < 1";
+  let base = n / shards and extra = n mod shards in
+  let owner = Array.make (max 1 n) 0 in
+  let v = ref 0 in
+  for s = 0 to shards - 1 do
+    let size = base + if s < extra then 1 else 0 in
+    for _ = 1 to size do
+      owner.(!v) <- s;
+      incr v
+    done
+  done;
+  let owner = if n = 0 then [||] else Array.sub owner 0 n in
+  { label = "contiguous"; shards; owner; members = members_of_owner ~n ~shards owner }
+
+let greedy ~graph ~shards =
+  if shards < 1 then invalid_arg "Partition.greedy: shards < 1";
+  let n = Graph.n graph in
+  let owner = Array.make n (-1) in
+  let target = if n = 0 then 0 else (n + shards - 1) / shards in
+  (* BFS frontier as a simple queue; seeds and neighbour scans are in
+     ascending id order, so the regions are a pure function of the
+     graph. [next_seed] only moves forward: everything below it is
+     assigned. *)
+  let queue = Queue.create () in
+  let next_seed = ref 0 in
+  let assigned = ref 0 in
+  for s = 0 to shards - 1 do
+    Queue.clear queue;
+    let size = ref 0 in
+    let budget = if s = shards - 1 then n - !assigned else min target (n - !assigned) in
+    while !size < budget do
+      (if Queue.is_empty queue then begin
+         while !next_seed < n && owner.(!next_seed) >= 0 do
+           incr next_seed
+         done;
+         Queue.add !next_seed queue
+       end);
+      let v = Queue.take queue in
+      if owner.(v) < 0 then begin
+        owner.(v) <- s;
+        incr size;
+        incr assigned;
+        Array.iter
+          (fun u -> if owner.(u) < 0 then Queue.add u queue)
+          (Graph.neighbors graph v)
+      end
+    done
+  done;
+  { label = "greedy"; shards; owner; members = members_of_owner ~n ~shards owner }
+
+let shard_sizes p = Array.map Array.length p.members
+
+let cut_edges ~neighbors p =
+  let cut = ref 0 in
+  Array.iteri
+    (fun v s ->
+      Array.iter
+        (fun u -> if u > v && p.owner.(u) <> s then incr cut)
+        (neighbors v))
+    p.owner;
+  !cut
+
+let validate p =
+  let n = Array.length p.owner in
+  if p.shards < 1 then invalid_arg "Partition.validate: shards < 1";
+  if Array.length p.members <> p.shards then
+    invalid_arg "Partition.validate: members length <> shards";
+  let seen = Array.make n false in
+  Array.iteri
+    (fun s ms ->
+      let prev = ref (-1) in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Partition.validate: node out of range";
+          if v <= !prev then invalid_arg "Partition.validate: members not ascending";
+          prev := v;
+          if seen.(v) then invalid_arg "Partition.validate: node in two shards";
+          seen.(v) <- true;
+          if p.owner.(v) <> s then invalid_arg "Partition.validate: owner mismatch")
+        ms)
+    p.members;
+  Array.iteri
+    (fun v o ->
+      if o < 0 || o >= p.shards then
+        invalid_arg "Partition.validate: owner out of range";
+      if not seen.(v) then invalid_arg "Partition.validate: node unassigned")
+    p.owner

@@ -38,6 +38,17 @@ val pool : jobs:int -> pool
 val pool_jobs : pool -> int
 (** The pool's total lane budget (the [jobs] it was created with). *)
 
+val reserve : pool -> int -> int
+(** [reserve p want] atomically claims up to [want] helper lanes from
+    [p]'s remaining budget and returns how many were granted (possibly
+    0). Long-lived holders — the sharded engine keeps its worker
+    domains for a whole run — reserve once up front instead of going
+    through {!pool_map}; every grant must be handed back with
+    {!release}. *)
+
+val release : pool -> int -> unit
+(** [release p n] returns [n] previously reserved lanes to the budget. *)
+
 val pool_map :
   pool -> ?max_extra:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [pool_map p f xs] is [map]'s shared-budget form: it reserves up to

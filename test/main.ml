@@ -19,6 +19,7 @@ let () =
       ("engine", Test_engine.suite);
       ("equiv", Test_equiv.suite);
       ("event-engine", Test_event_engine.suite);
+      ("shard", Test_shard.suite);
       ("dynamic", Test_dynamic.suite);
       ("route", Test_route.suite);
       ("async", Test_async.suite);

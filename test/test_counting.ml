@@ -9,6 +9,7 @@ module Tree = Countq_topology.Tree
 module Spanning = Countq_topology.Spanning
 module Central = Countq_counting.Central
 module Combining = Countq_counting.Combining
+module Diffracting = Countq_counting.Diffracting
 module Counts = Countq_counting.Counts
 
 let check_valid msg (r : Counts.run_result) =
@@ -121,6 +122,75 @@ let test_combining_expansion_recorded () =
   check_valid "star combining" r;
   Alcotest.(check int) "expansion = tree degree" 7 r.expansion
 
+(* ---- diffracting tree ---- *)
+
+let diffracting_on g requests =
+  Diffracting.run ~tree:(Spanning.bfs g ~root:0) ~requests ()
+
+let test_diffracting_balanced_tree_all () =
+  (* Every node of a perfect binary tree requests: the toggles spread
+     the 15 tokens across all 8 leaves, and the count set is still
+     exactly {1..15}. *)
+  let g = Gen.perfect_tree ~arity:2 ~height:3 in
+  let r = diffracting_on g (Helpers.all_nodes 15) in
+  check_valid "perfect tree all" r;
+  Alcotest.(check int) "15 outcomes" 15 (List.length r.outcomes)
+
+let test_diffracting_empty () =
+  let r = diffracting_on (Gen.perfect_tree ~arity:2 ~height:2) [] in
+  check_valid "empty" r;
+  Alcotest.(check int) "silent" 0 (List.length r.outcomes);
+  Alcotest.(check int) "no messages" 0 r.messages
+
+let test_diffracting_root_only () =
+  (* The root's token descends and returns without touching the upsweep
+     path: rank 1, and no waiting for empty sibling reports (contrast
+     with the combining tree's root-only case). *)
+  let r = diffracting_on (Gen.path 5) [ 0 ] in
+  check_valid "root only" r;
+  match r.outcomes with
+  | [ o ] -> Alcotest.(check int) "rank 1" 1 o.count
+  | _ -> Alcotest.fail "one outcome"
+
+let test_diffracting_star_toggle_order () =
+  (* On a star rooted at the centre, the root balancer is the only
+     interior node: leaves are visited round-robin by the toggle, so
+     with every node requesting, counts are exactly {1..n}. *)
+  let n = 8 in
+  let r = diffracting_on (Gen.star n) (Helpers.all_nodes n) in
+  check_valid "star all" r;
+  Alcotest.(check int) "n outcomes" n (List.length r.outcomes)
+
+let test_diffracting_rejects_bad_requests () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Diffracting.run: request out of range") (fun () ->
+      ignore (diffracting_on (Gen.path 3) [ 5 ]));
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Diffracting.run: duplicate request node") (fun () ->
+      ignore (diffracting_on (Gen.path 3) [ 1; 1 ]))
+
+let prop_diffracting_spec =
+  QCheck2.Test.make ~name:"diffracting tree meets the counting spec"
+    ~count:120 ~print:Helpers.instance_print Helpers.instance_gen
+    (fun (_, g, requests) ->
+      let r = diffracting_on g requests in
+      Result.is_ok r.valid)
+
+let prop_diffracting_async_spec =
+  (* Toggle routing depends only on per-balancer arrival order, so the
+     count set stays exact under arbitrary link delays. *)
+  QCheck2.Test.make ~name:"diffracting tree is exact under async delays"
+    ~count:80
+    ~print:QCheck2.Print.(pair Helpers.instance_print int)
+    QCheck2.Gen.(pair Helpers.instance_gen (int_range 0 1_000_000))
+    (fun ((_, g, requests), seed) ->
+      let tree = Spanning.bfs g ~root:0 in
+      let delay =
+        Countq_simnet.Async.Uniform { min = 1; max = 4; seed = Int64.of_int seed }
+      in
+      let r = Diffracting.run_async ~delay ~tree ~requests () in
+      Result.is_ok r.valid)
+
 let test_central_long_lived () =
   let g = Gen.square_mesh 4 in
   let arrivals = [ (3, 0); (3, 0); (9, 2); (14, 5); (3, 5) ] in
@@ -194,8 +264,19 @@ let suite =
       test_combining_deep_path_linear_delay;
     Alcotest.test_case "combining: expansion" `Quick
       test_combining_expansion_recorded;
+    Alcotest.test_case "diffracting: balanced tree" `Quick
+      test_diffracting_balanced_tree_all;
+    Alcotest.test_case "diffracting: empty" `Quick test_diffracting_empty;
+    Alcotest.test_case "diffracting: root only" `Quick
+      test_diffracting_root_only;
+    Alcotest.test_case "diffracting: star toggles" `Quick
+      test_diffracting_star_toggle_order;
+    Alcotest.test_case "diffracting: bad requests" `Quick
+      test_diffracting_rejects_bad_requests;
     Helpers.qcheck prop_central_spec;
     Helpers.qcheck prop_central_long_lived_counts_exact;
     Helpers.qcheck prop_combining_spec;
     Helpers.qcheck prop_combining_message_frugal;
+    Helpers.qcheck prop_diffracting_spec;
+    Helpers.qcheck prop_diffracting_async_spec;
   ]

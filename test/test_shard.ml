@@ -1,0 +1,575 @@
+(* The domain-sharded engine is pinned bit-identical to the sequential
+   engines for every shard count: same completions, rounds, messages,
+   backlog, fault tallies, metrics content, telemetry windows, event
+   stats and Round_limit_exceeded payloads — fault-free, under fault
+   plans (cross-shard ordering included), under dynamic schedules, and
+   on the event path with injections, starters, halt_after, stats and a
+   streaming sink. Plus partition edge cases: more shards than nodes,
+   singleton and empty shards, and hand-built placements. *)
+
+module Engine = Countq_simnet.Engine
+module Event = Countq_simnet.Event_engine
+module Shard = Countq_simnet.Shard
+module Faults = Countq_simnet.Faults
+module Dynamic = Countq_simnet.Dynamic
+module Metrics = Countq_simnet.Metrics
+module Telemetry = Countq_simnet.Telemetry
+module Graph = Countq_topology.Graph
+module Gen = Countq_topology.Gen
+module Implicit = Countq_topology.Implicit
+module Partition = Countq_topology.Partition
+module Parallel = Countq_util.Parallel
+
+(* Two helper lanes, shared by every test: on a single-core box the
+   shard counts below still exercise real worker domains (the pin is
+   about bit-identicality, not speed). *)
+let pool = Parallel.pool ~jobs:3
+
+let mix a b =
+  let h = ref ((a * 0x9e3779b1) + (b * 0x85ebca6b)) in
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xc2b2ae35;
+  h := !h lxor (!h lsr 16);
+  !h land max_int
+
+type msg = { ttl : int; tag : int }
+
+let pick_nbr graph v h =
+  let a = Graph.neighbors graph v in
+  if Array.length a = 0 then None else Some a.(h mod Array.length a)
+
+(* The flooding protocol the other equivalence suites pin with,
+   optionally gated to a request subset (lazy-starter contract). *)
+let hash_protocol ?starts ~seed ~graph () =
+  let may_start node =
+    match starts with None -> true | Some l -> List.mem node l
+  in
+  {
+    Engine.name = "qcheck-hash";
+    initial_state = (fun v -> mix seed v);
+    on_start =
+      (fun ~node s ->
+        if not (may_start node) then (s, [])
+        else
+          let h = mix seed node in
+          let acts =
+            if h mod 3 = 0 then
+              match pick_nbr graph node h with
+              | Some d ->
+                  [ Engine.Send (d, { ttl = 2 + (h mod 5); tag = h land 0xffff }) ]
+              | None -> []
+            else []
+          in
+          let acts =
+            if h mod 7 = 0 then Engine.Complete (node, h land 0xff) :: acts
+            else acts
+          in
+          (s, acts));
+    on_receive =
+      (fun ~round ~node ~src m s ->
+        let h = mix (mix s m.tag) (mix src round) in
+        let acts = ref [] in
+        (if m.ttl > 0 then
+           let fan = match h mod 4 with 0 -> 0 | 1 | 2 -> 1 | _ -> 2 in
+           for i = 1 to fan do
+             match pick_nbr graph node (mix h i) with
+             | Some d ->
+                 acts :=
+                   Engine.Send
+                     (d, { ttl = m.ttl - 1; tag = mix m.tag i land 0xffff })
+                   :: !acts
+             | None -> ()
+           done);
+        if h mod 5 = 0 then acts := Engine.Complete (node, m.tag) :: !acts;
+        (mix s (m.tag + 1), !acts));
+    on_tick = Engine.no_tick;
+  }
+
+let arbiter_of = function
+  | 0 -> Engine.Round_robin
+  | 1 -> Engine.Lowest_sender_first
+  | _ ->
+      Engine.Custom
+        (fun ~round ~node ~candidates ->
+          List.nth candidates (mix round node mod List.length candidates))
+
+let arbiter_label = function
+  | 0 -> "round-robin"
+  | 1 -> "lowest-sender"
+  | _ -> "custom-hash"
+
+let plan_of = function
+  | 0 -> Faults.none
+  | 1 -> Faults.drop_nth 3
+  | 2 -> Faults.dup_nth 5
+  | 3 -> Faults.delay_nth ~by:4 2
+  | 4 -> Faults.delay_nth ~by:50 1
+  | 5 -> Faults.random ~label:"lossy" ~seed:42L ~drop:0.1 ()
+  | 6 ->
+      Faults.random ~label:"chaos" ~seed:7L ~drop:0.05 ~duplicate:0.1
+        ~delay:0.2 ~delay_max:9 ()
+  | 7 ->
+      Faults.crash_only ~label:"crash-restart"
+        [ { node = 0; at_round = 2; recover_at = Some 6 } ]
+  | _ -> Faults.random ~label:"jitter" ~seed:9L ~delay:0.4 ~delay_max:30 ()
+
+(* Dynamic-schedule variants: churn and flaps move nodes and links
+   under the run, so empty shards (every member down) and rerouted
+   cross-shard traffic both happen. *)
+let dyn_of graph = function
+  | 0 -> None
+  | 1 -> Some (Dynamic.identity graph)
+  | 2 -> Some (Dynamic.node_churn ~seed:5L ~rate:0.3 ~epoch:4 graph)
+  | _ -> Some (Dynamic.link_flaps ~seed:11L ~rate:0.25 ~epoch:4 graph)
+
+let dyn_label = function
+  | 0 -> "static"
+  | 1 -> "identity"
+  | 2 -> "churn"
+  | _ -> "flaps"
+
+let config_of (rc, sc, arb, minr, maxr) =
+  {
+    Engine.receive_capacity = rc;
+    send_capacity = sc;
+    arbiter = arbiter_of arb;
+    max_rounds = maxr;
+    min_rounds = minr;
+  }
+
+(* Run sequential engine or sharded engine, capturing everything
+   observable: outcome (or limit payload), fault tallies, metrics
+   content, telemetry windows. *)
+let capture which ~with_metrics ~with_tel ~dyn ~plan ~graph ~config ~protocol =
+  let faults = Option.map Faults.start plan in
+  let dynamic = Option.map Dynamic.start (dyn_of graph dyn) in
+  let metrics = if with_metrics then Some (Metrics.create ~graph) else None in
+  let telemetry =
+    if with_tel then Some (Telemetry.create ~windows:8 ~window_size:4 ())
+    else None
+  in
+  let outcome =
+    match
+      match which with
+      | `Engine ->
+          Engine.run ?faults ?dynamic ?metrics ?telemetry ~graph ~config
+            ~protocol ()
+      | `Shard k ->
+          Shard.run ~shards:k ~pool ?faults ?dynamic ?metrics ?telemetry
+            ~graph ~config ~protocol ()
+    with
+    | r -> Ok r
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        Error (limit, outstanding, queued, held, busiest)
+  in
+  ( outcome,
+    Option.map Faults.stats faults,
+    Option.map (fun m -> (Metrics.per_node m, Metrics.per_edge m)) metrics,
+    Option.map (fun tl -> (Telemetry.windows tl, Telemetry.evicted tl)) telemetry )
+
+let scenario_gen =
+  let open QCheck2.Gen in
+  let* topo = Helpers.topology_gen in
+  let* seed = int_range 0 100_000 in
+  let* rc = int_range 1 3 in
+  let* sc = int_range 1 3 in
+  let* arb = int_range 0 2 in
+  let* minr = oneofl [ 0; 7 ] in
+  let* maxr = oneofl [ 4; 2_000 ] in
+  let* plan = int_range 0 8 in
+  let* dyn = int_range 0 3 in
+  let* with_metrics = bool in
+  let* with_tel = bool in
+  let* shards = oneofl [ 2; 3; 5 ] in
+  return (topo, seed, (rc, sc, arb, minr, maxr), plan, dyn, with_metrics, with_tel, shards)
+
+let scenario_print ((name, g), seed, (rc, sc, arb, minr, maxr), plan, dyn, wm, wt, k)
+    =
+  Printf.sprintf
+    "%s (n=%d) seed=%d rcv=%d snd=%d arb=%s min_rounds=%d max_rounds=%d \
+     plan=%s dyn=%s metrics=%b telemetry=%b shards=%d"
+    name (Graph.n g) seed rc sc (arbiter_label arb) minr maxr
+    (Faults.label (plan_of plan))
+    (dyn_label dyn) wm wt k
+
+let equiv_prop ((_, graph), seed, cfg, plan, dyn, with_metrics, with_tel, shards) =
+  let config = config_of cfg in
+  let protocol = hash_protocol ~seed ~graph () in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let a =
+    capture `Engine ~with_metrics ~with_tel ~dyn ~plan ~graph ~config ~protocol
+  in
+  let b =
+    capture (`Shard shards) ~with_metrics ~with_tel ~dyn ~plan ~graph ~config
+      ~protocol
+  in
+  a = b
+
+let equiv_graph =
+  QCheck2.Test.make ~count:120 ~name:"sharded = engine (graph, all hooks)"
+    ~print:scenario_print scenario_gen equiv_prop
+
+(* ------------------------------------------------------------------ *)
+(* The event path: injections, starters, halt_after, stats and a
+   streaming sink over implicit topologies.                            *)
+
+let capture_event which ~plan ~dyn ~evs ~starts ~halt ~graph ~config ~protocol =
+  let faults = Option.map Faults.start plan in
+  let dynamic = Option.map Dynamic.start (dyn_of graph dyn) in
+  let stats = Event.fresh_stats () in
+  let sunk = ref [] in
+  let sink c = sunk := c :: !sunk in
+  let injections =
+    Array.of_list
+      (List.map
+         (fun (at, node, inject) -> { Event.at; node; inject })
+         evs)
+  in
+  let topo = Implicit.of_graph graph in
+  let outcome =
+    match
+      match which with
+      | `Event ->
+          Event.run ?faults ?dynamic ~sink ~injections ?halt_after:halt ~stats
+            ?starters:starts ~topo ~config ~protocol ()
+      | `Shard k ->
+          Shard.run_implicit ~shards:k ~pool ?faults ?dynamic ~sink ~injections
+            ?halt_after:halt ~stats ?starters:starts ~topo ~config ~protocol ()
+    with
+    | r -> Ok r
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        Error (limit, outstanding, queued, held, busiest)
+  in
+  ( outcome,
+    List.rev !sunk,
+    (stats.Event.touched, stats.Event.peak_in_flight, stats.Event.executed_rounds),
+    Option.map Faults.stats faults )
+
+let fire ~seed ~graph ~round ~node s =
+  let h = mix seed (mix round node) in
+  let acts =
+    match pick_nbr graph node h with
+    | Some d -> [ Engine.Send (d, { ttl = 1 + (h mod 3); tag = h land 0xffff }) ]
+    | None -> []
+  in
+  let acts =
+    if h mod 4 = 0 then Engine.Complete (node, h land 0xff) :: acts else acts
+  in
+  (mix s h, acts)
+
+let event_gen =
+  let open QCheck2.Gen in
+  let* name, g, requests = Helpers.instance_gen in
+  let n = Graph.n g in
+  let* seed = int_range 0 100_000 in
+  let* k = int_range 0 8 in
+  let* evs = list_size (return k) (pair (int_range 1 12) (int_range 0 (n - 1))) in
+  let evs = List.sort_uniq compare evs in
+  let* rc = int_range 1 2 in
+  let* arb = int_range 0 2 in
+  let* plan = int_range 0 8 in
+  let* dyn = int_range 0 3 in
+  let* halt = oneofl [ None; Some 6 ] in
+  let* shards = oneofl [ 2; 4; 7 ] in
+  return ((name, g, requests), seed, evs, (rc, 1, arb, 0, 2_000), plan, dyn, halt, shards)
+
+let event_print ((name, g, requests), seed, evs, _, plan, dyn, halt, k) =
+  Printf.sprintf
+    "%s (n=%d) R={%s} seed=%d events=[%s] plan=%s dyn=%s halt=%s shards=%d"
+    name (Graph.n g)
+    (String.concat "," (List.map string_of_int requests))
+    seed
+    (String.concat ";"
+       (List.map (fun (t, v) -> Printf.sprintf "%d@%d" v t) evs))
+    (Faults.label (plan_of plan))
+    (dyn_label dyn)
+    (match halt with None -> "-" | Some h -> string_of_int h)
+    k
+
+let event_prop ((_, graph, requests), seed, evs, cfg, plan, dyn, halt, shards) =
+  let config = config_of cfg in
+  let protocol = hash_protocol ~starts:requests ~seed ~graph () in
+  let evs =
+    List.map
+      (fun (at, node) -> (at, node, fun s -> fire ~seed ~graph ~round:at ~node s))
+      evs
+  in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let starts = Some requests in
+  let a =
+    capture_event `Event ~plan ~dyn ~evs ~starts ~halt ~graph ~config ~protocol
+  in
+  let b =
+    capture_event (`Shard shards) ~plan ~dyn ~evs ~starts ~halt ~graph ~config
+      ~protocol
+  in
+  a = b
+
+let equiv_event =
+  QCheck2.Test.make ~count:120
+    ~name:"sharded = event engine (injections, starters, halt, stats, sink)"
+    ~print:event_print event_gen event_prop
+
+(* ------------------------------------------------------------------ *)
+(* Partition edge cases.                                               *)
+
+let test_contiguous_more_shards_than_nodes () =
+  let p = Partition.contiguous ~n:5 ~shards:9 in
+  Partition.validate p;
+  Alcotest.(check (list int))
+    "five singletons then empties"
+    [ 1; 1; 1; 1; 1; 0; 0; 0; 0 ]
+    (Array.to_list (Partition.shard_sizes p));
+  (* Sharded run with more shards than nodes is still pinned. *)
+  let graph = Gen.path 5 in
+  let protocol = hash_protocol ~seed:17 ~graph () in
+  let seq = Engine.run ~graph ~config:Engine.default_config ~protocol () in
+  let sh =
+    Shard.run ~shards:9 ~pool ~graph ~config:Engine.default_config ~protocol ()
+  in
+  Alcotest.(check bool) "9 shards on 5 nodes pinned" true (seq = sh)
+
+let test_singleton_graph () =
+  let graph = Gen.complete 1 in
+  let protocol = hash_protocol ~seed:3 ~graph () in
+  let seq = Engine.run ~graph ~config:Engine.default_config ~protocol () in
+  let sh =
+    Shard.run ~shards:4 ~pool ~graph ~config:Engine.default_config ~protocol ()
+  in
+  Alcotest.(check bool) "n=1 pinned for shards=4" true (seq = sh)
+
+let test_greedy_partition_valid () =
+  List.iter
+    (fun (label, graph) ->
+      List.iter
+        (fun k ->
+          let p = Partition.greedy ~graph ~shards:k in
+          Partition.validate p;
+          let total =
+            Array.fold_left ( + ) 0 (Partition.shard_sizes p)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s k=%d covers all nodes" label k)
+            (Graph.n graph) total)
+        [ 1; 2; 3; 8 ])
+    [
+      ("path-13", Gen.path 13);
+      ("star-9", Gen.star 9);
+      ("mesh-4x4", Gen.square_mesh 4);
+      ("complete-6", Gen.complete 6);
+    ]
+
+let test_greedy_cut_smaller_than_scatter () =
+  (* On a path, contiguous ranges are optimal; greedy BFS growth must
+     find a cut no worse than an interleaved placement. *)
+  let graph = Gen.path 32 in
+  let nbr v = Graph.neighbors graph v in
+  let greedy = Partition.greedy ~graph ~shards:4 in
+  let scatter_owner = Array.init 32 (fun v -> v mod 4) in
+  let scatter_members =
+    Array.init 4 (fun s ->
+        Array.of_list
+          (List.filter (fun v -> scatter_owner.(v) = s) (List.init 32 Fun.id)))
+  in
+  let scatter =
+    {
+      Partition.label = "scatter";
+      shards = 4;
+      owner = scatter_owner;
+      members = scatter_members;
+    }
+  in
+  Partition.validate scatter;
+  let gc = Partition.cut_edges greedy ~neighbors:nbr in
+  let sc = Partition.cut_edges scatter ~neighbors:nbr in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy cut %d <= scatter cut %d" gc sc)
+    true (gc <= sc);
+  Alcotest.(check int) "path-32 into 4 ranges cuts 3 edges" 3 gc
+
+let test_custom_partition_pinned () =
+  (* Bit-identicality holds for ANY valid placement, including the
+     worst interleaved one — only performance depends on the cut. *)
+  let graph = Gen.cycle 12 in
+  let owner = Array.init 12 (fun v -> v mod 3) in
+  let members =
+    Array.init 3 (fun s ->
+        Array.of_list
+          (List.filter (fun v -> owner.(v) = s) (List.init 12 Fun.id)))
+  in
+  let scatter = { Partition.label = "scatter"; shards = 3; owner; members } in
+  Partition.validate scatter;
+  let protocol = hash_protocol ~seed:23 ~graph () in
+  let plan () = Faults.start (plan_of 6) in
+  let config = { Engine.default_config with receive_capacity = 2 } in
+  let seq = Engine.run ~faults:(plan ()) ~graph ~config ~protocol () in
+  let sh =
+    Shard.run ~partition:scatter ~pool ~faults:(plan ()) ~graph ~config
+      ~protocol ()
+  in
+  Alcotest.(check bool) "interleaved partition pinned under chaos plan" true
+    (seq = sh)
+
+let test_empty_shards_under_churn () =
+  (* A sparse dynamic graph whose nodes churn out: shards can spend
+     whole epochs with every member down (effectively empty) and the
+     run must still be pinned. *)
+  let graph = Gen.path 6 in
+  let dynamic () =
+    Dynamic.start (Dynamic.node_churn ~seed:2L ~rate:0.6 ~epoch:2 graph)
+  in
+  let protocol = hash_protocol ~seed:31 ~graph () in
+  let config = Engine.default_config in
+  let seq = Engine.run ~dynamic:(dynamic ()) ~graph ~config ~protocol () in
+  let sh =
+    Shard.run ~shards:6 ~pool ~dynamic:(dynamic ()) ~graph ~config ~protocol ()
+  in
+  Alcotest.(check bool) "six singleton shards under churn pinned" true (seq = sh)
+
+let test_cross_shard_ordering_under_faults () =
+  (* Deterministic fault plans consume one global decision stream; a
+     2-shard cut across a dense flood must replay it exactly. *)
+  let graph = Gen.complete 8 in
+  let protocol = hash_protocol ~seed:77 ~graph () in
+  let config = { Engine.default_config with send_capacity = 2 } in
+  List.iter
+    (fun plan_id ->
+      let plan () = Faults.start (plan_of plan_id) in
+      let m_seq = Metrics.create ~graph in
+      let m_sh = Metrics.create ~graph in
+      let seq =
+        Engine.run ~faults:(plan ()) ~metrics:m_seq ~graph ~config ~protocol ()
+      in
+      let sh =
+        Shard.run ~shards:2 ~pool ~faults:(plan ()) ~metrics:m_sh ~graph
+          ~config ~protocol ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "plan %d: results pinned" plan_id)
+        true (seq = sh);
+      Alcotest.(check bool)
+        (Printf.sprintf "plan %d: metrics pinned" plan_id)
+        true
+        (Metrics.per_node m_seq = Metrics.per_node m_sh
+        && Metrics.per_edge m_seq = Metrics.per_edge m_sh))
+    [ 1; 2; 3; 6 ]
+
+let test_round_limit_payloads_identical () =
+  let graph = Gen.path 2 in
+  let protocol =
+    {
+      Engine.name = "pingpong";
+      initial_state = (fun _ -> ());
+      on_start =
+        (fun ~node s -> if node = 0 then (s, [ Engine.Send (1, ()) ]) else (s, []));
+      on_receive = (fun ~round:_ ~node:_ ~src msg s -> (s, [ Engine.Send (src, msg) ]));
+      on_tick = Engine.no_tick;
+    }
+  in
+  let config = { Engine.default_config with max_rounds = 25 } in
+  let payload run =
+    match run () with
+    | (_ : unit Engine.result) -> Alcotest.fail "expected Round_limit_exceeded"
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        (limit, outstanding, queued, held, busiest)
+  in
+  let a = payload (fun () -> Engine.run ~graph ~config ~protocol ()) in
+  let b =
+    payload (fun () -> Shard.run ~shards:2 ~pool ~graph ~config ~protocol ())
+  in
+  Alcotest.(check bool) "payloads identical" true (a = b)
+
+let test_sharded_lazy_event_run () =
+  (* The event path stays cheap in work (if not in O(n) setup): one
+     ping across a 50k-node list, sharded, with exact stats. *)
+  let topo = Implicit.list 50_000 in
+  let one_ping =
+    {
+      Engine.name = "one-ping";
+      initial_state = (fun _ -> ());
+      on_start =
+        (fun ~node s -> if node = 0 then (s, [ Engine.Send (1, ()) ]) else (s, []));
+      on_receive =
+        (fun ~round ~node ~src:_ () s -> (s, [ Engine.Complete (node, round) ]));
+      on_tick = Engine.no_tick;
+    }
+  in
+  let stats = Event.fresh_stats () in
+  let res =
+    Shard.run_implicit ~shards:4 ~pool ~stats ~starters:[ 0 ] ~topo
+      ~config:Engine.default_config ~protocol:one_ping ()
+  in
+  Alcotest.(check int) "one delivery" 1 res.messages;
+  Alcotest.(check bool) "completed at node 1, round 1" true
+    (res.completions = [ { Engine.node = 1; round = 1; value = (1, 1) } ]);
+  Alcotest.(check int) "two nodes touched" 2 stats.touched;
+  Alcotest.(check int) "one executed round" 1 stats.executed_rounds;
+  Alcotest.(check int) "peak one in flight" 1 stats.peak_in_flight
+
+let test_tick_protocol_pinned () =
+  (* Graph path supports tick-driven protocols: each shard ticks its
+     own members. *)
+  let graph = Gen.cycle 9 in
+  let protocol =
+    {
+      Engine.name = "tick-flood";
+      initial_state = (fun v -> v);
+      on_start = (fun ~node:_ s -> (s, []));
+      on_receive =
+        (fun ~round ~node ~src:_ m s ->
+          (s + m, if round > 6 then [ Engine.Complete (node, s + m) ] else []));
+      on_tick =
+        Some
+          (fun ~round ~node s ->
+            if round <= 3 then
+              (s, [ Engine.Send ((node + 1) mod 9, mix round node) ])
+            else (s, []));
+    }
+  in
+  let config = { Engine.default_config with min_rounds = 10 } in
+  let seq = Engine.run ~graph ~config ~protocol () in
+  let sh = Shard.run ~shards:3 ~pool ~graph ~config ~protocol () in
+  Alcotest.(check bool) "ticking protocol pinned" true (seq = sh)
+
+let test_no_pool_degrades_sequentially () =
+  (* Without a pool on a starved machine the sharded data path runs on
+     the calling domain alone — still pinned. *)
+  let graph = Gen.star 7 in
+  let protocol = hash_protocol ~seed:41 ~graph () in
+  let seq = Engine.run ~graph ~config:Engine.default_config ~protocol () in
+  let sh = Shard.run ~shards:3 ~graph ~config:Engine.default_config ~protocol () in
+  Alcotest.(check bool) "pool-less sharded run pinned" true (seq = sh)
+
+let test_auto_shards_positive () =
+  Alcotest.(check bool) "auto_shards >= 1" true (Shard.auto_shards () >= 1)
+
+let suite =
+  [
+    Helpers.qcheck equiv_graph;
+    Helpers.qcheck equiv_event;
+    Alcotest.test_case "partition: more shards than nodes" `Quick
+      test_contiguous_more_shards_than_nodes;
+    Alcotest.test_case "partition: singleton graph" `Quick test_singleton_graph;
+    Alcotest.test_case "partition: greedy covers and validates" `Quick
+      test_greedy_partition_valid;
+    Alcotest.test_case "partition: greedy cut beats scatter on a path" `Quick
+      test_greedy_cut_smaller_than_scatter;
+    Alcotest.test_case "custom interleaved partition pinned" `Quick
+      test_custom_partition_pinned;
+    Alcotest.test_case "empty shards under churn pinned" `Quick
+      test_empty_shards_under_churn;
+    Alcotest.test_case "cross-shard ordering under fault plans" `Quick
+      test_cross_shard_ordering_under_faults;
+    Alcotest.test_case "round-limit payloads identical" `Quick
+      test_round_limit_payloads_identical;
+    Alcotest.test_case "sharded event run: 50k-list ping, exact stats" `Quick
+      test_sharded_lazy_event_run;
+    Alcotest.test_case "tick-driven protocol pinned" `Quick
+      test_tick_protocol_pinned;
+    Alcotest.test_case "pool-less sharded run pinned" `Quick
+      test_no_pool_degrades_sequentially;
+    Alcotest.test_case "auto_shards sane" `Quick test_auto_shards_positive;
+  ]
