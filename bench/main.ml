@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --no-micro   -- skip the Bechamel pass
      dune exec bench/main.exe -- --csv DIR    -- also write DIR/<id>.csv
      dune exec bench/main.exe -- --json PATH  -- perf snapshot (default
-                                                 BENCH_9.json; --no-json
+                                                 BENCH_10.json; --no-json
                                                  to skip)
      dune exec bench/main.exe -- --jobs N     -- table+sweep budget of N
                                                  domains (experiments are
@@ -20,7 +20,7 @@
      dune exec bench/main.exe -- --cache-dir D -- cache root (default
                                                  bench/out/cache)
 
-   Every run emits a machine-readable perf snapshot (BENCH_9.json):
+   Every run emits a machine-readable perf snapshot (BENCH_10.json):
    per-experiment wall time and cache hit/miss counts, the
    engine-vs-reference speedup probe on the E3 list-counting sweep, the
    metrics-recorder overhead probe, the dynamic-schedule overhead probe
@@ -83,7 +83,7 @@ let parse_args () =
   let micro = ref true in
   let only = ref None in
   let csv_dir = ref None in
-  let json_path = ref (Some "BENCH_9.json") in
+  let json_path = ref (Some "BENCH_10.json") in
   let jobs = ref 1 in
   let use_cache = ref true in
   let cache_dir = ref default_cache_dir in
@@ -794,6 +794,65 @@ let shard_scaling_probe ~quick () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Funnel-scaling probe: combining-funnel one-shot counting on
+   implicit balanced trees at the adaptive width — the counting side
+   of the n-scaling story, next to the shard probe's queuing run. A
+   shards=2 rerun is asserted bit-identical at every size.             *)
+
+type funnel_row = {
+  fu_n : int;
+  fu_arity : int;
+  fu_requests : int;
+  fu_messages : int;
+  fu_rounds : int;
+  fu_wall : float;
+  fu_identical : bool;
+}
+
+let funnel_msgs_per_op r =
+  if r.fu_requests > 0 then
+    float_of_int r.fu_messages /. float_of_int r.fu_requests
+  else Float.nan
+
+let funnel_scaling_probe ~quick () =
+  let module Implicit = Countq_topology.Implicit in
+  let module Funnel = Countq_counting.Funnel in
+  let module Load = Countq.Load in
+  let sizes =
+    if quick then [ 10_000; 100_000 ] else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let stride = 16 in
+  let one n =
+    let k = n / stride in
+    let arity = Funnel.adaptive_width ~n ~concurrency:k in
+    let topo = Implicit.tree ~arity n in
+    let requests = List.init k (fun i -> i * stride) in
+    let run shards =
+      Load.one_shot ~shards ~topo ~workload:Load.Funnel ~requests ()
+    in
+    ignore (run 1);
+    let best = ref infinity in
+    let s = ref (run 1) in
+    for _ = 1 to 3 do
+      Gc.major ();
+      let t0 = Unix.gettimeofday () in
+      s := run 1;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    {
+      fu_n = n;
+      fu_arity = arity;
+      fu_requests = (!s).Load.os_requests;
+      fu_messages = (!s).Load.os_messages;
+      fu_rounds = (!s).Load.os_rounds;
+      fu_wall = !best;
+      fu_identical = run 2 = !s;
+    }
+  in
+  List.map one sizes
+
+(* ------------------------------------------------------------------ *)
 (* Cache-warm probe: the grid experiments run twice against a scratch
    cache directory (cleared first so the cold pass is genuinely cold).
    The warm pass must hit on every point, re-render bit-identical
@@ -1166,11 +1225,11 @@ let hit_rate hits misses =
   else 100. *. float_of_int hits /. float_of_int total
 
 let write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
-    ~loadgen ~churn ~scaling ~sharding ~warm ~explore ~kernels =
+    ~loadgen ~churn ~scaling ~sharding ~funnel ~warm ~explore ~kernels =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"countq-bench/9\",\n";
+  add "  \"schema\": \"countq-bench/10\",\n";
   add "  \"mode\": \"%s\",\n" (if opts.quick then "quick" else "full");
   add "  \"jobs\": %d,\n" opts.jobs;
   add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -1435,6 +1494,25 @@ let write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
     sharding.sh_rows;
   add "    ]\n";
   add "  },\n";
+  add "  \"funnel_scaling\": {\n";
+  add
+    "    \"probe\": \"combining-funnel one-shot counting on implicit balanced \
+     trees at the adaptive width, every 16th node requesting; a shards=2 \
+     rerun is asserted identical at every size\",\n";
+  add "    \"sizes\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"n\": %d, \"arity\": %d, \"requests\": %d, \"messages\": %d, \
+         \"msgs_per_op\": %s, \"rounds\": %d, \"wall_seconds\": %s, \
+         \"identical\": %b}%s\n"
+        r.fu_n r.fu_arity r.fu_requests r.fu_messages
+        (json_float (funnel_msgs_per_op r))
+        r.fu_rounds (json_float r.fu_wall) r.fu_identical
+        (if i = List.length funnel - 1 then "" else ","))
+    funnel;
+  add "    ]\n";
+  add "  },\n";
   add "  \"cache_warm\": {\n";
   add
     "    \"probe\": \"grid experiments run cold then warm against a scratch \
@@ -1613,6 +1691,21 @@ let main () =
            sequential one - the deterministic merge is broken";
         exit 1
       end;
+      let funnel = funnel_scaling_probe ~quick:opts.quick () in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "[funnel scaling probe n=%7d arity=%2d: %8d msgs (%.1f/op), %4d \
+             rounds, %.4fs, identical=%b]\n%!"
+            r.fu_n r.fu_arity r.fu_messages (funnel_msgs_per_op r) r.fu_rounds
+            r.fu_wall r.fu_identical)
+        funnel;
+      if List.exists (fun r -> not r.fu_identical) funnel then begin
+        prerr_endline
+          "funnel scaling probe: a sharded summary differs from the \
+           sequential one - the deterministic merge is broken";
+        exit 1
+      end;
       let warm = cache_warm_probe ~quick:opts.quick ~pool () in
       Printf.printf
         "[cache warm probe: cold %.2fs -> warm %.2fs, %d hit(s) %d miss(es), \
@@ -1637,7 +1730,7 @@ let main () =
             (explore_ratio r))
         explore;
       write_json ~path ~opts ~experiments ~speedup ~overhead ~tel ~dyn ~nscale
-        ~loadgen ~churn ~scaling ~sharding ~warm ~explore ~kernels
+        ~loadgen ~churn ~scaling ~sharding ~funnel ~warm ~explore ~kernels
 
 let () =
   try main ()

@@ -597,6 +597,13 @@ let check_cmd =
           (Countq_counting.Diffracting.one_shot_protocol ~tree ~requests ())
         ~check:(counts_check requests) ~k:(List.length requests)
     in
+    let funnel name g requests =
+      let tree = Spanning.bfs g ~root:0 in
+      instance ~protocol_name:"funnel" ~instance_name:name
+        ~graph:(Tree.to_graph tree)
+        ~protocol:(Countq_counting.Funnel.one_shot_protocol ~tree ~requests ())
+        ~check:(counts_check requests) ~k:(List.length requests)
+    in
     let token_ring name g requests =
       let tree = Spanning.bfs g ~root:0 in
       instance ~protocol_name:"token-ring" ~instance_name:name
@@ -626,6 +633,7 @@ let check_cmd =
           central_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
           combining "path-4" (Gen.path 4) [ 0; 1; 2; 3 ];
           diffracting "path-4" (Gen.path 4) [ 0; 1; 2; 3 ];
+          funnel "star-4" (Gen.star 4) [ 0; 1; 2; 3 ];
           token_ring "path-4" (Gen.path 4) [ 0; 2; 3 ];
           sweep "star-4" (Gen.star 4) [ 0; 1; 2; 3 ];
           dynamic_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
@@ -640,6 +648,8 @@ let check_cmd =
           central_queue "star-6" (Gen.star 6) [ 1; 2; 3; 4; 5 ];
           combining "star-6" (Gen.star 6) [ 0; 1; 2; 3; 4; 5 ];
           diffracting "star-6" (Gen.star 6) [ 0; 1; 2; 3; 4; 5 ];
+          funnel "star-6" (Gen.star 6) [ 0; 1; 2; 3; 4; 5 ];
+          funnel "path-5" (Gen.path 5) [ 0; 2; 4 ];
           token_ring "path-7" (Gen.path 7) [ 0; 2; 4; 6 ];
           sweep "star-7" (Gen.star 7) [ 0; 1; 2; 3; 4; 5; 6 ];
           dynamic_queue "star-4" (Gen.star 4) [ 1; 2; 3 ];
@@ -667,7 +677,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Model-check all eight protocols exhaustively on fixed 3-7 node \
+         "Model-check all nine protocols exhaustively on fixed 3-7 node \
           instances; exits nonzero on any safety violation.")
     Term.(const run $ quick_arg $ jobs_arg $ max_configs_arg)
 
@@ -1162,10 +1172,11 @@ let observe_cmd =
                 let incomplete =
                   List.length o.spans - List.length delays
                 in
-                (* Stats is total on empty input, so a run where every
-                   span is stranded (e.g. a crash plan that severs the
-                   tail) degrades to the stranded report below instead
-                   of an exception. *)
+                (* Stats is total on empty input (percentiles return
+                   [None], [histogram] returns no buckets), so a run
+                   where every span is stranded (e.g. a crash plan that
+                   severs the tail) degrades to the stranded report
+                   below instead of an exception. *)
                 (match Stats.percentile_ints delays 0.5 with
                 | None -> ()
                 | Some p50 ->
@@ -1277,9 +1288,15 @@ let load_cmd =
   let workload_arg =
     Arg.(
       value
-      & opt (enum [ ("both", `Both); ("queuing", `Queuing); ("counting", `Counting) ]) `Both
+      & opt
+          (enum
+             [ ("both", `Both); ("queuing", `Queuing);
+               ("counting", `Counting); ("funnel", `Funnel) ])
+          `Both
       & info [ "workload"; "w" ] ~docv:"W"
-          ~doc:"Workload to drive: both | queuing | counting.")
+          ~doc:
+            "Workload to drive: both | queuing | counting | funnel (the \
+             combining funnel; needs a tree:… topology).")
   in
   let rates_arg =
     Arg.(
@@ -1366,7 +1383,16 @@ let load_cmd =
           | `Both -> [ Load.Queuing; Load.Counting ]
           | `Queuing -> [ Load.Queuing ]
           | `Counting -> [ Load.Counting ]
+          | `Funnel -> [ Load.Funnel ]
         in
+        (if List.mem Load.Funnel workloads
+            && Implicit.tree_arity topo = None then begin
+           Printf.eprintf
+             "the funnel workload combines along tree edges - pass a \
+              tree:… topology (got %s)\n"
+             (Implicit.label topo);
+           exit 2
+         end);
         let keep_spans = json_path <> None && not streaming in
         match
           List.concat_map
@@ -1692,50 +1718,6 @@ let bench_cmd =
              wall-clock probes, so they can carry a strict gate at a tight \
              threshold where the end-to-end timings cannot.")
   in
-  (* A probe is (name, value, direction); [`Lower] means lower is
-     better (times), [`Higher] means higher is (speedups). *)
-  let num_of = function
-    | Some (J.Int n) -> Some (float_of_int n)
-    | Some (J.Float f) -> Some f
-    | _ -> None
-  in
-  let probes_of ~kernels_only json =
-    let acc = ref [] in
-    let add name dir v = acc := (name, v, dir) :: !acc in
-    let each_in field f =
-      match Option.bind (J.member field json) J.to_list with
-      | None -> ()
-      | Some items -> List.iter f items
-    in
-    if not kernels_only then
-      each_in "experiments" (fun it ->
-          match
-            ( Option.bind (J.member "id" it) J.to_str,
-              num_of (J.member "wall_seconds" it) )
-          with
-          | Some id, Some v -> add ("experiment " ^ id) `Lower v
-          | _ -> ());
-    each_in "kernels" (fun it ->
-        match
-          ( Option.bind (J.member "name" it) J.to_str,
-            num_of (J.member "ns_per_run" it) )
-        with
-        | Some name, Some v -> add name `Lower v
-        | _ -> ());
-    if not kernels_only then begin
-      let scalar path field dir name =
-        match Option.bind (J.member path json) (J.member field) |> num_of with
-        | Some v -> add name dir v
-        | None -> ()
-      in
-      scalar "engine_speedup" "speedup_at_ceiling" `Higher
-        "engine speedup at ceiling";
-      scalar "n_scaling" "max_ns_per_message" `Lower "event-engine ns/message";
-      scalar "cache_warm" "warm_speedup" `Higher "warm-cache speedup";
-      scalar "explore_checker" "min_rate_ratio" `Higher "explore-checker ratio"
-    end;
-    List.rev !acc
-  in
   let load path =
     let ic = open_in_bin path in
     let len = in_channel_length ic in
@@ -1748,6 +1730,7 @@ let bench_cmd =
     | Ok j -> j
   in
   let run old_path new_path threshold strict kernels_only =
+    let module D = Countq.Bench_diff in
     let old_j = load old_path and new_j = load new_path in
     let schema j =
       Option.bind (J.member "schema" j) J.to_str |> Option.value ~default:"?"
@@ -1755,69 +1738,71 @@ let bench_cmd =
     if schema old_j <> schema new_j then
       Printf.printf "note: comparing %s against %s\n" (schema old_j)
         (schema new_j);
-    let old_probes = probes_of ~kernels_only old_j in
-    let new_probes = probes_of ~kernels_only new_j in
-    let find name l =
-      List.find_map (fun (n, v, _) -> if n = name then Some v else None) l
+    let report =
+      D.compare ~threshold
+        (D.probes_of ~kernels_only old_j)
+        (D.probes_of ~kernels_only new_j)
     in
-    let rows = ref [] and regressions = ref 0 and compared = ref 0 in
-    List.iter
-      (fun (name, old_v, dir) ->
-        match find name new_probes with
-        | None -> ()
-        | Some new_v when old_v <= 0. || new_v <= 0. -> ()
-        | Some new_v ->
-            incr compared;
-            (* ratio > 1 means worse, whichever way the probe points *)
-            let ratio =
-              match dir with
-              | `Lower -> new_v /. old_v
-              | `Higher -> old_v /. new_v
-            in
-            let flag = ratio > 1. +. (threshold /. 100.) in
-            if flag then incr regressions;
-            if flag || ratio < 1. /. (1. +. (threshold /. 100.)) then
-              rows :=
-                [
-                  name;
-                  Printf.sprintf "%.4g" old_v;
-                  Printf.sprintf "%.4g" new_v;
-                  Printf.sprintf "%.2fx" ratio;
-                  (if flag then "REGRESSED" else "improved");
-                ]
-                :: !rows)
-      old_probes;
-    let dropped =
-      List.filter (fun (n, _, _) -> find n new_probes = None) old_probes
+    let rows =
+      List.filter_map
+        (fun (r : D.row) ->
+          let line verdict =
+            Some
+              [
+                r.probe;
+                Printf.sprintf "%.4g" r.old_value;
+                (match r.new_value with
+                | Some v -> Printf.sprintf "%.4g" v
+                | None -> "-");
+                (match D.ratio_of r.verdict with
+                | Some ratio -> Printf.sprintf "%.2fx" ratio
+                | None -> "-");
+                verdict;
+              ]
+          in
+          match r.verdict with
+          | D.Regressed _ -> line "REGRESSED"
+          | D.Improved _ -> line "improved"
+          | D.Unusable why -> line ("UNUSABLE (" ^ why ^ ")")
+          | D.Within _ | D.Missing -> None)
+        report.rows
     in
-    if !rows = [] then
+    if rows = [] then
       Printf.printf "bench diff: %d probes compared, all within %.0f%% of %s\n"
-        !compared threshold old_path
+        report.compared threshold old_path
     else begin
       let table =
         Table.make ~id:"BENCHDIFF"
           ~title:
             (Printf.sprintf "bench probes moving more than %.0f%% (%d compared)"
-               threshold !compared)
+               threshold report.compared)
           ~paper_ref:"perf-regression gate"
           ~headers:[ "probe"; "old"; "new"; "ratio"; "verdict" ]
           ~notes:
             [
               "ratio is new/old for timings and old/new for speedups, so > 1 \
                is always worse";
+              "UNUSABLE means a zero/negative/NaN value - no ratio exists, \
+               and a strict gate fails rather than skipping the probe";
               "wall-clock probes are noisy across machines - treat the gate \
                as a prompt to rerun, not a verdict";
             ]
-          (List.rev !rows)
+          rows
       in
       Table.print table
     end;
-    if dropped <> [] then
+    if report.missing > 0 then
       Printf.printf "note: %d probe(s) in %s have no counterpart in %s\n"
-        (List.length dropped) old_path new_path;
-    if strict && !regressions > 0 then begin
-      Printf.printf "%d probe(s) regressed past %.0f%% - failing (--strict)\n"
-        !regressions threshold;
+        report.missing old_path new_path;
+    if strict && D.gate_failures report > 0 then begin
+      if report.regressions > 0 then
+        Printf.printf "%d probe(s) regressed past %.0f%% - failing (--strict)\n"
+          report.regressions threshold;
+      if report.unusable > 0 then
+        Printf.printf
+          "%d probe(s) had an unusable baseline or candidate value - failing \
+           (--strict)\n"
+          report.unusable;
       exit 1
     end
   in

@@ -1,0 +1,141 @@
+module J = Countq_util.Json
+
+type direction = [ `Lower | `Higher ]
+type probe = { pname : string; value : float; dir : direction }
+
+type verdict =
+  | Within of float
+  | Improved of float
+  | Regressed of float
+  | Unusable of string
+  | Missing
+
+type row = {
+  probe : string;
+  old_value : float;
+  new_value : float option;
+  verdict : verdict;
+}
+
+type report = {
+  rows : row list;
+  compared : int;
+  regressions : int;
+  unusable : int;
+  missing : int;
+}
+
+let num_of = function
+  | Some (J.Int n) -> Some (float_of_int n)
+  | Some (J.Float f) -> Some f
+  | _ -> None
+
+let probes_of ~kernels_only json =
+  let acc = ref [] in
+  let add pname dir value = acc := { pname; value; dir } :: !acc in
+  let each_in field f =
+    match Option.bind (J.member field json) J.to_list with
+    | None -> ()
+    | Some items -> List.iter f items
+  in
+  if not kernels_only then
+    each_in "experiments" (fun it ->
+        match
+          ( Option.bind (J.member "id" it) J.to_str,
+            num_of (J.member "wall_seconds" it) )
+        with
+        | Some id, Some v -> add ("experiment " ^ id) `Lower v
+        | _ -> ());
+  each_in "kernels" (fun it ->
+      match
+        ( Option.bind (J.member "name" it) J.to_str,
+          num_of (J.member "ns_per_run" it) )
+      with
+      | Some name, Some v -> add name `Lower v
+      | _ -> ());
+  if not kernels_only then begin
+    let scalar path field dir name =
+      match Option.bind (J.member path json) (J.member field) |> num_of with
+      | Some v -> add name dir v
+      | None -> ()
+    in
+    scalar "engine_speedup" "speedup_at_ceiling" `Higher
+      "engine speedup at ceiling";
+    scalar "n_scaling" "max_ns_per_message" `Lower "event-engine ns/message";
+    scalar "cache_warm" "warm_speedup" `Higher "warm-cache speedup";
+    scalar "explore_checker" "min_rate_ratio" `Higher "explore-checker ratio"
+  end;
+  List.rev !acc
+
+(* A value can anchor a ratio only if it is a finite positive number.
+   The distinction matters for the reason string: NaN in a snapshot
+   means a broken probe, zero usually means a timer that never ran. *)
+let usable v =
+  if Float.is_nan v then Error "NaN"
+  else if not (Float.is_finite v) then Error "infinite"
+  else if v = 0. then Error "zero"
+  else if v < 0. then Error "negative"
+  else Ok v
+
+let compare ~threshold old_probes new_probes =
+  if Float.is_nan threshold || (not (Float.is_finite threshold)) || threshold < 0.
+  then invalid_arg "Bench_diff.compare: threshold must be finite and >= 0";
+  let worse = 1. +. (threshold /. 100.) in
+  let find name =
+    List.find_map
+      (fun p -> if p.pname = name then Some p.value else None)
+      new_probes
+  in
+  let compared = ref 0
+  and regressions = ref 0
+  and unusable = ref 0
+  and missing = ref 0 in
+  let rows =
+    List.map
+      (fun { pname; value = old_v; dir } ->
+        let new_value = find pname in
+        let verdict =
+          match new_value with
+          | None ->
+              incr missing;
+              Missing
+          | Some new_v -> (
+              match (usable old_v, usable new_v) with
+              | Error why, _ ->
+                  incr unusable;
+                  Unusable ("baseline unusable: " ^ why)
+              | Ok _, Error why ->
+                  incr unusable;
+                  Unusable ("candidate unusable: " ^ why)
+              | Ok old_v, Ok new_v ->
+                  incr compared;
+                  (* ratio > 1 means worse, whichever way the probe
+                     points *)
+                  let ratio =
+                    match dir with
+                    | `Lower -> new_v /. old_v
+                    | `Higher -> old_v /. new_v
+                  in
+                  if ratio > worse then begin
+                    incr regressions;
+                    Regressed ratio
+                  end
+                  else if ratio < 1. /. worse then Improved ratio
+                  else Within ratio)
+        in
+        { probe = pname; old_value = old_v; new_value; verdict })
+      old_probes
+  in
+  {
+    rows;
+    compared = !compared;
+    regressions = !regressions;
+    unusable = !unusable;
+    missing = !missing;
+  }
+
+let ratio_of = function
+  | Within r | Improved r | Regressed r -> Some r
+  | Unusable _ | Missing -> None
+
+let gate_failures r = r.regressions + r.unusable

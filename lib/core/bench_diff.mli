@@ -1,0 +1,64 @@
+(** Probe-by-probe comparison of two bench snapshots — the perf gate.
+
+    Extracted from the [countq bench diff] subcommand so the verdict
+    logic is testable on hand-written snapshots. The comparison is
+    direction-aware (times want to go down, speedups up) and — the part
+    that used to be silently wrong — {e explicit about unusable
+    baselines}: a probe whose value is zero, negative, NaN or infinite
+    cannot anchor a ratio, and earlier versions skipped the zero case
+    without a word while letting NaN flow straight through the ratio
+    (every comparison against NaN is false, so a garbage baseline
+    passed the strict gate looking green). Such probes now get an
+    {!Unusable} verdict carrying the reason, they are excluded from
+    [compared], and the strict gate treats them as failures — a broken
+    baseline should stop CI, not wave it through. *)
+
+type direction = [ `Lower | `Higher ]
+(** Which way is better: [`Lower] for timings, [`Higher] for speedups. *)
+
+type probe = { pname : string; value : float; dir : direction }
+
+type verdict =
+  | Within of float  (** ratio moved less than the threshold. *)
+  | Improved of float  (** moved past the threshold the good way. *)
+  | Regressed of float  (** moved past the threshold the bad way. *)
+  | Unusable of string
+      (** no ratio exists: the baseline or candidate value is zero,
+          negative, NaN or infinite — the reason says which. *)
+  | Missing  (** the candidate snapshot has no probe of this name. *)
+
+type row = {
+  probe : string;
+  old_value : float;
+  new_value : float option;  (** [None] iff the verdict is {!Missing}. *)
+  verdict : verdict;
+}
+
+type report = {
+  rows : row list;  (** one per baseline probe, in baseline order. *)
+  compared : int;  (** probes with a usable ratio. *)
+  regressions : int;
+  unusable : int;
+  missing : int;
+}
+
+val probes_of : kernels_only:bool -> Countq_util.Json.t -> probe list
+(** Extract the comparable probes from a bench snapshot: experiment
+    wall-clock seconds, Bechamel kernel ns/run, and the scalar summary
+    figures (engine speedup, event-engine ns/message, warm-cache
+    speedup, explore-checker ratio). [kernels_only] keeps just the
+    kernel probes — the low-noise set a strict gate can sit on. *)
+
+val compare : threshold:float -> probe list -> probe list -> report
+(** [compare ~threshold old_probes new_probes] walks the baseline
+    probes in order. [threshold] is in percent: a ratio beyond
+    [1 + threshold/100] (worse) is {!Regressed}, below its reciprocal
+    is {!Improved}. Ratios are [new/old] for [`Lower] probes and
+    [old/new] for [`Higher], so > 1 always means worse.
+    @raise Invalid_argument if [threshold] is negative or not finite. *)
+
+val ratio_of : verdict -> float option
+(** The ratio inside {!Within}/{!Improved}/{!Regressed}, else [None]. *)
+
+val gate_failures : report -> int
+(** What a strict gate counts: [regressions + unusable]. *)

@@ -157,6 +157,13 @@ val e31_streaming_telemetry :
     spans come from a reservoir, cross-checked against the retained
     path on a prefix small enough to hold exactly. *)
 
+val e32_funnel_scaling : ?quick:bool -> ?ctx:Sweep.ctx -> unit -> Table.t
+(** Exact counting at the event engine's reach: combining-funnel
+    one-shots on implicit balanced trees at 10^4..10^6 nodes (messages
+    per operation stay O(1), rounds near 2·depth), next to the central
+    fetch-and-add on the same trees, whose rounds grow linearly in the
+    request count — the gap E30 could only show as a missing row. *)
+
 val all : spec list
 (** Every experiment, in id order. *)
 

@@ -72,9 +72,12 @@ let schedule ~seed arrival ~n ~horizon =
   done;
   Array.of_list (List.rev !acc)
 
-type workload = Queuing | Counting
+type workload = Queuing | Counting | Funnel
 
-let workload_label = function Queuing -> "queuing" | Counting -> "counting"
+let workload_label = function
+  | Queuing -> "queuing"
+  | Counting -> "counting"
+  | Funnel -> "funnel"
 
 type summary = {
   workload : string;
@@ -178,6 +181,148 @@ let issue_c ~topo ~center v i s =
         Engine.Send
           (Implicit.next_hop topo ~src:v ~dst:center, { op_idx = i; resp = false });
       ] )
+
+(* ------------------------------------------------------------------ *)
+(* Funnel: the combining funnel (Funnel module) generalised to an open
+   loop. Operations arriving in the same round form a cohort; each
+   cohort runs one leaf-to-root combine / root-to-leaf decombine pass
+   over its own on-path closure, and the root folds cohort totals into
+   one global counter, so counts stay exact across the whole run. The
+   combining window per (cohort, node) is precomputed from the arrival
+   calendar: [expect] says how many on-path children will report and
+   how many local arrivals will join, and the node flushes upward the
+   moment both are in — message-driven, no timers. Same-round arrivals
+   at a node inject before any child's Up can arrive (an Up sent in
+   round t delivers in t+1), so batches form deterministically.        *)
+
+type f_contrib = F_own of int | F_child of { child : int; count : int }
+
+type f_cohort = {
+  f_got : int;  (** on-path children heard from. *)
+  f_arrived : int;  (** local arrivals injected so far. *)
+  f_total : int;
+  f_batch : f_contrib list;  (** reverse arrival order. *)
+}
+
+type f_state = {
+  cohorts : (int * f_cohort) list;  (** in-flight cohorts, newest first. *)
+  f_counter : int;  (** root only: counts handed out so far. *)
+}
+
+type f_msg =
+  | F_up of { cohort : int; count : int }
+  | F_down of { cohort : int; base : int }
+
+let f_empty = { f_got = 0; f_arrived = 0; f_total = 0; f_batch = [] }
+
+(* (cohort, node) -> (#on-path children, #local arrivals), from one
+   walk up the tree per operation — the open-loop twin of the Funnel
+   module's closure table. *)
+let funnel_expectations ~root ~parent ~cal =
+  let tbl = Hashtbl.create ((4 * Array.length cal) + 16) in
+  Array.iter
+    (fun (at, node) ->
+      let rec ensure v =
+        match Hashtbl.find_opt tbl (at, v) with
+        | Some e -> e
+        | None ->
+            let e = ref (0, 0) in
+            Hashtbl.add tbl (at, v) e;
+            if v <> root then begin
+              let pe = ensure (parent v) in
+              let c, o = !pe in
+              pe := (c + 1, o)
+            end;
+            e
+      in
+      let e = ensure node in
+      let c, o = !e in
+      e := (c, o + 1))
+    cal;
+  fun ~cohort ~node ->
+    match Hashtbl.find_opt tbl (cohort, node) with
+    | Some e -> !e
+    | None -> (0, 0)
+
+let funnel_machinery ~root ~parent ~expect =
+  let find c s =
+    match List.assoc_opt c s.cohorts with Some x -> x | None -> f_empty
+  in
+  let set c x s = { s with cohorts = (c, x) :: List.remove_assoc c s.cohorts } in
+  let remove c s = { s with cohorts = List.remove_assoc c s.cohorts } in
+  (* Decombine invariant, cohort-local: entered with [base] and batch
+     total t, hand out exactly {base+1 .. base+t} in arrival order. *)
+  let hand_down ~cohort base batch =
+    let acts, _ =
+      List.fold_left
+        (fun (acts, b) contrib ->
+          match contrib with
+          | F_own i -> (Engine.Complete i :: acts, b + 1)
+          | F_child { child; count } ->
+              (Engine.Send (child, F_down { cohort; base = b }) :: acts, b + count))
+        ([], base) batch
+    in
+    List.rev acts
+  in
+  let flush cohort v st s =
+    if v = root then begin
+      let base = s.f_counter in
+      let s = { (remove cohort s) with f_counter = base + st.f_total } in
+      (s, hand_down ~cohort base (List.rev st.f_batch))
+    end
+    else
+      ( set cohort st s,
+        [ Engine.Send (parent v, F_up { cohort; count = st.f_total }) ] )
+  in
+  let maybe_flush cohort v st s =
+    let children, arrivals = expect ~cohort ~node:v in
+    if st.f_got = children && st.f_arrived = arrivals then flush cohort v st s
+    else (set cohort st s, [])
+  in
+  let protocol =
+    {
+      Engine.name = "open-loop-funnel";
+      initial_state = (fun _ -> { cohorts = []; f_counter = 0 });
+      on_start = (fun ~node:_ s -> (s, []));
+      on_receive =
+        (fun ~round:_ ~node ~src msg s ->
+          match msg with
+          | F_up { cohort; count } ->
+              let st = find cohort s in
+              let st =
+                {
+                  st with
+                  f_got = st.f_got + 1;
+                  f_total = st.f_total + count;
+                  f_batch = F_child { child = src; count } :: st.f_batch;
+                }
+              in
+              maybe_flush cohort node st s
+          | F_down { cohort; base } ->
+              let st = find cohort s in
+              (remove cohort s, hand_down ~cohort base (List.rev st.f_batch)));
+      on_tick = Engine.no_tick;
+    }
+  in
+  let issue v i ~cohort s =
+    let st = find cohort s in
+    let st =
+      {
+        st with
+        f_arrived = st.f_arrived + 1;
+        f_total = st.f_total + 1;
+        f_batch = F_own i :: st.f_batch;
+      }
+    in
+    maybe_flush cohort v st s
+  in
+  (protocol, issue)
+
+let funnel_tree ~topo name =
+  match Implicit.tree_arity topo with
+  | Some arity -> (0, fun v -> (v - 1) / arity)
+  | None ->
+      invalid_arg (name ^ ": the funnel workload needs an implicit tree family")
 
 (* ------------------------------------------------------------------ *)
 
@@ -355,6 +500,23 @@ let run ?(seed = 0xc0417L) ?(config = Engine.default_config) ?(tail = 0)
         else
           Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
             ~starters:[] ~topo ~config ~protocol ()
+    | Funnel ->
+        let root, parent = funnel_tree ~topo "Load.run" in
+        let expect = funnel_expectations ~root ~parent ~cal in
+        let protocol, issue = funnel_machinery ~root ~parent ~expect in
+        let injections =
+          Array.mapi
+            (fun i (at, node) ->
+              { Event.at; node; inject = (fun s -> issue node i ~cohort:at s) })
+            cal
+        in
+        if shards >= 2 then
+          Shard.run_implicit ~shards ?pool ?metrics ?telemetry ?sink
+            ~injections ~halt_after ~stats ~starters:[] ~topo ~config
+            ~protocol ()
+        else
+          Event.run ?metrics ?telemetry ?sink ~injections ~halt_after ~stats
+            ~starters:[] ~topo ~config ~protocol ()
   in
   match stream with
   | Some (sketch, reservoir) ->
@@ -376,9 +538,30 @@ type one_shot_summary = {
 
 let one_shot ?(config = Engine.default_config) ?(tail = 0) ?center
     ?(shards = 1) ?pool ?stats ~topo ~workload ~requests () =
+  (* One-shot delays are completion rounds (issue is at time 0), so the
+     summary never looks at the completion values — the fold is
+     polymorphic in them, which lets the funnel's [(origin, count)]
+     completions share the path with the int-valued workloads. *)
+  let summarise_os (type r) ~nreq (result : r Engine.result) =
+    let total = ref 0 and maxd = ref 0 in
+    List.iter
+      (fun (c : r Engine.completion) ->
+        total := !total + c.round;
+        if c.round > !maxd then maxd := c.round)
+      result.completions;
+    {
+      os_requests = nreq;
+      os_completed = List.length result.completions;
+      os_rounds = result.rounds;
+      os_messages = result.messages;
+      os_max_backlog = result.max_link_backlog;
+      os_total_delay = !total;
+      os_max_delay = !maxd;
+    }
+  in
   let exec :
-      type s m. protocol:(s, m, int) Engine.protocol -> unit -> int Engine.result
-      =
+      type s m r.
+      protocol:(s, m, r) Engine.protocol -> unit -> r Engine.result =
    fun ~protocol () ->
     if shards >= 2 then
       Shard.run_implicit ~shards ?pool ?stats ~starters:requests ~topo ~config
@@ -388,50 +571,39 @@ let one_shot ?(config = Engine.default_config) ?(tail = 0) ?center
   let n = Implicit.n topo in
   let center = match center with Some c -> c | None -> n / 2 in
   let req = Array.of_list requests in
-  let idx_of = Hashtbl.create (Array.length req) in
+  let nreq = Array.length req in
+  let idx_of = Hashtbl.create nreq in
   Array.iteri (fun i v -> Hashtbl.replace idx_of v i) req;
-  let result =
-    match workload with
-    | Queuing ->
-        let base = queuing_protocol ~topo ~tail in
-        let protocol =
-          {
-            base with
-            on_start =
-              (fun ~node s ->
-                match Hashtbl.find_opt idx_of node with
-                | Some i -> issue_q node i s
-                | None -> (s, []));
-          }
-        in
-        exec ~protocol ()
-    | Counting ->
-        let origin_of i = req.(i) in
-        let base = counting_protocol ~topo ~center ~origin_of in
-        let protocol =
-          {
-            base with
-            on_start =
-              (fun ~node s ->
-                match Hashtbl.find_opt idx_of node with
-                | Some i -> issue_c ~topo ~center node i s
-                | None -> (s, []));
-          }
-        in
-        exec ~protocol ()
-  in
-  let total = ref 0 and maxd = ref 0 in
-  List.iter
-    (fun (c : int Engine.completion) ->
-      total := !total + c.round;
-      if c.round > !maxd then maxd := c.round)
-    result.completions;
-  {
-    os_requests = Array.length req;
-    os_completed = List.length result.completions;
-    os_rounds = result.rounds;
-    os_messages = result.messages;
-    os_max_backlog = result.max_link_backlog;
-    os_total_delay = !total;
-    os_max_delay = !maxd;
-  }
+  match workload with
+  | Queuing ->
+      let base = queuing_protocol ~topo ~tail in
+      let protocol =
+        {
+          base with
+          on_start =
+            (fun ~node s ->
+              match Hashtbl.find_opt idx_of node with
+              | Some i -> issue_q node i s
+              | None -> (s, []));
+        }
+      in
+      summarise_os ~nreq (exec ~protocol ())
+  | Counting ->
+      let origin_of i = req.(i) in
+      let base = counting_protocol ~topo ~center ~origin_of in
+      let protocol =
+        {
+          base with
+          on_start =
+            (fun ~node s ->
+              match Hashtbl.find_opt idx_of node with
+              | Some i -> issue_c ~topo ~center node i s
+              | None -> (s, []));
+        }
+      in
+      summarise_os ~nreq (exec ~protocol ())
+  | Funnel ->
+      let protocol =
+        Countq_counting.Funnel.implicit_protocol ~topo ~requests ()
+      in
+      summarise_os ~nreq (exec ~protocol ())

@@ -44,6 +44,17 @@ type workload =
   | Counting
       (** central fetch-and-add: requests route to the centre node,
           responses route back; completion at the origin's receipt. *)
+  | Funnel
+      (** combining funnel on an implicit tree family
+          ({!Countq_counting.Funnel} generalised to the open loop):
+          same-round arrivals form a cohort that combines leaf-to-root
+          over its on-path closure and decombines root-to-leaf, with
+          the root folding cohort totals into one global counter —
+          counts stay exact across the run. O(1) messages per op
+          against the central counter's O(distance-to-centre), which
+          moves the counting saturation knee. Requires a
+          {!Countq_topology.Implicit.tree} topology
+          (@raise Invalid_argument otherwise). *)
 
 val workload_label : workload -> string
 

@@ -9,13 +9,14 @@ module Queuing = Countq_queuing
 type kind = Counting | Queuing
 
 type counting_protocol =
-  [ `Central | `Combining | `Diffracting | `Network | `Sweep ]
+  [ `Central | `Combining | `Diffracting | `Funnel | `Network | `Sweep ]
 type queuing_protocol = [ `Arrow | `Arrow_notify | `Central | `Token_ring ]
 
 let counting_protocol_name = function
   | `Central -> "count/central"
   | `Combining -> "count/combining"
   | `Diffracting -> "count/diffracting"
+  | `Funnel -> "count/funnel"
   | `Network -> "count/network"
   | `Sweep -> "count/sweep"
 
@@ -52,7 +53,12 @@ let counting ?tree ?width ~graph ~protocol ~requests () =
         let tree =
           match tree with Some t -> t | None -> Spanning.bfs graph ~root:0
         in
-        Counting.Diffracting.run ~tree ~requests ()
+        Counting.Diffracting.run ?width ~tree ~requests ()
+    | `Funnel ->
+        let tree =
+          match tree with Some t -> t | None -> Spanning.bfs graph ~root:0
+        in
+        Counting.Funnel.run ?width ~tree ~requests ()
     | `Network -> Counting.Network.run ?width ~graph ~requests ()
     | `Sweep ->
         let tree =
@@ -513,8 +519,25 @@ let observe ?tree ?plan ~graph ~protocol ~requests () =
   }
 
 let best_counting ?pool ~graph ~requests () =
-  let eval protocol = counting ~graph ~protocol ~requests () in
-  let protocols = [ `Central; `Combining; `Diffracting; `Network; `Sweep ] in
+  (* The balancer protocols get their fan-in from the offered
+     concurrency (the adaptive width), not from whatever degree the
+     spanning tree happened to have — a star no longer forces an
+     (n-1)-wide expanded step on a two-request run. *)
+  let adaptive =
+    Counting.Funnel.adaptive_width ~n:(Graph.n graph)
+      ~concurrency:(List.length requests)
+  in
+  let eval protocol =
+    let width =
+      match protocol with
+      | `Diffracting | `Funnel -> Some adaptive
+      | `Central | `Combining | `Network | `Sweep -> None
+    in
+    counting ?width ~graph ~protocol ~requests ()
+  in
+  let protocols =
+    [ `Central; `Combining; `Diffracting; `Funnel; `Network; `Sweep ]
+  in
   (* pool_map preserves input order, so the sort below sees candidates
      in the same order as the sequential path — ties break identically. *)
   let candidates =

@@ -11,7 +11,7 @@
 type kind = Counting | Queuing
 
 type counting_protocol =
-  [ `Central | `Combining | `Diffracting | `Network | `Sweep ]
+  [ `Central | `Combining | `Diffracting | `Funnel | `Network | `Sweep ]
 
 type queuing_protocol = [ `Arrow | `Arrow_notify | `Central | `Token_ring ]
 
@@ -40,12 +40,14 @@ val counting :
   requests:int list ->
   unit ->
   summary
-(** Run a counting protocol. [tree] (for [`Combining] and
-    [`Diffracting]) defaults to the
+(** Run a counting protocol. [tree] (for [`Combining], [`Diffracting]
+    and [`Funnel]) defaults to the
     BFS spanning tree rooted at 0 and (for [`Sweep]) to the arrow
     protocol's preferred spanning tree (a Hamilton path where one is
-    known, which makes the sweep a single pass); [width] (for
-    [`Network]) defaults to [Network.default_width]. *)
+    known, which makes the sweep a single pass); [width] caps the
+    balancer fan-in (the expanded step) for [`Diffracting] and
+    [`Funnel], and (for [`Network]) defaults to
+    [Network.default_width]. *)
 
 val queuing :
   ?tree:Countq_topology.Tree.t ->
@@ -201,9 +203,12 @@ val best_counting :
 (** The cheapest (by normalised total delay) of the counting portfolio
     on this instance — what the experiments compare against: the
     Section 3 lower bounds must sit below it, and on the separation
-    topologies the arrow protocol's cost must sit below it too. With
-    [pool], the four candidates evaluate in parallel; [pool_map]
-    preserves candidate order, so the result is identical either way. *)
+    topologies the arrow protocol's cost must sit below it too. The
+    balancer protocols ([`Diffracting], [`Funnel]) run at the adaptive
+    width ({!Countq_counting.Funnel.adaptive_width}) rather than the
+    spanning tree's natural arity. With [pool], the candidates evaluate
+    in parallel; [pool_map] preserves candidate order, so the result is
+    identical either way. *)
 
 val observe_many :
   ?pool:Countq_util.Parallel.pool ->

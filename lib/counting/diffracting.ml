@@ -93,12 +93,17 @@ type checker_msg = msg
 let one_shot_protocol ~tree ~requests () =
   prepare ~tree ~requests "Diffracting.one_shot_protocol"
 
-let run ?config ~tree ~requests () =
+let run ?config ?width ~tree ~requests () =
   let protocol = prepare ~tree ~requests "Diffracting.run" in
   let config =
-    match config with
-    | Some c -> c
-    | None -> Engine.config_with_capacity (max 1 (Tree.max_degree tree))
+    match (config, width) with
+    | Some c, _ -> c
+    | None, Some w ->
+        (* An adaptively chosen diffraction width: the expanded step is
+           the balancer fan-in we are willing to pay for, not whatever
+           degree the spanning tree happened to have. *)
+        Engine.config_with_capacity (max 1 (min (Tree.max_degree tree) w))
+    | None, None -> Engine.config_with_capacity (max 1 (Tree.max_degree tree))
   in
   let graph = Tree.to_graph tree in
   Counts.of_engine ~requests (Engine.run ~graph ~config ~protocol ())

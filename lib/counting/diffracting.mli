@@ -32,14 +32,17 @@
 
 val run :
   ?config:Countq_simnet.Engine.config ->
+  ?width:int ->
   tree:Countq_topology.Tree.t ->
   requests:int list ->
   unit ->
   Counts.run_result
 (** [run ~tree ~requests ()] executes the one-shot scenario on the
     given rooted spanning tree. The default config uses an expanded
-    step of the tree's maximum degree (as {!Combining.run}); pass
-    [config] to force the base model.
+    step of the tree's maximum degree (as {!Combining.run}); [width]
+    caps that expanded step instead (the adaptive selection,
+    {!Funnel.adaptive_width}, paying only for the fan-in the offered
+    concurrency warrants); an explicit [config] overrides both.
     @raise Invalid_argument on out-of-range or duplicate requests. *)
 
 val run_async :

@@ -81,7 +81,14 @@ let jobs_quit = 0
 let job_send = 1
 let job_deliver = 2
 
-let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
+(* Observer events buffered per shard during the parallel phases and
+   replayed coordinator-side at the round barrier, merged in (phase,
+   node) order — the same reconstruction the completion drain uses, so
+   the callback stream is the sequential engines' exactly. *)
+type 'r obs_ev = Obs_deliver of int (* src *) | Obs_complete of 'r
+
+let run_core (type s m r) ?faults ?dynamic ?(observer = Engine.null_observer)
+    ?metrics ?telemetry ?sink ?stats
     ~(injections : (s, m, r) Event_engine.injection array) ~halt_after
     ~(starters : int list option) ~(part : Partition.t)
     ~(pool : Parallel.pool option) ~n ~(neighbors : int -> int array)
@@ -173,6 +180,14 @@ let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
   let comp_bufs : (int * int * r) buf array =
     Array.init kshards (fun _ -> buf ())
   in
+  let has_observer = observer != Engine.null_observer in
+  (* Per-shard observer event buffers, (phase, node)-sorted by
+     construction exactly like [comp_bufs]; delivers and completions
+     share one buffer so their interleaving at a node survives the
+     merge. *)
+  let obs_bufs : (int * int * r obs_ev) buf array =
+    if has_observer then Array.init kshards (fun _ -> buf ()) else [||]
+  in
   (* Cross-shard transfers: (src, dst, msg); buffer [p * kshards + r]
      is written by sending shard [p] and read by receiving shard [r],
      with the round barrier between the two. *)
@@ -247,7 +262,10 @@ let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
   let round = ref 0 in
   let halted = ref false in
   let halt_cap = match halt_after with Some h -> max 0 h | None -> max_int in
-  let can_fast_forward = protocol.on_tick = None in
+  (* A non-default observer sees every executed round (its on_round_end
+     can halt the run), so quiescent-gap jumping is disabled exactly as
+     in Event_engine.run. *)
+  let can_fast_forward = protocol.on_tick = None && not has_observer in
   let note_peak () =
     match stats with
     | Some c ->
@@ -358,6 +376,7 @@ let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
         (match telemetry with
         | Some _ -> Telemetry.note_complete shard_tel.(sidx) ~round:t
         | None -> ());
+        if has_observer then buf_push obs_bufs.(sidx) (phase, v, Obs_complete value);
         buf_push comp_bufs.(sidx) (phase, v, value);
         apply_actions sidx phase v t rest
   in
@@ -534,6 +553,7 @@ let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
           (match telemetry with
           | Some _ -> Telemetry.note_deliver shard_tel.(sidx) ~round:t
           | None -> ());
+          if has_observer then buf_push obs_bufs.(sidx) (1, v, Obs_deliver src);
           let s, actions =
             protocol.on_receive ~round:t ~node:v ~src msg states.(v)
           in
@@ -945,7 +965,41 @@ let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
            busiest = Engine.top_loaded loads;
          })
   in
+  (* Replay the round's buffered observer events in (phase, node)
+     order — the k-way merge from drain_completions, reused. *)
+  let replay_observer t =
+    if has_observer then begin
+      let ptr = Array.make kshards 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let best = ref (-1) in
+        let best_key = ref (max_int, max_int) in
+        for sidx = 0 to kshards - 1 do
+          let b = obs_bufs.(sidx) in
+          if ptr.(sidx) < b.len then begin
+            let phase, node, _ = b.data.(ptr.(sidx)) in
+            if (phase, node) < !best_key then begin
+              best_key := (phase, node);
+              best := sidx
+            end
+          end
+        done;
+        if !best < 0 then continue_ := false
+        else begin
+          let b = obs_bufs.(!best) in
+          let _, node, ev = b.data.(ptr.(!best)) in
+          ptr.(!best) <- ptr.(!best) + 1;
+          match ev with
+          | Obs_deliver src -> observer.Engine.on_deliver ~round:t ~src ~dst:node
+          | Obs_complete value ->
+              observer.Engine.on_complete ~round:t ~node ~value
+        end
+      done;
+      Array.iter (fun b -> b.len <- 0) obs_bufs
+    end
+  in
   let round_end t =
+    replay_observer t;
     (match stats with
     | Some c -> c.Event_engine.executed_rounds <- c.Event_engine.executed_rounds + 1
     | None -> ());
@@ -954,7 +1008,13 @@ let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
         let in_flight = !outstanding_sends + !queued_total + !held_count in
         Telemetry.note_in_flight tl ~round:t ~in_flight
     | None -> ());
-    note_peak ()
+    note_peak ();
+    if has_observer then begin
+      let in_flight = !outstanding_sends + !queued_total + !held_count in
+      match observer.Engine.on_round_end ~round:t ~in_flight with
+      | `Continue -> ()
+      | `Halt -> halted := true
+    end
   in
   (* ---------------- time 0 ----------------------------------------- *)
   let start_node v =
@@ -976,6 +1036,8 @@ let run_core (type s m r) ?faults ?dynamic ?metrics ?telemetry ?sink ?stats
               Vec.push senders.(owner.(v)) v
             end
         | Engine.Complete value ->
+            if has_observer then
+              observer.Engine.on_complete ~round:0 ~node:v ~value;
             (match telemetry with
             | Some tl -> Telemetry.note_complete tl ~round:0
             | None -> ());
@@ -1157,9 +1219,9 @@ let run ?shards ?pool ?partition ?faults ?dynamic ?metrics ?telemetry ~graph
       ~halt_after:None ~starters:None ~part ~pool ~n
       ~neighbors:(Graph.neighbors graph) ~config ~protocol ()
 
-let run_implicit ?shards ?pool ?partition ?faults ?dynamic ?metrics ?telemetry
-    ?sink ?(injections = [||]) ?halt_after ?stats ?starters ~topo ~config
-    ~protocol () =
+let run_implicit ?shards ?pool ?partition ?faults ?dynamic ?observer ?metrics
+    ?telemetry ?sink ?(injections = [||]) ?halt_after ?stats ?starters ~topo
+    ~config ~protocol () =
   (match protocol.Engine.on_tick with
   | None -> ()
   | Some _ ->
@@ -1181,9 +1243,9 @@ let run_implicit ?shards ?pool ?partition ?faults ?dynamic ?metrics ?telemetry
         Partition.contiguous ~n ~shards
   in
   if part.Partition.shards = 1 then
-    Event_engine.run ?faults ?dynamic ?metrics ?telemetry ?sink ~injections
-      ?halt_after ?stats ?starters ~topo ~config ~protocol ()
+    Event_engine.run ?faults ?dynamic ?observer ?metrics ?telemetry ?sink
+      ~injections ?halt_after ?stats ?starters ~topo ~config ~protocol ()
   else
-    run_core ?faults ?dynamic ?metrics ?telemetry ?sink ?stats ~injections
-      ~halt_after ~starters ~part ~pool ~n ~neighbors:(Itopo.neighbors topo)
-      ~config ~protocol ()
+    run_core ?faults ?dynamic ?observer ?metrics ?telemetry ?sink ?stats
+      ~injections ~halt_after ~starters ~part ~pool ~n
+      ~neighbors:(Itopo.neighbors topo) ~config ~protocol ()

@@ -35,10 +35,18 @@
     phases are precomputed by the coordinator each round, so schedule
     queries never race.
 
-    Not supported (by construction, not oversight): [?observer] and
-    [?keep_alive] — a per-event observer imposes a global callback
-    order that would serialise every phase. Use [?metrics] /
-    [?telemetry] / [?sink], which are merge-friendly.
+    {!run_implicit} supports [?observer] without serialising the
+    phases: each shard buffers its deliver/complete events in local
+    processing order, and the coordinator replays them at the round
+    barrier, merged in [(phase, node)] order — the same reconstruction
+    the completion drain uses — so the callback stream (including the
+    interleaving of [on_deliver] and [on_complete] at a node) is
+    exactly the sequential engines'. [on_round_end] fires on the
+    coordinator after the merge, with the engines' [in_flight]
+    accounting, and its [`Halt] verdict stops the run. As in
+    {!Event_engine.run}, a non-default observer disables quiescent-gap
+    jumping (it must see every executed round). [?keep_alive] remains
+    unsupported here — use an observer that returns [`Continue].
 
     With an effective shard count of 1 the call delegates to the
     sequential engine, so nothing is ever lost by threading [--shards]
@@ -83,6 +91,7 @@ val run_implicit :
   ?partition:Countq_topology.Partition.t ->
   ?faults:Faults.runtime ->
   ?dynamic:Dynamic.runtime ->
+  ?observer:'r Engine.observer ->
   ?metrics:Metrics.t ->
   ?telemetry:Telemetry.t ->
   ?sink:('r Engine.completion -> unit) ->
@@ -97,10 +106,11 @@ val run_implicit :
   'r Engine.result
 (** Sharded {!Event_engine.run} on an implicit topology, with the same
     optional machinery (completion [sink] — invoked in chronological
-    order, drained at each round barrier; scheduled [injections];
-    [halt_after]; [stats]; [starters]). [partition] defaults to
-    [Partition.contiguous]. [shards = 1] delegates to
-    {!Event_engine.run}.
+    order, drained at each round barrier; per-event [observer],
+    replayed at the barrier in the sequential callback order — see the
+    module preamble; scheduled [injections]; [halt_after]; [stats];
+    [starters]). [partition] defaults to [Partition.contiguous].
+    [shards = 1] delegates to {!Event_engine.run}.
 
     Representation note: node state is dense (arrays over all [n]
     nodes), not the event engine's lazy sparse store — the per-round

@@ -66,6 +66,9 @@ let tree ?(arity = 2) n =
   if n < 1 then invalid_arg "Implicit.tree: n must be >= 1";
   { label = Printf.sprintf "tree-%d-%d" arity n; fam = Tree { arity; total = n } }
 
+let tree_arity t =
+  match t.fam with Tree { arity; _ } -> Some arity | _ -> None
+
 let of_graph ?label g =
   let label =
     match label with Some l -> l | None -> Printf.sprintf "graph-%d" (Graph.n g)
@@ -269,6 +272,23 @@ let materialise t =
 
 let err fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt
 
+(* Ceiling on parsed node counts. Implicit families themselves are
+   O(1) memory at any size, but everything downstream of a spec — the
+   sharded engine's dense state, partitions, load calendars — sizes
+   something O(n), so a spec like [torus:100000x100000x100000] (10^15
+   nodes) must be refused here with a real message instead of failing
+   much later with a confusing allocation error. The product is folded
+   with an overflow guard so it cannot wrap on the way to the check. *)
+let max_spec_nodes = 1 lsl 30
+
+let dims_product dims =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> None
+      | Some p -> if d > 0 && p <= max_spec_nodes / d then Some (p * d) else None)
+    (Some 1) dims
+
 let parse spec =
   let spec = String.lowercase_ascii (String.trim spec) in
   let name, arg =
@@ -283,17 +303,30 @@ let parse spec =
     | None -> Ok (`N 1024)
     | Some s when String.contains s ':' -> (
         match List.filter_map int_of_string_opt (String.split_on_char ':' s) with
-        | [ a; n ] when a >= 1 && n >= 1 -> Ok (`Pair (a, n))
+        | [ a; n ] when a >= 1 && n >= 1 ->
+            if n > max_spec_nodes then
+              err "%s: size %d exceeds the %d-node spec ceiling" name n
+                max_spec_nodes
+            else Ok (`Pair (a, n))
         | _ -> err "%s: bad arity:size pair %S" name s)
     | Some s when String.contains s 'x' -> (
         let parts = String.split_on_char 'x' s in
         let dims = List.filter_map int_of_string_opt parts in
         if List.length dims = List.length parts && List.for_all (fun d -> d >= 1) dims
-        then Ok (`Dims dims)
+        then
+          match dims_product dims with
+          | Some _ -> Ok (`Dims dims)
+          | None ->
+              err "%s: dimension product %s exceeds the %d-node spec ceiling"
+                name s max_spec_nodes
         else err "%s: bad dimension list %S" name s)
     | Some s -> (
         match int_of_string_opt s with
-        | Some n when n >= 1 -> Ok (`N n)
+        | Some n when n >= 1 ->
+            if n > max_spec_nodes then
+              err "%s: size %d exceeds the %d-node spec ceiling" name n
+                max_spec_nodes
+            else Ok (`N n)
         | _ -> err "%s: size %S is not a positive integer" name s)
   in
   match size with

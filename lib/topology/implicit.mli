@@ -70,6 +70,12 @@ val tree : ?arity:int -> int -> t
     BFS-numbered (children of [v] are [v*arity + 1 … v*arity + arity]);
     twin of {!Gen.balanced_tree_on}. *)
 
+val tree_arity : t -> int option
+(** [Some arity] when [t] is a {!tree} family instance — the
+    index-arithmetic contract ([parent v = (v-1)/arity]) that the
+    combining-funnel counter routes by — [None] for every other
+    family. *)
+
 val of_graph : ?label:string -> Graph.t -> t
 (** Wrap an already-materialised graph (adjacency read through,
     [next_hop] by memoised BFS per destination) — the bridge the
@@ -87,4 +93,8 @@ val parse : string -> (t, [ `Msg of string ]) result
     [binary-tree]). [size] is either a vertex count ([torus:4096] picks
     the nearest square side, like {!Scenario} in the core library) or
     an explicit [AxB…] dimension list ([torus:64x64]); [tree] also
-    accepts [arity:size] ([tree:3:1093]). Default size 1024. *)
+    accepts [arity:size] ([tree:3:1093]). Default size 1024. Node
+    counts (including dimension-list products, which are folded with an
+    overflow guard) are validated up front against a 2{^30}-node
+    ceiling — [torus:100000x100000x100000] is an [Error], not a
+    later allocation failure. *)

@@ -72,9 +72,7 @@ let percentile_ints samples q =
 
 type bucket = { lo : int; hi : int; bcount : int }
 
-let histogram ?(bins = 10) samples =
-  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
-  if samples = [] then invalid_arg "Stats.histogram: empty sample list";
+let histogram_nonempty ~bins samples =
   let lo = List.fold_left min max_int samples in
   let hi = List.fold_left max min_int samples in
   (* The span [hi - lo + 1] exceeds the native int range when the
@@ -120,6 +118,10 @@ let histogram ?(bins = 10) samples =
   List.init bins (fun i ->
       let lo, hi = bounds.(i) in
       { lo; hi; bcount = counts.(i) })
+
+let histogram ?(bins = 10) samples =
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  if samples = [] then [] else histogram_nonempty ~bins samples
 
 let render_histogram ?(width = 40) buckets =
   let maxc = List.fold_left (fun acc b -> max acc b.bcount) 0 buckets in

@@ -45,8 +45,10 @@ val histogram : ?bins:int -> int list -> bucket list
     When the data span is smaller than [bins], one bucket per distinct
     value is used instead of empty padding. The bucket arithmetic is
     exact over the whole int range — samples straddling [min_int] and
-    [max_int] (a span wider than a native int) bucket correctly.
-    @raise Invalid_argument on an empty list or [bins < 1]. *)
+    [max_int] (a span wider than a native int) bucket correctly. An
+    empty sample list yields an empty bucket list (total, matching
+    {!percentile_ints}'s [None]) — a zero-completion run renders as
+    nothing rather than raising. *)
 
 val render_histogram : ?width:int -> bucket list -> string
 (** ASCII rendering, one bucket per line: range, count, and a bar

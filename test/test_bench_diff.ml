@@ -1,0 +1,179 @@
+(* The bench-snapshot comparison that gates CI: probe extraction from
+   hand-written snapshots, direction-aware ratio verdicts, and the
+   explicit UNUSABLE verdict for zero/NaN/negative values that used to
+   slip through the gate silently. *)
+
+module D = Countq.Bench_diff
+module J = Countq_util.Json
+
+let parse s =
+  match J.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "bad test snapshot: %s" e
+
+(* A hand-written baseline snapshot covering every probe source:
+   experiment wall-clocks, kernel ns/run and the scalar summaries —
+   including a zero wall-clock (a timer that never ran). *)
+let old_snapshot =
+  parse
+    {|{
+  "schema": "countq-bench/test",
+  "experiments": [
+    { "id": "E1", "wall_seconds": 2.0 },
+    { "id": "E2", "wall_seconds": 0.0 },
+    { "id": "E3", "wall_seconds": 1.5 }
+  ],
+  "kernels": [
+    { "name": "engine-step", "ns_per_run": 100.0 },
+    { "name": "heap-push", "ns_per_run": 40 }
+  ],
+  "engine_speedup": { "speedup_at_ceiling": 8.0 },
+  "n_scaling": { "max_ns_per_message": 500.0 }
+}|}
+
+(* The candidate: E1 regresses 2x, E3 improves 2x, E2's counterpart is
+   fine but the baseline was zero; engine-step is unchanged, heap-push
+   is dropped; the speedup probe halves (worse, because higher is
+   better there). *)
+let new_snapshot =
+  parse
+    {|{
+  "schema": "countq-bench/test",
+  "experiments": [
+    { "id": "E1", "wall_seconds": 4.0 },
+    { "id": "E2", "wall_seconds": 1.0 },
+    { "id": "E3", "wall_seconds": 0.75 }
+  ],
+  "kernels": [
+    { "name": "engine-step", "ns_per_run": 101.0 }
+  ],
+  "engine_speedup": { "speedup_at_ceiling": 4.0 },
+  "n_scaling": { "max_ns_per_message": 500.0 }
+}|}
+
+let verdict_label = function
+  | D.Within _ -> "within"
+  | D.Improved _ -> "improved"
+  | D.Regressed _ -> "regressed"
+  | D.Unusable why -> "unusable: " ^ why
+  | D.Missing -> "missing"
+
+let find report name =
+  match List.find_opt (fun (r : D.row) -> r.probe = name) report.D.rows with
+  | Some r -> r
+  | None -> Alcotest.failf "no row for probe %s" name
+
+let test_probe_extraction () =
+  let probes = D.probes_of ~kernels_only:false old_snapshot in
+  Alcotest.(check (list string))
+    "all probe sources extracted, in snapshot order"
+    [
+      "experiment E1";
+      "experiment E2";
+      "experiment E3";
+      "engine-step";
+      "heap-push";
+      "engine speedup at ceiling";
+      "event-engine ns/message";
+    ]
+    (List.map (fun p -> p.D.pname) probes);
+  let kernels = D.probes_of ~kernels_only:true old_snapshot in
+  Alcotest.(check (list string))
+    "kernels-only keeps just the ns/run probes"
+    [ "engine-step"; "heap-push" ]
+    (List.map (fun p -> p.D.pname) kernels);
+  (* Int and Float JSON numbers both parse as probe values. *)
+  Alcotest.(check bool)
+    "int-valued ns_per_run extracted" true
+    (List.exists (fun p -> p.D.pname = "heap-push" && p.D.value = 40.) kernels)
+
+let test_verdicts () =
+  let report =
+    D.compare ~threshold:25.0
+      (D.probes_of ~kernels_only:false old_snapshot)
+      (D.probes_of ~kernels_only:false new_snapshot)
+  in
+  Alcotest.(check string)
+    "2x slower experiment regresses" "regressed"
+    (verdict_label (find report "experiment E1").verdict);
+  Alcotest.(check string)
+    "2x faster experiment improves" "improved"
+    (verdict_label (find report "experiment E3").verdict);
+  Alcotest.(check string)
+    "1% drift stays within" "within"
+    (verdict_label (find report "engine-step").verdict);
+  Alcotest.(check string)
+    "halved speedup regresses (direction-aware)" "regressed"
+    (verdict_label (find report "engine speedup at ceiling").verdict);
+  Alcotest.(check string)
+    "dropped probe is missing" "missing"
+    (verdict_label (find report "heap-push").verdict);
+  Alcotest.(check string)
+    "zero baseline is called out, not skipped" "unusable: baseline unusable: zero"
+    (verdict_label (find report "experiment E2").verdict);
+  Alcotest.(check int) "compared counts only usable ratios" 5 report.compared;
+  Alcotest.(check int) "two regressions" 2 report.regressions;
+  Alcotest.(check int) "one unusable" 1 report.unusable;
+  Alcotest.(check int) "one missing" 1 report.missing;
+  (* The strict gate fails on the unusable baseline too. *)
+  Alcotest.(check int) "gate counts regressions + unusable" 3
+    (D.gate_failures report);
+  match (find report "experiment E1").verdict with
+  | D.Regressed r -> Alcotest.(check (float 1e-9)) "ratio is new/old" 2.0 r
+  | v -> Alcotest.failf "expected Regressed, got %s" (verdict_label v)
+
+let test_nan_and_negative_unusable () =
+  (* NaN passes neither [<= 0.] nor any ratio comparison — the old
+     code let it through silently. Hand-built probes, since JSON has
+     no NaN literal. *)
+  let p name value : D.probe = { pname = name; value; dir = `Lower } in
+  let report =
+    D.compare ~threshold:25.0
+      [ p "a" Float.nan; p "b" 1.0; p "c" 1.0; p "d" (-2.0); p "e" Float.infinity ]
+      [ p "a" 1.0; p "b" Float.nan; p "c" Float.neg_infinity; p "d" 1.0; p "e" 1.0 ]
+  in
+  Alcotest.(check (list string))
+    "every non-finite or non-positive value is named"
+    [
+      "unusable: baseline unusable: NaN";
+      "unusable: candidate unusable: NaN";
+      "unusable: candidate unusable: infinite";
+      "unusable: baseline unusable: negative";
+      "unusable: baseline unusable: infinite";
+    ]
+    (List.map (fun (r : D.row) -> verdict_label r.verdict) report.rows);
+  Alcotest.(check int) "nothing compared" 0 report.compared;
+  Alcotest.(check int) "all five gate the strict run" 5
+    (D.gate_failures report)
+
+let test_threshold_boundary () =
+  let p v : D.probe = { pname = "t"; value = v; dir = `Lower } in
+  let verdict old_v new_v =
+    verdict_label
+      (List.hd (D.compare ~threshold:25.0 [ p old_v ] [ p new_v ]).rows)
+        .verdict
+  in
+  Alcotest.(check string) "exactly +25% is within" "within" (verdict 4.0 5.0);
+  Alcotest.(check string) "just past +25% regresses" "regressed"
+    (verdict 4.0 5.01);
+  Alcotest.(check string) "reciprocal boundary is within" "within"
+    (verdict 5.0 4.0);
+  Alcotest.(check string) "just past the reciprocal improves" "improved"
+    (verdict 5.01 4.0);
+  Alcotest.check_raises "negative threshold rejected"
+    (Invalid_argument "Bench_diff.compare: threshold must be finite and >= 0")
+    (fun () -> ignore (D.compare ~threshold:(-1.0) [] []));
+  Alcotest.check_raises "NaN threshold rejected"
+    (Invalid_argument "Bench_diff.compare: threshold must be finite and >= 0")
+    (fun () -> ignore (D.compare ~threshold:Float.nan [] []))
+
+let suite =
+  [
+    Alcotest.test_case "probe extraction from a snapshot" `Quick
+      test_probe_extraction;
+    Alcotest.test_case "verdicts on a hand-written pair" `Quick test_verdicts;
+    Alcotest.test_case "NaN/negative/infinite values are UNUSABLE" `Quick
+      test_nan_and_negative_unusable;
+    Alcotest.test_case "threshold boundaries and validation" `Quick
+      test_threshold_boundary;
+  ]

@@ -83,7 +83,7 @@ let test_counting_driver_all_protocols () =
       Alcotest.(check int) "normalisation"
         (s.total_delay * s.expansion)
         s.normalized_delay)
-    [ `Central; `Combining; `Network; `Sweep ]
+    [ `Central; `Combining; `Diffracting; `Funnel; `Network; `Sweep ]
 
 let test_queuing_driver_all_protocols () =
   let g = Gen.square_mesh 4 in
@@ -110,10 +110,28 @@ let test_best_counting_picks_minimum () =
         (s.normalized_delay >= best.normalized_delay))
     [ `Central; `Combining; `Network; `Sweep ]
 
+let test_best_counting_covers_balancers () =
+  (* The balancer protocols run inside best_counting at the adaptive
+     width; rerunning them standalone at that width must not beat it. *)
+  let g = Gen.complete 32 in
+  let requests = Helpers.all_nodes 32 in
+  let best = Run.best_counting ~graph:g ~requests () in
+  let width =
+    Countq_counting.Funnel.adaptive_width ~n:32 ~concurrency:32
+  in
+  List.iter
+    (fun protocol ->
+      let s = Run.counting ~width ~graph:g ~protocol ~requests () in
+      Alcotest.(check bool)
+        (s.protocol ^ " not cheaper than best")
+        true
+        (s.normalized_delay >= best.normalized_delay))
+    [ `Diffracting; `Funnel ]
+
 (* ---- experiments ---- *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "31 experiments" 31 (List.length Experiments.all);
+  Alcotest.(check int) "32 experiments" 32 (List.length Experiments.all);
   List.iteri
     (fun i (s : Experiments.spec) ->
       Alcotest.(check string) "ids in order"
@@ -184,6 +202,8 @@ let suite =
     Alcotest.test_case "counting drivers" `Quick test_counting_driver_all_protocols;
     Alcotest.test_case "queuing drivers" `Quick test_queuing_driver_all_protocols;
     Alcotest.test_case "best counting" `Quick test_best_counting_picks_minimum;
+    Alcotest.test_case "best counting covers balancers" `Quick
+      test_best_counting_covers_balancers;
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
     Alcotest.test_case "find" `Quick test_find;
     Alcotest.test_case "all experiments quick" `Quick test_all_experiments_quick;

@@ -191,6 +191,115 @@ let prop_diffracting_async_spec =
       let r = Diffracting.run_async ~delay ~tree ~requests () in
       Result.is_ok r.valid)
 
+(* ---- combining funnel ---- *)
+
+module Funnel = Countq_counting.Funnel
+module Implicit = Countq_topology.Implicit
+
+let funnel_on g requests =
+  Funnel.run ~tree:(Spanning.bfs g ~root:0) ~requests ()
+
+let test_funnel_path_all () =
+  (* On a path rooted at 0, each node's batch is [own; child's block],
+     so decombination hands out counts in node order. *)
+  let r = funnel_on (Gen.path 4) (Helpers.all_nodes 4) in
+  check_valid "path all" r;
+  List.iter
+    (fun (o : Counts.outcome) ->
+      Alcotest.(check int) "rank = node + 1" (o.node + 1) o.count)
+    r.outcomes
+
+let test_funnel_empty () =
+  let r = funnel_on (Gen.perfect_tree ~arity:2 ~height:2) [] in
+  check_valid "empty" r;
+  Alcotest.(check int) "silent" 0 (List.length r.outcomes);
+  Alcotest.(check int) "no messages" 0 r.messages
+
+let test_funnel_root_only () =
+  (* The combining window is the on-path closure, not the tree: a sole
+     requesting root waits for nobody (contrast with the combining
+     tree, whose root must hear every child's empty report). *)
+  let r = funnel_on (Gen.path 5) [ 0 ] in
+  check_valid "root only" r;
+  Alcotest.(check int) "free" 0 r.total_delay;
+  match r.outcomes with
+  | [ o ] -> Alcotest.(check int) "rank 1" 1 o.count
+  | _ -> Alcotest.fail "one outcome"
+
+let test_funnel_rejects_bad_requests () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Funnel.run: request out of range") (fun () ->
+      ignore (funnel_on (Gen.path 3) [ 5 ]));
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Funnel.run: duplicate request node") (fun () ->
+      ignore (funnel_on (Gen.path 3) [ 1; 1 ]))
+
+let test_funnel_adaptive_width () =
+  Alcotest.(check int) "solo -> narrow" 2
+    (Funnel.adaptive_width ~n:1000 ~concurrency:1);
+  Alcotest.(check int) "sqrt regime" 11
+    (Funnel.adaptive_width ~n:1000 ~concurrency:100);
+  Alcotest.(check int) "ceiling" 64
+    (Funnel.adaptive_width ~n:1_000_000 ~concurrency:1_000_000);
+  Alcotest.(check int) "tiny tree clamp" 2
+    (Funnel.adaptive_width ~n:3 ~concurrency:10_000)
+
+let test_funnel_implicit_matches_materialised () =
+  (* The index-arithmetic route and the materialised tree are the same
+     tree, so the runs agree outcome for outcome. *)
+  let topo = Implicit.tree ~arity:3 40 in
+  let tree = Tree.of_graph (Implicit.materialise topo) ~root:0 in
+  let requests = [ 0; 5; 13; 14; 22; 39 ] in
+  let a = Funnel.run ~tree ~requests () in
+  let b = Funnel.run_implicit ~topo ~requests () in
+  check_valid "materialised" a;
+  check_valid "implicit" b;
+  Alcotest.(check bool) "same outcomes" true (a.outcomes = b.outcomes);
+  Alcotest.(check int) "same rounds" a.rounds b.rounds;
+  Alcotest.(check int) "same messages" a.messages b.messages
+
+let prop_funnel_spec =
+  QCheck2.Test.make ~name:"combining funnel meets the counting spec"
+    ~count:120 ~print:Helpers.instance_print Helpers.instance_gen
+    (fun (_, g, requests) ->
+      let r = funnel_on g requests in
+      Result.is_ok r.valid)
+
+let prop_funnel_pins_central =
+  (* The funnel and the central counter implement the same one-shot
+     specification: the same requesters complete, and each hands out
+     the count set {1..|R|} exactly (assignment order legitimately
+     differs — batches vs arbitration). *)
+  QCheck2.Test.make ~name:"funnel completes the same set as central"
+    ~count:120 ~print:Helpers.instance_print Helpers.instance_gen
+    (fun (_, g, requests) ->
+      let f = funnel_on g requests in
+      let c = Central.run ~graph:g ~requests () in
+      let nodes (r : Counts.run_result) =
+        List.sort compare (List.map (fun (o : Counts.outcome) -> o.node) r.outcomes)
+      in
+      Result.is_ok f.valid && Result.is_ok c.valid && nodes f = nodes c)
+
+let prop_funnel_message_frugal =
+  (* Two messages per closure edge: one combined Up, one Down. *)
+  QCheck2.Test.make ~name:"funnel uses <= 2(n-1) messages" ~count:100
+    ~print:Helpers.instance_print Helpers.instance_gen
+    (fun (_, g, requests) ->
+      let r = funnel_on g requests in
+      r.messages <= 2 * (Graph.n g - 1))
+
+let prop_funnel_async_spec =
+  QCheck2.Test.make ~name:"funnel is exact under async delays" ~count:80
+    ~print:QCheck2.Print.(pair Helpers.instance_print int)
+    QCheck2.Gen.(pair Helpers.instance_gen (int_range 0 1_000_000))
+    (fun ((_, g, requests), seed) ->
+      let tree = Spanning.bfs g ~root:0 in
+      let delay =
+        Countq_simnet.Async.Uniform { min = 1; max = 4; seed = Int64.of_int seed }
+      in
+      let r = Funnel.run_async ~delay ~tree ~requests () in
+      Result.is_ok r.valid)
+
 let test_central_long_lived () =
   let g = Gen.square_mesh 4 in
   let arrivals = [ (3, 0); (3, 0); (9, 2); (14, 5); (3, 5) ] in
@@ -273,10 +382,23 @@ let suite =
       test_diffracting_star_toggle_order;
     Alcotest.test_case "diffracting: bad requests" `Quick
       test_diffracting_rejects_bad_requests;
+    Alcotest.test_case "funnel: path ranks" `Quick test_funnel_path_all;
+    Alcotest.test_case "funnel: empty" `Quick test_funnel_empty;
+    Alcotest.test_case "funnel: root only" `Quick test_funnel_root_only;
+    Alcotest.test_case "funnel: bad requests" `Quick
+      test_funnel_rejects_bad_requests;
+    Alcotest.test_case "funnel: adaptive width" `Quick
+      test_funnel_adaptive_width;
+    Alcotest.test_case "funnel: implicit = materialised" `Quick
+      test_funnel_implicit_matches_materialised;
     Helpers.qcheck prop_central_spec;
     Helpers.qcheck prop_central_long_lived_counts_exact;
     Helpers.qcheck prop_combining_spec;
     Helpers.qcheck prop_combining_message_frugal;
     Helpers.qcheck prop_diffracting_spec;
     Helpers.qcheck prop_diffracting_async_spec;
+    Helpers.qcheck prop_funnel_spec;
+    Helpers.qcheck prop_funnel_pins_central;
+    Helpers.qcheck prop_funnel_message_frugal;
+    Helpers.qcheck prop_funnel_async_spec;
   ]

@@ -644,6 +644,11 @@ let test_parse () =
     [
       "torus:2x3"; "mesh:0"; "list:axb"; "klein-bottle:4"; "mesh:";
       "mesh:3:9"; "tree:0:7"; "tree:3:1093:2";
+      (* Sizes past the 2^30-node ceiling must be an Error up front,
+         not an allocation failure later — including dimension
+         products that overflow the int. *)
+      "list:1073741825"; "torus:100000x100000x100000";
+      "mesh:3037000500x3037000500"; "tree:2:1073741825";
     ]
 
 let suite =

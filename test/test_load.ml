@@ -139,6 +139,88 @@ let test_streaming_exemplars () =
       | _ -> Alcotest.fail "streaming exemplars are completed spans")
     s.exemplars
 
+(* ---- the combining-funnel workload ---- *)
+
+let funnel_topo = Implicit.tree ~arity:3 121
+
+(* Every cohort decombines to exactly its arrivals: nothing is lost or
+   double-counted, so with a full drain window injected = completed. *)
+let test_funnel_drains_exactly () =
+  let s =
+    Load.run ~seed:9L ~topo:funnel_topo ~workload:Load.Funnel
+      ~arrival:(Load.Poisson 2.0) ~horizon:96 ()
+  in
+  check_consistent s;
+  Alcotest.(check bool) "something was injected" true (s.injected > 0);
+  Alcotest.(check int) "every operation completed" s.injected s.completed;
+  Alcotest.(check bool) "not saturated" false s.saturated
+
+(* Bursts far past the central counter's ~1 op/round service capacity:
+   a burst round is one big cohort, which the funnel combines into one
+   Up per on-path root child however many ops it carries, while every
+   central op still queues through the centre one round at a time —
+   same tree, same seed, same arrivals. *)
+let test_funnel_moves_the_knee () =
+  let go w =
+    Load.run ~seed:3L ~topo:funnel_topo ~workload:w
+      ~arrival:(Load.Bursty { rate = 4.0; on = 2; off = 14 }) ~horizon:128 ()
+  in
+  let funnel = go Load.Funnel and central = go Load.Counting in
+  Alcotest.(check int) "same arrivals" central.injected funnel.injected;
+  Alcotest.(check bool)
+    (Printf.sprintf "funnel completes more (%d vs %d)" funnel.completed
+       central.completed)
+    true
+    (funnel.completed > central.completed);
+  Alcotest.(check bool) "central is past its knee" true central.saturated;
+  Alcotest.(check bool) "funnel is not" false funnel.saturated
+
+(* The funnel workload shards bit-identically, like the other two. *)
+let test_funnel_sharded_pinned () =
+  let go shards =
+    Load.run ~seed:7L ~shards ~topo:funnel_topo ~workload:Load.Funnel
+      ~arrival:(Load.Bursty { rate = 2.0; on = 4; off = 12 }) ~horizon:64 ()
+  in
+  let seq = go 1 in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shards=%d pinned" k)
+        true
+        (go k = seq))
+    [ 2; 3; 5 ]
+
+let test_funnel_one_shot () =
+  let requests = [ 0; 5; 17; 40; 88; 120 ] in
+  let s =
+    Load.one_shot ~topo:funnel_topo ~workload:Load.Funnel ~requests ()
+  in
+  Alcotest.(check int) "all requests" (List.length requests) s.os_requests;
+  Alcotest.(check int) "all completed" (List.length requests) s.os_completed;
+  (* The same one-shot through the counting library's own driver. *)
+  let r =
+    Countq_counting.Funnel.run_implicit
+      ~config:Countq_simnet.Engine.default_config ~topo:funnel_topo ~requests
+      ()
+  in
+  Alcotest.(check int) "rounds agree" r.Countq_counting.Counts.rounds
+    s.os_rounds;
+  Alcotest.(check int) "messages agree" r.Countq_counting.Counts.messages
+    s.os_messages;
+  let sharded =
+    Load.one_shot ~shards:3 ~topo:funnel_topo ~workload:Load.Funnel ~requests
+      ()
+  in
+  Alcotest.(check bool) "sharded one-shot pinned" true (sharded = s)
+
+let test_funnel_needs_a_tree () =
+  Alcotest.check_raises "ring rejected"
+    (Invalid_argument "Load.run: the funnel workload needs an implicit tree family")
+    (fun () ->
+      ignore
+        (Load.run ~topo:(Implicit.ring 32) ~workload:Load.Funnel
+           ~arrival:(Load.Poisson 1.0) ~horizon:8 ()))
+
 (* Telemetry attached to a Load run is passive for the summary. *)
 let test_load_telemetry_passive () =
   let topo = Implicit.list 32 in
@@ -166,6 +248,11 @@ let suite =
     Alcotest.test_case "sketched error bound" `Quick
       test_streaming_sketched_error_bound;
     Alcotest.test_case "streaming exemplars" `Quick test_streaming_exemplars;
+    Alcotest.test_case "funnel drains exactly" `Quick test_funnel_drains_exactly;
+    Alcotest.test_case "funnel moves the knee" `Quick test_funnel_moves_the_knee;
+    Alcotest.test_case "funnel sharded pinned" `Quick test_funnel_sharded_pinned;
+    Alcotest.test_case "funnel one-shot" `Quick test_funnel_one_shot;
+    Alcotest.test_case "funnel needs a tree" `Quick test_funnel_needs_a_tree;
     Alcotest.test_case "load telemetry passive" `Quick
       test_load_telemetry_passive;
   ]

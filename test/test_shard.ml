@@ -313,6 +313,216 @@ let equiv_event =
     ~print:event_print event_gen event_prop
 
 (* ------------------------------------------------------------------ *)
+(* The combining funnel is the one protocol built to straddle all
+   three engines at once (materialised tree on Engine.run, index
+   arithmetic on Event.run and Shard.run_implicit), so its pin runs
+   the SAME request set through all three — with metrics and fault
+   plans attached — and demands one answer.                            *)
+
+module Funnel = Countq_counting.Funnel
+module Tree = Countq_topology.Tree
+
+let funnel_gen =
+  let open QCheck2.Gen in
+  let* arity = int_range 2 5 in
+  let* n = int_range 2 60 in
+  let* k = int_range 0 10 in
+  let* reqs = list_size (return k) (int_range 0 (n - 1)) in
+  let* rc = int_range 1 3 in
+  let* plan = int_range 0 8 in
+  let* with_metrics = bool in
+  let* shards = oneofl [ 2; 3; 5; 8 ] in
+  return (arity, n, List.sort_uniq compare reqs, rc, plan, with_metrics, shards)
+
+let funnel_print (arity, n, requests, rc, plan, wm, k) =
+  Printf.sprintf
+    "tree:%d n=%d R={%s} rcv=%d plan=%s metrics=%b shards=%d" arity n
+    (String.concat "," (List.map string_of_int requests))
+    rc
+    (Faults.label (plan_of plan))
+    wm k
+
+let funnel_prop (arity, n, requests, rc, plan, with_metrics, shards) =
+  let topo = Implicit.tree ~arity n in
+  let graph = Implicit.materialise topo in
+  let tree = Tree.of_graph graph ~root:0 in
+  let config = { Engine.default_config with receive_capacity = rc } in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let capture run =
+    let faults = Option.map Faults.start plan in
+    let metrics = if with_metrics then Some (Metrics.create ~graph) else None in
+    let outcome =
+      match run ?faults ?metrics () with
+      | r -> Ok r
+      | exception Engine.Round_limit_exceeded
+            { limit; outstanding; queued; held; busiest } ->
+          Error (limit, outstanding, queued, held, busiest)
+    in
+    ( outcome,
+      Option.map Faults.stats faults,
+      Option.map (fun m -> (Metrics.per_node m, Metrics.per_edge m)) metrics )
+  in
+  let a =
+    capture (fun ?faults ?metrics () ->
+        Engine.run ?faults ?metrics ~graph ~config
+          ~protocol:(Funnel.one_shot_protocol ~tree ~requests ())
+          ())
+  in
+  let b =
+    capture (fun ?faults ?metrics () ->
+        Event.run ?faults ?metrics ~starters:requests ~topo ~config
+          ~protocol:(Funnel.implicit_protocol ~topo ~requests ())
+          ())
+  in
+  let c =
+    capture (fun ?faults ?metrics () ->
+        Shard.run_implicit ~shards ~pool ?faults ?metrics ~starters:requests
+          ~topo ~config
+          ~protocol:(Funnel.implicit_protocol ~topo ~requests ())
+          ())
+  in
+  a = b && b = c
+
+let equiv_funnel =
+  QCheck2.Test.make ~count:120
+    ~name:"funnel pinned across engine / event / sharded (metrics, faults)"
+    ~print:funnel_print funnel_gen funnel_prop
+
+(* ------------------------------------------------------------------ *)
+(* The observer replay: the sharded engine buffers per-shard deliver /
+   complete events and replays them at the round barrier, so the
+   callback stream — including on_round_end's in_flight accounting and
+   its `Halt verdict — must be the event engine's, verbatim.           *)
+
+type obs_event =
+  | Deliver of int * int * int  (* round, src, dst *)
+  | Completed of int * int * int  (* round, node, value snd *)
+  | Round_end of int * int  (* round, in_flight *)
+
+let observed which ~plan ~dyn ~halt_at ~starts ~graph ~config ~protocol =
+  let faults = Option.map Faults.start plan in
+  let dynamic = Option.map Dynamic.start (dyn_of graph dyn) in
+  let evs = ref [] in
+  let observer =
+    {
+      Engine.on_deliver =
+        (fun ~round ~src ~dst -> evs := Deliver (round, src, dst) :: !evs);
+      on_complete =
+        (fun ~round ~node ~value ->
+          evs := Completed (round, node, snd value) :: !evs);
+      on_round_end =
+        (fun ~round ~in_flight ->
+          evs := Round_end (round, in_flight) :: !evs;
+          match halt_at with
+          | Some h when round >= h -> `Halt
+          | _ -> `Continue);
+    }
+  in
+  let topo = Implicit.of_graph graph in
+  let outcome =
+    match
+      match which with
+      | `Event ->
+          Event.run ?faults ?dynamic ~observer ?starters:starts ~topo ~config
+            ~protocol ()
+      | `Shard k ->
+          Shard.run_implicit ~shards:k ~pool ?faults ?dynamic ~observer
+            ?starters:starts ~topo ~config ~protocol ()
+    with
+    | r -> Ok r
+    | exception Engine.Round_limit_exceeded
+          { limit; outstanding; queued; held; busiest } ->
+        Error (limit, outstanding, queued, held, busiest)
+  in
+  (outcome, List.rev !evs, Option.map Faults.stats faults)
+
+let observer_gen =
+  let open QCheck2.Gen in
+  let* name, g, requests = Helpers.instance_gen in
+  let* seed = int_range 0 100_000 in
+  let* rc = int_range 1 2 in
+  let* arb = int_range 0 2 in
+  let* plan = int_range 0 8 in
+  let* dyn = int_range 0 3 in
+  let* halt_at = oneofl [ None; Some 3 ] in
+  let* shards = oneofl [ 2; 4; 7 ] in
+  return
+    ((name, g, requests), seed, (rc, 1, arb, 0, 2_000), plan, dyn, halt_at, shards)
+
+let observer_print ((name, g, requests), seed, _, plan, dyn, halt_at, k) =
+  Printf.sprintf "%s (n=%d) R={%s} seed=%d plan=%s dyn=%s halt=%s shards=%d"
+    name (Graph.n g)
+    (String.concat "," (List.map string_of_int requests))
+    seed
+    (Faults.label (plan_of plan))
+    (dyn_label dyn)
+    (match halt_at with None -> "-" | Some h -> string_of_int h)
+    k
+
+let observer_prop ((_, graph, requests), seed, cfg, plan, dyn, halt_at, shards) =
+  let config = config_of cfg in
+  let protocol = hash_protocol ~starts:requests ~seed ~graph () in
+  let plan = if plan = 0 then None else Some (plan_of plan) in
+  let starts = Some requests in
+  let a =
+    observed `Event ~plan ~dyn ~halt_at ~starts ~graph ~config ~protocol
+  in
+  let b =
+    observed (`Shard shards) ~plan ~dyn ~halt_at ~starts ~graph ~config
+      ~protocol
+  in
+  a = b
+
+let equiv_observer =
+  QCheck2.Test.make ~count:120
+    ~name:"sharded observer stream = event engine (deliver, complete, halt)"
+    ~print:observer_print observer_gen observer_prop
+
+let test_observer_halt_sharded () =
+  (* `Halt from on_round_end actually stops a sharded funnel run, at
+     the same round as the event engine. *)
+  let topo = Implicit.tree ~arity:2 31 in
+  let requests = [ 3; 9; 17; 30 ] in
+  let run halt_at which =
+    let evs = ref [] in
+    let observer =
+      {
+        Engine.on_deliver = (fun ~round:_ ~src:_ ~dst:_ -> ());
+        on_complete = (fun ~round:_ ~node:_ ~value:_ -> ());
+        on_round_end =
+          (fun ~round ~in_flight ->
+            evs := (round, in_flight) :: !evs;
+            match halt_at with
+            | Some h when round >= h -> `Halt
+            | _ -> `Continue);
+      }
+    in
+    let protocol = Funnel.implicit_protocol ~topo ~requests () in
+    let res =
+      match which with
+      | `Event ->
+          Event.run ~observer ~starters:requests ~topo
+            ~config:Engine.default_config ~protocol ()
+      | `Shard k ->
+          Shard.run_implicit ~shards:k ~pool ~observer ~starters:requests
+            ~topo ~config:Engine.default_config ~protocol ()
+    in
+    (res, List.rev !evs)
+  in
+  let full_e, full_obs_e = run None `Event in
+  let full_s, full_obs_s = run None (`Shard 3) in
+  Alcotest.(check bool) "full funnel run pinned" true (full_e = full_s);
+  Alcotest.(check bool) "full observer stream pinned" true
+    (full_obs_e = full_obs_s);
+  let halted_e, obs_e = run (Some 2) `Event in
+  let halted_s, obs_s = run (Some 2) (`Shard 3) in
+  Alcotest.(check bool) "halted run pinned" true (halted_e = halted_s);
+  Alcotest.(check bool) "halted observer stream pinned" true (obs_e = obs_s);
+  Alcotest.(check int) "halt at round 2 stops the run" 2 halted_s.rounds;
+  Alcotest.(check bool) "halt cut the run short" true
+    (halted_s.rounds < full_s.rounds)
+
+(* ------------------------------------------------------------------ *)
 (* Partition edge cases.                                               *)
 
 let test_contiguous_more_shards_than_nodes () =
@@ -550,6 +760,10 @@ let suite =
   [
     Helpers.qcheck equiv_graph;
     Helpers.qcheck equiv_event;
+    Helpers.qcheck equiv_funnel;
+    Helpers.qcheck equiv_observer;
+    Alcotest.test_case "observer `Halt stops a sharded funnel run" `Quick
+      test_observer_halt_sharded;
     Alcotest.test_case "partition: more shards than nodes" `Quick
       test_contiguous_more_shards_than_nodes;
     Alcotest.test_case "partition: singleton graph" `Quick test_singleton_graph;

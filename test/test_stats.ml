@@ -52,7 +52,13 @@ let test_empty_total () =
   Alcotest.(check bool) "summarize empty" true (Stats.summarize [] = None);
   Alcotest.(check (option (float 0.)))
     "percentile_ints empty" None
-    (Stats.percentile_ints [] 0.99)
+    (Stats.percentile_ints [] 0.99);
+  (* A zero-completion run used to crash the timeline's histogram on
+     [List.fold_left min max_int []]. *)
+  Alcotest.(check bool) "histogram empty" true (Stats.histogram [] = []);
+  Alcotest.(check string)
+    "render_histogram empty" ""
+    (Stats.render_histogram (Stats.histogram ~bins:7 []))
 
 let test_percentile_ints () =
   let samples = [ 40; 10; 30; 20 ] in
